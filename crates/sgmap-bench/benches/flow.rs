@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the end-to-end flow (compile + simulate) on
+//! representative applications, one per table/figure workload class:
+//! a compute-bound app (DES), a memory-bound app (Bitonic) and the kernel
+//! simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use sgmap_apps::App;
+use sgmap_codegen::generate_kernel;
+use sgmap_core::{compile_and_run, FlowConfig};
+use sgmap_gpusim::{simulate_kernel, GpuSpec};
+use sgmap_partition::single_partition;
+use sgmap_pee::Estimator;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let des = App::Des.build(8).unwrap();
+    let bitonic = App::Bitonic.build(16).unwrap();
+    let mut group = c.benchmark_group("flow/compile_and_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("des8_2gpu", |b| {
+        b.iter(|| compile_and_run(&des, &FlowConfig::default().with_gpu_count(2)).unwrap())
+    });
+    group.bench_function("bitonic16_2gpu", |b| {
+        b.iter(|| compile_and_run(&bitonic, &FlowConfig::default().with_gpu_count(2)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_kernel_simulation(c: &mut Criterion) {
+    let graph = App::Fft.build(64).unwrap();
+    let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+    let partition = single_partition(&est);
+    let spec = generate_kernel(&est, &partition, "fft64");
+    c.bench_function("gpusim/kernel/fft64", |b| {
+        b.iter(|| simulate_kernel(&spec, &GpuSpec::m2090(), 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_end_to_end, bench_kernel_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 4.2 — scalability of the proposed mapping technique.
+//!
+//! For every application and size parameter N, the graph is partitioned once
+//! with the proposed heuristic and mapped to 1, 2, 3 and 4 GPUs with the
+//! communication-aware ILP. Speedups are reported over the 1-GPU
+//! multi-partition mapping, together with the number of partitions (the
+//! x-axis annotation of the paper's figure). The paper's headline averages
+//! for the largest N are 1.8x / 2.6x / 3.2x for 2 / 3 / 4 GPUs.
+
+use sgmap_apps::App;
+use sgmap_bench::{full_sweep_requested, mean, partition_app, run_mapped, sweep, Stack};
+use sgmap_gpusim::{GpuSpec, Platform};
+
+fn main() {
+    let full = full_sweep_requested();
+    let gpu = GpuSpec::m2090();
+    println!("# Figure 4.2: speedup over the 1-GPU multi-partition mapping");
+    println!(
+        "{:<12} {:>6} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "app", "N", "partitions", "1-GPU", "2-GPU", "3-GPU", "4-GPU"
+    );
+
+    let mut final_speedups = vec![Vec::new(); 3]; // index 0 -> 2 GPUs, ...
+    for app in App::all() {
+        let ns = sweep(app, full);
+        for (pos, &n) in ns.iter().enumerate() {
+            let graph = app.build(n).expect("benchmark graph builds");
+            let (estimator, partitioning) = partition_app(&graph, &gpu, Stack::Ours, false);
+            let mut times = Vec::new();
+            for gpus in 1..=4usize {
+                let platform = Platform::homogeneous(gpu.clone(), gpus);
+                let r = run_mapped(&graph, &estimator, &partitioning, &platform, Stack::Ours);
+                times.push(r.time_per_iteration_us);
+            }
+            let speedups: Vec<f64> = times.iter().map(|t| times[0] / t).collect();
+            println!(
+                "{:<12} {:>6} {:>11} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                app.name(),
+                n,
+                partitioning.len(),
+                speedups[0],
+                speedups[1],
+                speedups[2],
+                speedups[3]
+            );
+            if pos + 1 == ns.len() {
+                for (g, s) in final_speedups.iter_mut().zip(&speedups[1..]) {
+                    g.push(*s);
+                }
+            }
+        }
+    }
+
+    println!();
+    println!("average speedup at the largest N (paper: 1.8 / 2.6 / 3.2):");
+    for (i, s) in final_speedups.iter().enumerate() {
+        println!("  {}-GPU: {:.2}", i + 2, mean(s));
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 4.3 — comparison with the previous work in terms of SOSP.
+//!
+//! SOSP (Speedup Over Single-Partition mapping) is the runtime of the
+//! single-partition single-GPU mapping divided by the runtime of a
+//! multi-partition multi-GPU mapping on the same hardware. The figure plots
+//! SOSP of the proposed stack against the prior work's stack for the five
+//! applications whose multi-GPU numbers the prior work reports, and the
+//! summary table gives the average "ours / previous" SOSP ratio per GPU count
+//! (paper: 1.17 / 1.33 / 1.40 / 1.47 for 1–4 GPUs).
+
+use sgmap_apps::App;
+use sgmap_bench::{full_sweep_requested, mean, partition_app, run_mapped, sweep, Stack};
+use sgmap_gpusim::{GpuSpec, Platform};
+
+fn main() {
+    let full = full_sweep_requested();
+    let gpu = GpuSpec::m2090();
+    println!("# Figure 4.3: SOSP, ours vs previous work, 1-4 GPUs");
+    println!(
+        "{:<10} {:>6} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
+        "app", "N", "our1", "our2", "our3", "our4", "prev1", "prev2", "prev3", "prev4"
+    );
+
+    // ratio accumulators per GPU count.
+    let mut ratios = vec![Vec::new(); 4];
+    for app in App::figure_4_3_subset() {
+        let ns = sweep(app, full);
+        for &n in &ns {
+            let graph = app.build(n).expect("benchmark graph builds");
+            // SPSG reference on the same hardware.
+            let (spsg_est, spsg_part) = partition_app(&graph, &gpu, Stack::Spsg, false);
+            let spsg = run_mapped(
+                &graph,
+                &spsg_est,
+                &spsg_part,
+                &Platform::homogeneous(gpu.clone(), 1),
+                Stack::Spsg,
+            );
+
+            let (our_est, our_part) = partition_app(&graph, &gpu, Stack::Ours, false);
+            let (prev_est, prev_part) = partition_app(&graph, &gpu, Stack::Previous, false);
+
+            let mut our_sosp = Vec::new();
+            let mut prev_sosp = Vec::new();
+            for gpus in 1..=4usize {
+                let platform = Platform::homogeneous(gpu.clone(), gpus);
+                let ours = run_mapped(&graph, &our_est, &our_part, &platform, Stack::Ours);
+                let prev = run_mapped(&graph, &prev_est, &prev_part, &platform, Stack::Previous);
+                our_sosp.push(spsg.time_per_iteration_us / ours.time_per_iteration_us);
+                prev_sosp.push(spsg.time_per_iteration_us / prev.time_per_iteration_us);
+            }
+            println!(
+                "{:<10} {:>6} | {:>7.2} {:>7.2} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+                app.name(),
+                n,
+                our_sosp[0],
+                our_sosp[1],
+                our_sosp[2],
+                our_sosp[3],
+                prev_sosp[0],
+                prev_sosp[1],
+                prev_sosp[2],
+                prev_sosp[3]
+            );
+            for g in 0..4 {
+                if prev_sosp[g] > 0.0 {
+                    ratios[g].push(our_sosp[g] / prev_sosp[g]);
+                }
+            }
+        }
+    }
+
+    println!();
+    println!("SOSP ratio, ours vs previous work (paper: 1.17 / 1.33 / 1.40 / 1.47):");
+    for (g, r) in ratios.iter().enumerate() {
+        println!("  {}-GPU: {:.2}", g + 1, mean(r));
+    }
+}

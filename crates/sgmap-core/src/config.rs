@@ -1,0 +1,125 @@
+//! Configuration of the end-to-end flow.
+
+use sgmap_codegen::PlanOptions;
+use sgmap_gpusim::{GpuSpec, Platform, TransferMode};
+use sgmap_mapping::{MappingMethod, MappingOptions};
+use sgmap_partition::PartitionerKind;
+
+/// Everything the flow needs to know besides the stream graph itself.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// The GPU model of the (homogeneous) platform.
+    pub gpu: GpuSpec,
+    /// Number of GPUs (1–4 on the reference switch tree).
+    pub gpu_count: usize,
+    /// Which partitioner to run.
+    pub partitioner: PartitionerKind,
+    /// Which mapper to run.
+    pub mapper: MappingMethod,
+    /// Budget and modelling options for the ILP mapper.
+    pub mapping_options: MappingOptions,
+    /// Enables the splitter/joiner elimination of Chapter V.
+    pub enhanced: bool,
+    /// Plan generation options (fragments, iterations per fragment, ...).
+    pub plan: PlanOptions,
+}
+
+impl FlowConfig {
+    /// The paper's default stack: the proposed partitioner, the
+    /// communication-aware ILP mapper, peer-to-peer transfers, M2090 GPUs.
+    pub fn new() -> Self {
+        FlowConfig {
+            gpu: GpuSpec::m2090(),
+            gpu_count: 4,
+            partitioner: PartitionerKind::Proposed,
+            mapper: MappingMethod::Ilp,
+            mapping_options: MappingOptions::default(),
+            enhanced: false,
+            plan: PlanOptions::default(),
+        }
+    }
+
+    /// Sets the number of GPUs.
+    pub fn with_gpu_count(mut self, gpu_count: usize) -> Self {
+        self.gpu_count = gpu_count;
+        self
+    }
+
+    /// Sets the GPU model.
+    pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Selects the partitioner.
+    pub fn with_partitioner(mut self, partitioner: PartitionerKind) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Selects the mapper.
+    pub fn with_mapper(mut self, mapper: MappingMethod) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// Enables or disables the Chapter V splitter/joiner elimination.
+    pub fn with_enhancement(mut self, enhanced: bool) -> Self {
+        self.enhanced = enhanced;
+        self
+    }
+
+    /// Routes inter-GPU transfers through the host (the prior work's
+    /// transfer mode) instead of peer-to-peer.
+    pub fn with_transfer_mode(mut self, mode: TransferMode) -> Self {
+        self.plan.transfer_mode = mode;
+        self
+    }
+
+    /// The prior work's full stack: SM-only partitioner, hardware-agnostic
+    /// round-robin mapping, transfers staged through the host.
+    pub fn previous_work() -> Self {
+        FlowConfig::new()
+            .with_partitioner(PartitionerKind::Baseline)
+            .with_mapper(MappingMethod::RoundRobin)
+            .with_transfer_mode(TransferMode::ViaHost)
+    }
+
+    /// The single-partition single-GPU (SPSG) reference configuration used by
+    /// the SOSP metric.
+    pub fn spsg() -> Self {
+        FlowConfig::new()
+            .with_partitioner(PartitionerKind::Single)
+            .with_gpu_count(1)
+    }
+
+    /// The platform this configuration targets.
+    pub fn platform(&self) -> Platform {
+        Platform::homogeneous(self.gpu.clone(), self.gpu_count)
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_expected_knobs() {
+        let ours = FlowConfig::default();
+        let prev = FlowConfig::previous_work();
+        let spsg = FlowConfig::spsg();
+        assert_eq!(ours.partitioner, PartitionerKind::Proposed);
+        assert_eq!(prev.partitioner, PartitionerKind::Baseline);
+        assert_eq!(prev.mapper, MappingMethod::RoundRobin);
+        assert_eq!(prev.plan.transfer_mode, TransferMode::ViaHost);
+        assert_eq!(spsg.gpu_count, 1);
+        assert_eq!(spsg.partitioner, PartitionerKind::Single);
+        assert_eq!(ours.platform().gpu_count, 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! The compile-and-execute pipeline.
+
+use std::fmt;
+
+use sgmap_codegen::build_execution_plan;
+use sgmap_gpusim::{simulate_plan, ExecutionPlan, KernelSpec, Platform};
+use sgmap_graph::{GraphError, StreamGraph};
+use sgmap_ilp::IlpError;
+use sgmap_mapping::{map_with, Mapping};
+use sgmap_partition::{build_pdg, partition_with, PartitionError, Partitioning, Pdg};
+use sgmap_pee::Estimator;
+
+use crate::config::FlowConfig;
+use crate::report::RunReport;
+
+/// Errors of the end-to-end flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Stream graph analysis failed.
+    Graph(GraphError),
+    /// Partitioning failed.
+    Partition(PartitionError),
+    /// The ILP mapper failed.
+    Mapping(IlpError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Graph(e) => write!(f, "graph analysis failed: {e}"),
+            FlowError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            FlowError::Mapping(e) => write!(f, "mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<GraphError> for FlowError {
+    fn from(e: GraphError) -> Self {
+        FlowError::Graph(e)
+    }
+}
+impl From<PartitionError> for FlowError {
+    fn from(e: PartitionError) -> Self {
+        FlowError::Partition(e)
+    }
+}
+impl From<IlpError> for FlowError {
+    fn from(e: IlpError) -> Self {
+        FlowError::Mapping(e)
+    }
+}
+
+/// Everything the flow produced before execution.
+#[derive(Debug)]
+pub struct CompileResult {
+    /// The target platform.
+    pub platform: Platform,
+    /// The partitioning of the stream graph.
+    pub partitioning: Partitioning,
+    /// The partition dependence graph.
+    pub pdg: Pdg,
+    /// The partition-to-GPU mapping.
+    pub mapping: Mapping,
+    /// The pipelined execution plan.
+    pub plan: ExecutionPlan,
+    /// The generated kernels, in plan order.
+    pub kernels: Vec<KernelSpec>,
+}
+
+impl CompileResult {
+    /// Number of partitions (= kernels).
+    pub fn partition_count(&self) -> usize {
+        self.partitioning.len()
+    }
+}
+
+/// Runs the flow of Figure 3.1 up to (and including) code generation.
+///
+/// # Errors
+///
+/// Returns an error if graph analysis, partitioning or mapping fails.
+pub fn compile(graph: &StreamGraph, config: &FlowConfig) -> Result<CompileResult, FlowError> {
+    let platform = config.platform();
+    let reps = graph.repetition_vector()?;
+    let estimator = Estimator::new(graph, platform.gpu.clone())?.with_enhancement(config.enhanced);
+    let partitioning = partition_with(&estimator, config.partitioner)?;
+    let pdg = build_pdg(graph, &reps, &partitioning);
+    let mapping = map_with(&pdg, &platform, config.mapper, &config.mapping_options)?;
+    let (plan, kernels) = build_execution_plan(
+        &estimator,
+        &partitioning,
+        &pdg,
+        &mapping,
+        &platform,
+        &config.plan,
+    );
+    Ok(CompileResult {
+        platform,
+        partitioning,
+        pdg,
+        mapping,
+        plan,
+        kernels,
+    })
+}
+
+/// Executes a compiled result on the platform simulator.
+pub fn execute(compiled: &CompileResult, config: &FlowConfig) -> RunReport {
+    let stats = simulate_plan(&compiled.plan, &compiled.platform);
+    let iterations =
+        u64::from(compiled.plan.n_fragments) * config.plan.iterations_per_fragment;
+    RunReport::new(
+        compiled.partition_count(),
+        compiled.mapping.clone(),
+        stats,
+        iterations,
+    )
+}
+
+/// Compiles and executes in one call.
+///
+/// # Errors
+///
+/// Returns an error if compilation fails; execution itself cannot fail.
+pub fn compile_and_run(graph: &StreamGraph, config: &FlowConfig) -> Result<RunReport, FlowError> {
+    let compiled = compile(graph, config)?;
+    Ok(execute(&compiled, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgmap_apps::App;
+
+    #[test]
+    fn full_flow_runs_for_a_small_app_on_every_gpu_count() {
+        let graph = App::FmRadio.build(8).unwrap();
+        let mut times = Vec::new();
+        for g in 1..=4 {
+            let config = FlowConfig::default().with_gpu_count(g);
+            let report = compile_and_run(&graph, &config).unwrap();
+            assert!(report.time_per_iteration_us > 0.0, "G={g}");
+            assert!(report.partition_count >= 1);
+            times.push(report.time_per_iteration_us);
+        }
+        // More GPUs never makes the (communication-aware) mapping much worse.
+        assert!(times[3] <= times[0] * 1.25, "4-GPU {} vs 1-GPU {}", times[3], times[0]);
+    }
+
+    #[test]
+    fn compile_exposes_all_intermediate_artefacts() {
+        let graph = App::MatMul2.build(4).unwrap();
+        let config = FlowConfig::default().with_gpu_count(2);
+        let compiled = compile(&graph, &config).unwrap();
+        assert_eq!(compiled.kernels.len(), compiled.partition_count());
+        assert_eq!(compiled.mapping.assignment.len(), compiled.partition_count());
+        assert_eq!(compiled.pdg.len(), compiled.partition_count());
+        let report = execute(&compiled, &config);
+        assert!(report.makespan_us > 0.0);
+    }
+
+    #[test]
+    fn spsg_config_produces_exactly_one_partition() {
+        let graph = App::Des.build(8).unwrap();
+        let report = compile_and_run(&graph, &FlowConfig::spsg()).unwrap();
+        assert_eq!(report.partition_count, 1);
+        assert_eq!(report.mapping.gpus_used(), 1);
+    }
+
+    #[test]
+    fn previous_work_stack_is_never_faster_than_ours_on_compute_bound_apps() {
+        let graph = App::Des.build(12).unwrap();
+        let ours = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(4)).unwrap();
+        let prev =
+            compile_and_run(&graph, &FlowConfig::previous_work().with_gpu_count(4)).unwrap();
+        assert!(
+            ours.time_per_iteration_us <= prev.time_per_iteration_us * 1.05,
+            "ours {} vs previous {}",
+            ours.time_per_iteration_us,
+            prev.time_per_iteration_us
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Multi-GPU platform substrate for the `sgmap` mapping flow.
+//!
+//! The paper evaluates its mapping technique on a Xeon workstation with four
+//! Nvidia M2090 GPUs. This crate replaces that hardware with a simulator that
+//! reproduces the *timing mechanisms* the mapping algorithms care about:
+//!
+//! * [`GpuSpec`] / [`Platform`] — device models (C2070 and M2090 presets) and
+//!   multi-GPU platforms,
+//! * [`PcieTopology`] — the PCIe switch tree of Figure 3.3, with routing and
+//!   the `dtlist(l)` rule used by the ILP formulation,
+//! * [`sm_layout`] — shared-memory requirement of a partition via a
+//!   buffer-lifetime scan (Figure 3.2), including the splitter/joiner
+//!   elimination variant of Chapter V,
+//! * [`profile`] — per-filter execution times obtained by "running" each
+//!   filter with a single thread (Section 3.3.1),
+//! * [`KernelSpec`] and [`simulate_kernel`] — cycle-approximate execution of
+//!   a one-kernel-per-partition CUDA kernel with compute warps, data-transfer
+//!   warps, double buffering and shared-memory bank conflicts,
+//! * [`ExecutionPlan`] / [`simulate_plan`] — a discrete-event simulation of
+//!   pipelined multi-GPU execution over N input fragments (Figure 3.5).
+//!
+//! Times are microseconds, sizes are bytes throughout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod kernel;
+mod kernel_sim;
+mod pipeline;
+pub mod profile;
+pub mod sm_layout;
+mod topology;
+
+pub use device::{GpuSpec, Platform};
+pub use kernel::{KernelFilter, KernelParams, KernelSpec};
+pub use kernel_sim::{simulate_kernel, KernelMeasurement};
+pub use pipeline::{
+    simulate_plan, ExecStats, ExecutionPlan, PlannedKernel, PlannedTransfer, TransferMode,
+};
+pub use topology::{Endpoint, LinkId, PcieTopology};

@@ -1,0 +1,144 @@
+//! Per-filter profiling (Section 3.3.1).
+//!
+//! The paper annotates every node of the stream graph with its GPU execution
+//! time `t_i`, obtained by converting the filter into a kernel with data
+//! prefetching suppressed and running it with a *single* GPU thread, so that
+//! the number measures the filter's computation alone. This module performs
+//! the equivalent measurement against the simulated device model: the
+//! filter's abstract work estimate and its token traffic are converted into
+//! cycles on the target [`GpuSpec`].
+
+use sgmap_graph::{FilterId, RepetitionVector, StreamGraph};
+
+use crate::device::GpuSpec;
+
+/// Cycles charged per abstract work unit (arithmetic op) of a filter when it
+/// runs on a single thread: issue, operand fetch and the op itself.
+pub const CYCLES_PER_WORK_UNIT: f64 = 4.0;
+
+/// Fixed per-firing overhead cycles (index arithmetic, loop control).
+pub const FIRING_OVERHEAD_CYCLES: f64 = 12.0;
+
+/// Per-filter profiling result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterProfile {
+    /// Single-thread execution time of one firing, in microseconds.
+    pub time_per_firing_us: f64,
+}
+
+/// Profiled execution times for every filter of a stream graph on a given
+/// device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileTable {
+    device: String,
+    times_us: Vec<f64>,
+}
+
+impl ProfileTable {
+    /// Single-thread time of one firing of `id`, in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the profiled graph.
+    pub fn time_per_firing_us(&self, id: FilterId) -> f64 {
+        self.times_us[id.index()]
+    }
+
+    /// Time for all firings of `id` in one steady-state iteration (the `t_i`
+    /// of the paper's performance model), in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the profiled graph.
+    pub fn iteration_time_us(&self, id: FilterId, reps: &RepetitionVector) -> f64 {
+        self.times_us[id.index()] * reps[id.index()] as f64
+    }
+
+    /// Name of the device the profile was taken on.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Number of profiled filters.
+    pub fn len(&self) -> usize {
+        self.times_us.len()
+    }
+
+    /// Returns `true` if no filter was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.times_us.is_empty()
+    }
+}
+
+/// Profiles every filter of `graph` on `gpu` by simulating a single-thread
+/// execution of one firing.
+pub fn profile_graph(graph: &StreamGraph, gpu: &GpuSpec) -> ProfileTable {
+    let times_us = graph
+        .filters()
+        .map(|(_, f)| {
+            let compute_cycles = f.work * CYCLES_PER_WORK_UNIT;
+            // Tokens touched in shared memory per firing: inputs read
+            // (including the peek window) and outputs written.
+            let tokens = f64::from(f.peek.max(f.pop)) + f64::from(f.push);
+            let sm_cycles = tokens * gpu.shared_access_cycles;
+            gpu.cycles_to_us(compute_cycles + sm_cycles + FIRING_OVERHEAD_CYCLES)
+        })
+        .collect();
+    ProfileTable {
+        device: gpu.name.clone(),
+        times_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgmap_graph::{Filter, StreamGraph};
+
+    fn two_filter_graph() -> StreamGraph {
+        let mut g = StreamGraph::new("t");
+        let a = g.add_filter(Filter::new("light", 0, 1, 10.0));
+        let b = g.add_filter(Filter::new("heavy", 1, 0, 1000.0));
+        g.add_channel(a, b, 1, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn heavier_filters_take_longer() {
+        let g = two_filter_graph();
+        let p = profile_graph(&g, &GpuSpec::m2090());
+        let light = g.filter_by_name("light").unwrap();
+        let heavy = g.filter_by_name("heavy").unwrap();
+        assert!(p.time_per_firing_us(heavy) > p.time_per_firing_us(light) * 10.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.device(), "Tesla M2090");
+    }
+
+    #[test]
+    fn faster_device_yields_smaller_times() {
+        let g = two_filter_graph();
+        let fast = profile_graph(&g, &GpuSpec::m2090());
+        let slow = profile_graph(&g, &GpuSpec::c2070());
+        let heavy = g.filter_by_name("heavy").unwrap();
+        assert!(fast.time_per_firing_us(heavy) < slow.time_per_firing_us(heavy));
+        // The ratio matches the clock ratio (compute-only filter).
+        let ratio = slow.time_per_firing_us(heavy) / fast.time_per_firing_us(heavy);
+        assert!((ratio - 1.3 / 1.15).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iteration_time_scales_with_firings() {
+        let mut g = StreamGraph::new("t");
+        let a = g.add_filter(Filter::new("src", 0, 4, 10.0));
+        let b = g.add_filter(Filter::new("worker", 1, 1, 50.0));
+        let c = g.add_filter(Filter::new("sink", 4, 0, 1.0));
+        g.add_channel(a, b, 4, 1).unwrap();
+        g.add_channel(b, c, 1, 4).unwrap();
+        let reps = g.repetition_vector().unwrap();
+        assert_eq!(reps[b.index()], 4);
+        let p = profile_graph(&g, &GpuSpec::m2090());
+        assert!(
+            (p.iteration_time_us(b, &reps) - 4.0 * p.time_per_firing_us(b)).abs() < 1e-12
+        );
+    }
+}

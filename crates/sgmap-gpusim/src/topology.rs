@@ -1,0 +1,392 @@
+//! The PCI Express interconnect of a multi-GPU machine.
+//!
+//! The topology is a tree with the host at the root, PCIe switches as inner
+//! nodes and GPUs as leaves (Figure 3.3 of the paper). Every tree edge is a
+//! full-duplex link and is therefore modelled as two directed [`LinkId`]s.
+//! Peer-to-peer traffic from GPU *i* to GPU *j* climbs up-links to the lowest
+//! common ancestor and then descends down-links to the destination; the set
+//! of GPU pairs whose traffic crosses a given link — `dtlist(l)` in the ILP
+//! formulation — is derived from the routing function.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default effective bandwidth of one PCIe link direction, in GB/s.
+///
+/// PCIe 2.0 x16 peaks at 8 GB/s; sustained DMA throughput on Fermi-class
+/// systems is closer to 6 GB/s.
+pub const DEFAULT_LINK_BANDWIDTH_GBS: f64 = 6.0;
+
+/// Default one-hop latency of a PCIe transfer, in microseconds.
+pub const DEFAULT_LINK_LATENCY_US: f64 = 8.0;
+
+/// One endpoint of a data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The host CPU / system memory.
+    Host,
+    /// GPU with the given index (0-based).
+    Gpu(usize),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Host => write!(f, "host"),
+            Endpoint::Gpu(i) => write!(f, "gpu{i}"),
+        }
+    }
+}
+
+/// Identifier of a directed PCIe link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(usize);
+
+impl LinkId {
+    /// Zero-based index of the link.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum NodeKind {
+    Host,
+    Switch,
+    Gpu(usize),
+}
+
+/// A directed link of the PCIe tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Link {
+    from: usize,
+    to: usize,
+    /// `true` if the link points towards the root (an "up-link").
+    up: bool,
+}
+
+/// A tree-shaped PCIe interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcieTopology {
+    kinds: Vec<NodeKind>,
+    parent: Vec<Option<usize>>,
+    links: Vec<Link>,
+    /// `gpu_nodes[g]` is the tree node of GPU `g`.
+    gpu_nodes: Vec<usize>,
+    /// Effective per-direction bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-hop latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl PcieTopology {
+    /// Builds the reference switch tree of Figure 3.3, truncated to
+    /// `gpu_count` GPUs: host — SW1 — {SW2 — {GPU0, GPU1}, SW3 — {GPU2,
+    /// GPU3}}.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero or greater than four.
+    pub fn switch_tree(gpu_count: usize) -> Self {
+        assert!((1..=4).contains(&gpu_count), "switch tree hosts 1 to 4 GPUs");
+        let mut t = TopologyBuilder::new();
+        let host = t.host();
+        let sw1 = t.switch(host);
+        let sw2 = t.switch(sw1);
+        let mut remaining = gpu_count;
+        let first_half = remaining.min(2);
+        for _ in 0..first_half {
+            t.gpu(sw2);
+        }
+        remaining -= first_half;
+        if remaining > 0 {
+            let sw3 = t.switch(sw1);
+            for _ in 0..remaining {
+                t.gpu(sw3);
+            }
+        }
+        t.finish()
+    }
+
+    /// Builds a flat topology where every GPU hangs directly off a single
+    /// root switch (a symmetric interconnect, useful for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero.
+    pub fn flat(gpu_count: usize) -> Self {
+        assert!(gpu_count > 0, "at least one GPU required");
+        let mut t = TopologyBuilder::new();
+        let host = t.host();
+        let sw = t.switch(host);
+        for _ in 0..gpu_count {
+            t.gpu(sw);
+        }
+        t.finish()
+    }
+
+    /// Number of GPUs (leaves).
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over all directed link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len()).map(LinkId)
+    }
+
+    /// A human-readable description of a link (for reports).
+    pub fn link_description(&self, link: LinkId) -> String {
+        let l = &self.links[link.0];
+        format!(
+            "{} -> {}",
+            self.node_description(l.from),
+            self.node_description(l.to)
+        )
+    }
+
+    fn node_description(&self, node: usize) -> String {
+        match self.kinds[node] {
+            NodeKind::Host => "host".to_string(),
+            NodeKind::Switch => format!("sw{node}"),
+            NodeKind::Gpu(g) => format!("gpu{g}"),
+        }
+    }
+
+    fn endpoint_node(&self, e: Endpoint) -> usize {
+        match e {
+            Endpoint::Host => 0,
+            Endpoint::Gpu(g) => self.gpu_nodes[g],
+        }
+    }
+
+    fn path_to_root(&self, mut node: usize) -> Vec<usize> {
+        let mut path = vec![node];
+        while let Some(p) = self.parent[node] {
+            path.push(p);
+            node = p;
+        }
+        path
+    }
+
+    /// Returns the directed links traversed by a transfer from `from` to
+    /// `to`, in traversal order (up-links to the lowest common ancestor, then
+    /// down-links). Returns an empty route if source and destination
+    /// coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a GPU index is out of range.
+    pub fn route(&self, from: Endpoint, to: Endpoint) -> Vec<LinkId> {
+        let src = self.endpoint_node(from);
+        let dst = self.endpoint_node(to);
+        if src == dst {
+            return Vec::new();
+        }
+        let up_path = self.path_to_root(src);
+        let down_path = self.path_to_root(dst);
+        // Find the lowest common ancestor.
+        let lca = *up_path
+            .iter()
+            .find(|n| down_path.contains(n))
+            .expect("tree has a common root");
+        let mut route = Vec::new();
+        // Up-links from src to the LCA.
+        for w in up_path.iter().take_while(|&&n| n != lca) {
+            let parent = self.parent[*w].expect("non-root node has a parent");
+            route.push(self.find_link(*w, parent));
+        }
+        // Down-links from the LCA to dst (collect then reverse).
+        let mut down = Vec::new();
+        for w in down_path.iter().take_while(|&&n| n != lca) {
+            let parent = self.parent[*w].expect("non-root node has a parent");
+            down.push(self.find_link(parent, *w));
+        }
+        down.reverse();
+        route.extend(down);
+        route
+    }
+
+    fn find_link(&self, from: usize, to: usize) -> LinkId {
+        LinkId(
+            self.links
+                .iter()
+                .position(|l| l.from == from && l.to == to)
+                .expect("adjacent nodes are linked"),
+        )
+    }
+
+    /// The `dtlist(l)` of the ILP formulation: all ordered GPU pairs `(i, j)`
+    /// whose peer-to-peer traffic crosses the given directed link.
+    pub fn dtlist(&self, link: LinkId) -> Vec<(usize, usize)> {
+        let g = self.gpu_count();
+        let mut pairs = Vec::new();
+        for i in 0..g {
+            for j in 0..g {
+                if i == j {
+                    continue;
+                }
+                if self
+                    .route(Endpoint::Gpu(i), Endpoint::Gpu(j))
+                    .contains(&link)
+                {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Transfer time for `bytes` over a single link direction, in
+    /// microseconds: `latency + bytes / bandwidth`.
+    pub fn link_transfer_us(&self, bytes: f64) -> f64 {
+        self.latency_us + bytes / (self.bandwidth_gbs * 1000.0)
+    }
+
+    /// Total time for `bytes` along a full route (store-and-forward over each
+    /// hop), in microseconds.
+    pub fn route_transfer_us(&self, from: Endpoint, to: Endpoint, bytes: f64) -> f64 {
+        let hops = self.route(from, to).len();
+        hops as f64 * self.link_transfer_us(bytes)
+    }
+}
+
+struct TopologyBuilder {
+    kinds: Vec<NodeKind>,
+    parent: Vec<Option<usize>>,
+    gpu_nodes: Vec<usize>,
+}
+
+impl TopologyBuilder {
+    fn new() -> Self {
+        TopologyBuilder {
+            kinds: Vec::new(),
+            parent: Vec::new(),
+            gpu_nodes: Vec::new(),
+        }
+    }
+
+    fn host(&mut self) -> usize {
+        assert!(self.kinds.is_empty(), "host must be the first node");
+        self.kinds.push(NodeKind::Host);
+        self.parent.push(None);
+        0
+    }
+
+    fn switch(&mut self, parent: usize) -> usize {
+        let id = self.kinds.len();
+        self.kinds.push(NodeKind::Switch);
+        self.parent.push(Some(parent));
+        id
+    }
+
+    fn gpu(&mut self, parent: usize) -> usize {
+        let id = self.kinds.len();
+        let gpu_index = self.gpu_nodes.len();
+        self.kinds.push(NodeKind::Gpu(gpu_index));
+        self.parent.push(Some(parent));
+        self.gpu_nodes.push(id);
+        id
+    }
+
+    fn finish(self) -> PcieTopology {
+        let mut links = Vec::new();
+        for (node, parent) in self.parent.iter().enumerate() {
+            if let Some(p) = parent {
+                links.push(Link {
+                    from: node,
+                    to: *p,
+                    up: true,
+                });
+                links.push(Link {
+                    from: *p,
+                    to: node,
+                    up: false,
+                });
+            }
+        }
+        PcieTopology {
+            kinds: self.kinds,
+            parent: self.parent,
+            links,
+            gpu_nodes: self.gpu_nodes,
+            bandwidth_gbs: DEFAULT_LINK_BANDWIDTH_GBS,
+            latency_us: DEFAULT_LINK_LATENCY_US,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_gpu_tree_matches_figure_3_3() {
+        let t = PcieTopology::switch_tree(4);
+        assert_eq!(t.gpu_count(), 4);
+        // Nodes: host, sw1, sw2, gpu0, gpu1, sw3, gpu2, gpu3 -> 7 edges, 14
+        // directed links.
+        assert_eq!(t.link_count(), 14);
+        // GPU0 -> GPU1 shares SW2: 2 links. GPU1 -> GPU2 crosses SW1: 4 links.
+        assert_eq!(t.route(Endpoint::Gpu(0), Endpoint::Gpu(1)).len(), 2);
+        assert_eq!(t.route(Endpoint::Gpu(1), Endpoint::Gpu(2)).len(), 4);
+        // Host -> GPU0 goes host->sw1->sw2->gpu0: 3 links.
+        assert_eq!(t.route(Endpoint::Host, Endpoint::Gpu(0)).len(), 3);
+        assert!(t.route(Endpoint::Gpu(2), Endpoint::Gpu(2)).is_empty());
+    }
+
+    #[test]
+    fn dtlist_matches_the_paper_example() {
+        // "the link SW2 -> SW1 will be used only by the communication between
+        //  these GPUs: (1,3), (1,4), (2,3), (2,4)" — with 1-based GPU ids.
+        let t = PcieTopology::switch_tree(4);
+        // Find the up-link whose dtlist is {(0,2),(0,3),(1,2),(1,3)} 0-based.
+        let expected = vec![(0, 2), (0, 3), (1, 2), (1, 3)];
+        let found = t.link_ids().any(|l| {
+            let mut d = t.dtlist(l);
+            d.sort_unstable();
+            d == expected
+        });
+        assert!(found, "no link carries exactly the SW2->SW1 traffic");
+    }
+
+    #[test]
+    fn dtlist_is_empty_for_leaf_links_of_other_gpus() {
+        let t = PcieTopology::switch_tree(2);
+        // Total pair-link incidences: each of the 2 ordered pairs uses 2
+        // links.
+        let total: usize = t.link_ids().map(|l| t.dtlist(l).len()).sum();
+        assert_eq!(total, 2 * 2);
+    }
+
+    #[test]
+    fn transfer_times_scale_with_bytes_and_hops() {
+        let t = PcieTopology::switch_tree(4);
+        let one_hop = t.link_transfer_us(6_000_000.0);
+        assert!((one_hop - (t.latency_us + 1000.0)).abs() < 1e-9);
+        let p2p_far = t.route_transfer_us(Endpoint::Gpu(0), Endpoint::Gpu(3), 6_000_000.0);
+        let p2p_near = t.route_transfer_us(Endpoint::Gpu(0), Endpoint::Gpu(1), 6_000_000.0);
+        assert!(p2p_far > p2p_near);
+        assert!((p2p_far / p2p_near - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_topology_is_symmetric() {
+        let t = PcieTopology::flat(3);
+        assert_eq!(t.gpu_count(), 3);
+        let a = t.route(Endpoint::Gpu(0), Endpoint::Gpu(1)).len();
+        let b = t.route(Endpoint::Gpu(0), Endpoint::Gpu(2)).len();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 to 4 GPUs")]
+    fn oversized_switch_tree_panics() {
+        let _ = PcieTopology::switch_tree(9);
+    }
+}

@@ -1,0 +1,66 @@
+//! Stream graph intermediate representation for `sgmap`.
+//!
+//! This crate provides the input representation used by the whole mapping
+//! flow of the paper *Communication-aware Mapping of Stream Graphs for
+//! Multi-GPU Platforms*:
+//!
+//! * [`Filter`] — an actor with pop/peek/push rates and a work estimate,
+//! * [`StreamGraph`] — the flat directed graph of filters and channels,
+//! * [`StreamSpec`] / [`GraphBuilder`] — hierarchical StreamIt-style
+//!   composition (pipeline, split-join, feedback loop) that flattens into a
+//!   [`StreamGraph`],
+//! * [`RepetitionVector`] — the SDF steady-state firing rates solved from the
+//!   balance equations,
+//! * [`NodeSet`] — a sub-graph (candidate partition) with connectivity and
+//!   convexity queries,
+//! * [`interp`] — a functional interpreter used to check that generated
+//!   benchmark graphs compute what they claim to compute.
+//!
+//! # Example
+//!
+//! ```rust
+//! use sgmap_graph::{GraphBuilder, StreamSpec, SplitKind, JoinKind};
+//!
+//! # fn main() -> Result<(), sgmap_graph::GraphError> {
+//! // A small split-join sandwiched between two filters.
+//! let spec = StreamSpec::pipeline(vec![
+//!     StreamSpec::filter("source", 0, 1, 4.0),
+//!     StreamSpec::split_join(
+//!         SplitKind::Duplicate,
+//!         vec![
+//!             StreamSpec::filter("left", 1, 1, 8.0),
+//!             StreamSpec::filter("right", 1, 1, 8.0),
+//!         ],
+//!         JoinKind::RoundRobin(vec![1, 1]),
+//!     ),
+//!     StreamSpec::filter("sink", 2, 0, 1.0),
+//! ]);
+//! let graph = GraphBuilder::new("example").build(spec)?;
+//! assert_eq!(graph.filter_count(), 6); // source, splitter, left, right, joiner, sink
+//! let reps = graph.repetition_vector()?;
+//! assert!(reps.iter().all(|&r| r >= 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algo;
+mod builder;
+mod error;
+mod filter;
+mod graph;
+pub mod interp;
+mod nodeset;
+mod rates;
+
+pub use builder::{GraphBuilder, StreamSpec};
+pub use error::GraphError;
+pub use filter::{Filter, FilterId, FilterKind, JoinKind, SplitKind};
+pub use graph::{Channel, ChannelId, StreamGraph};
+pub use nodeset::NodeSet;
+pub use rates::{Rational, RepetitionVector};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,50 @@
+//! A small linear-programming (LP) and mixed 0/1 integer-programming (ILP)
+//! solver.
+//!
+//! The paper solves its partition-to-GPU mapping problem with a commercial
+//! ILP solver (Gurobi). This crate provides the substrate needed to reproduce
+//! that step without external dependencies:
+//!
+//! * [`Model`] — a builder for LP/ILP models: variables (continuous or
+//!   binary), linear constraints and a linear objective,
+//! * a dense **two-phase primal simplex** for the LP relaxation
+//!   ([`simplex`]),
+//! * **branch-and-bound** over the binary variables with incumbent pruning,
+//!   warm-start incumbents and node/time budgets ([`Solver`]).
+//!
+//! The instances produced by the mapping flow are modest (a few hundred
+//! binaries, a few thousand rows), which a dense tableau handles comfortably.
+//!
+//! # Example
+//!
+//! ```rust
+//! use sgmap_ilp::{Model, ObjectiveSense, Solver};
+//!
+//! # fn main() -> Result<(), sgmap_ilp::IlpError> {
+//! // maximise 3x + 2y  s.t.  x + y <= 4, x <= 2, y <= 3, x,y >= 0
+//! let mut m = Model::new(ObjectiveSense::Maximize);
+//! let x = m.add_continuous("x", 3.0);
+//! let y = m.add_continuous("y", 2.0);
+//! m.add_constraint_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+//! m.add_constraint_le(vec![(x, 1.0)], 2.0);
+//! m.add_constraint_le(vec![(y, 1.0)], 3.0);
+//! let solution = Solver::new().solve(&m)?;
+//! assert!((solution.objective - 10.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+pub mod simplex;
+mod solver;
+
+pub use error::IlpError;
+pub use model::{ConstraintSense, Model, ObjectiveSense, VarId, VarKind};
+pub use solver::{Solution, SolutionStatus, Solver, SolverOptions};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IlpError>;

@@ -1,0 +1,409 @@
+//! Branch-and-bound over the binary variables of a [`Model`].
+
+use std::time::{Duration, Instant};
+
+use crate::error::IlpError;
+use crate::model::{Model, ObjectiveSense};
+use crate::simplex::{solve_lp, LpSolution, VarBound, TOL};
+use crate::Result;
+
+/// How the search terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolutionStatus {
+    /// The returned solution is proven optimal.
+    Optimal,
+    /// The search hit its node or time budget; the returned solution is the
+    /// best integer-feasible solution found so far.
+    Feasible,
+}
+
+/// An integer-feasible solution of a [`Model`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Value of each variable, indexed by [`VarId::index`](crate::VarId::index).
+    pub values: Vec<f64>,
+    /// Objective value in the model's sense.
+    pub objective: f64,
+    /// Whether optimality was proven.
+    pub status: SolutionStatus,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+impl Solution {
+    /// Returns the rounded 0/1 value of a binary variable.
+    pub fn binary_value(&self, var: crate::VarId) -> bool {
+        self.values[var.index()] > 0.5
+    }
+
+    /// Returns the value of a variable.
+    pub fn value(&self, var: crate::VarId) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+/// Budget and behaviour knobs for the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Duration,
+    /// Relative optimality gap at which the search stops early.
+    pub relative_gap: f64,
+    /// Absolute tolerance for considering a relaxation value integral.
+    pub integrality_tol: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_nodes: 20_000,
+            time_limit: Duration::from_secs(30),
+            relative_gap: 1e-6,
+            integrality_tol: 1e-6,
+        }
+    }
+}
+
+/// Branch-and-bound solver for models with binary variables.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    options: SolverOptions,
+    warm_start: Option<Vec<f64>>,
+}
+
+struct Node {
+    bounds: Vec<VarBound>,
+    /// LP bound of the parent (used for best-first ordering).
+    parent_bound: f64,
+    depth: usize,
+}
+
+impl Solver {
+    /// Creates a solver with default options.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Creates a solver with the given options.
+    pub fn with_options(options: SolverOptions) -> Self {
+        Solver {
+            options,
+            warm_start: None,
+        }
+    }
+
+    /// Supplies an integer-feasible starting point used as the initial
+    /// incumbent (it is validated and ignored if infeasible).
+    pub fn warm_start(mut self, values: Vec<f64>) -> Self {
+        self.warm_start = Some(values);
+        self
+    }
+
+    /// Solves `model` to (proven or budget-limited) optimality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::Infeasible`] / [`IlpError::Unbounded`] when the
+    /// root relaxation already fails, and [`IlpError::NoIntegerSolution`]
+    /// when the budget is exhausted without any integer-feasible point.
+    pub fn solve(&self, model: &Model) -> Result<Solution> {
+        model.validate()?;
+        let start = Instant::now();
+        let minimize = model.objective_sense() == ObjectiveSense::Minimize;
+        // "Better" means smaller for minimisation, larger for maximisation.
+        let better = |a: f64, b: f64| if minimize { a < b - 1e-12 } else { a > b + 1e-12 };
+
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        if let Some(ws) = &self.warm_start {
+            if ws.len() == model.num_vars()
+                && model.is_feasible(ws, 1e-6)
+                && is_integral(model, ws, self.options.integrality_tol)
+            {
+                incumbent = Some((ws.clone(), model.evaluate_objective(ws)));
+            }
+        }
+
+        // Root relaxation.
+        let root = solve_lp(model, &[])?;
+        if is_integral(model, &root.values, self.options.integrality_tol) {
+            return Ok(Solution {
+                objective: root.objective,
+                values: round_binaries(model, root.values),
+                status: SolutionStatus::Optimal,
+                nodes_explored: 1,
+            });
+        }
+
+        let mut stack = vec![Node {
+            bounds: Vec::new(),
+            parent_bound: root.objective,
+            depth: 0,
+        }];
+        let mut nodes_explored = 0usize;
+        let mut budget_hit = false;
+
+        while let Some(node) = stack.pop() {
+            if nodes_explored >= self.options.max_nodes
+                || start.elapsed() > self.options.time_limit
+            {
+                budget_hit = true;
+                break;
+            }
+            // Bound pruning against the incumbent.
+            if let Some((_, inc_obj)) = &incumbent {
+                if !better(node.parent_bound, *inc_obj) {
+                    continue;
+                }
+            }
+            nodes_explored += 1;
+            let relax = match solve_lp(model, &node.bounds) {
+                Ok(s) => s,
+                Err(IlpError::Infeasible) => continue,
+                // A numerically troubled node is skipped rather than aborting
+                // the whole search; the incumbent stays valid.
+                Err(IlpError::Numerical(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some((_, inc_obj)) = &incumbent {
+                if !better(relax.objective, *inc_obj) {
+                    continue;
+                }
+            }
+            match most_fractional(model, &relax, self.options.integrality_tol) {
+                None => {
+                    // Integer feasible: candidate incumbent.
+                    let values = round_binaries(model, relax.values.clone());
+                    let obj = model.evaluate_objective(&values);
+                    let accept = match &incumbent {
+                        None => true,
+                        Some((_, inc_obj)) => better(obj, *inc_obj),
+                    };
+                    if accept {
+                        incumbent = Some((values, obj));
+                    }
+                }
+                Some(branch_var) => {
+                    // Branch: explore the "rounded" child last so it is
+                    // popped first (depth-first with a greedy bias).
+                    let frac = relax.values[branch_var];
+                    let mut lo_bounds = node.bounds.clone();
+                    lo_bounds.push(VarBound {
+                        var: branch_var,
+                        lo: 0.0,
+                        hi: 0.0,
+                    });
+                    let mut hi_bounds = node.bounds.clone();
+                    hi_bounds.push(VarBound {
+                        var: branch_var,
+                        lo: 1.0,
+                        hi: 1.0,
+                    });
+                    let lo_node = Node {
+                        bounds: lo_bounds,
+                        parent_bound: relax.objective,
+                        depth: node.depth + 1,
+                    };
+                    let hi_node = Node {
+                        bounds: hi_bounds,
+                        parent_bound: relax.objective,
+                        depth: node.depth + 1,
+                    };
+                    if frac >= 0.5 {
+                        stack.push(lo_node);
+                        stack.push(hi_node);
+                    } else {
+                        stack.push(hi_node);
+                        stack.push(lo_node);
+                    }
+                }
+            }
+        }
+
+        match incumbent {
+            Some((values, objective)) => Ok(Solution {
+                values,
+                objective,
+                status: if budget_hit {
+                    SolutionStatus::Feasible
+                } else {
+                    SolutionStatus::Optimal
+                },
+                nodes_explored,
+            }),
+            None => Err(IlpError::NoIntegerSolution),
+        }
+    }
+}
+
+/// Returns the index of the binary variable whose relaxation value is the
+/// most fractional, or `None` if all binaries are integral.
+fn most_fractional(model: &Model, relax: &LpSolution, tol: f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for var in model.binary_vars() {
+        let v = relax.values[var.index()];
+        let frac = (v - v.round()).abs();
+        if frac > tol {
+            let dist_to_half = (0.5 - (v - v.floor())).abs();
+            match best {
+                None => best = Some((var.index(), dist_to_half)),
+                Some((_, d)) if dist_to_half < d => best = Some((var.index(), dist_to_half)),
+                _ => {}
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+fn is_integral(model: &Model, values: &[f64], tol: f64) -> bool {
+    model
+        .binary_vars()
+        .iter()
+        .all(|v| (values[v.index()] - values[v.index()].round()).abs() <= tol)
+}
+
+fn round_binaries(model: &Model, mut values: Vec<f64>) -> Vec<f64> {
+    for v in model.binary_vars() {
+        values[v.index()] = values[v.index()].round().clamp(0.0, 1.0);
+    }
+    for v in values.iter_mut() {
+        if v.abs() < TOL {
+            *v = 0.0;
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, ObjectiveSense};
+
+    #[test]
+    fn knapsack_is_solved_to_optimality() {
+        // max 10a + 13b + 7c + 5d  s.t. 3a + 4b + 2c + 1d <= 6.
+        // Optimum: b + c  (20)?  a + c + d = 22 with weight 6. Check:
+        // a(10,w3) + c(7,w2) + d(5,w1) = 22, weight 6. b+c = 20 weight 6.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let a = m.add_binary("a", 10.0);
+        let b = m.add_binary("b", 13.0);
+        let c = m.add_binary("c", 7.0);
+        let d = m.add_binary("d", 5.0);
+        m.add_constraint_le(vec![(a, 3.0), (b, 4.0), (c, 2.0), (d, 1.0)], 6.0);
+        let s = Solver::new().solve(&m).unwrap();
+        assert_eq!(s.status, SolutionStatus::Optimal);
+        assert!((s.objective - 22.0).abs() < 1e-6);
+        assert!(s.binary_value(a) && s.binary_value(c) && s.binary_value(d));
+        assert!(!s.binary_value(b));
+    }
+
+    #[test]
+    fn assignment_problem_with_equalities() {
+        // Assign 3 jobs to 3 machines, minimise cost.
+        let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let mut x = vec![vec![]; 3];
+        for (i, xi) in x.iter_mut().enumerate() {
+            for j in 0..3 {
+                xi.push(m.add_binary(format!("x{i}{j}"), cost[i][j]));
+            }
+        }
+        for xi in &x {
+            m.add_constraint_eq(xi.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+        }
+        for j in 0..3 {
+            m.add_constraint_eq((0..3).map(|i| (x[i][j], 1.0)).collect(), 1.0);
+        }
+        let s = Solver::new().solve(&m).unwrap();
+        // Optimal assignment: job0->m1(2), job1->m0(4), job2->... m2(6)?
+        // alternatives: 2+7+3=12 vs 2+4+6=12 vs 8+4+1=13... optimum 12? Try
+        // all: perms of columns: (0,1,2)=4+3+6=13 (1,0,2)=2+4+6=12
+        // (1,2,0)=2+7+3=12 (2,1,0)=8+3+3=14 (0,2,1)=4+7+1=12 (2,0,1)=8+4+1=13.
+        assert!((s.objective - 12.0).abs() < 1e-6);
+        assert_eq!(s.status, SolutionStatus::Optimal);
+    }
+
+    #[test]
+    fn mixed_integer_min_max_structure() {
+        // Mimics the mapping formulation: minimise t with t >= load of each
+        // of 2 bins, items {5, 4, 3, 2} assigned to exactly one bin.
+        let w = [5.0, 4.0, 3.0, 2.0];
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let t = m.add_continuous("t", 1.0);
+        let mut x = Vec::new();
+        for (i, _) in w.iter().enumerate() {
+            x.push([
+                m.add_binary(format!("x{i}a"), 0.0),
+                m.add_binary(format!("x{i}b"), 0.0),
+            ]);
+        }
+        for (i, xs) in x.iter().enumerate() {
+            m.add_constraint_eq(vec![(xs[0], 1.0), (xs[1], 1.0)], 1.0);
+            let _ = i;
+        }
+        for bin in 0..2 {
+            let mut terms: Vec<_> = x.iter().enumerate().map(|(i, xs)| (xs[bin], w[i])).collect();
+            terms.push((t, -1.0));
+            m.add_constraint_le(terms, 0.0);
+        }
+        let s = Solver::new().solve(&m).unwrap();
+        // Perfect split: {5,2} and {4,3} -> makespan 7.
+        assert!((s.objective - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_is_used_as_incumbent() {
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 1.0);
+        m.add_constraint_le(vec![(a, 1.0), (b, 1.0)], 1.0);
+        let s = Solver::new()
+            .warm_start(vec![1.0, 0.0])
+            .solve(&m)
+            .unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_model_is_reported() {
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 1.0);
+        m.add_constraint_ge(vec![(a, 1.0), (b, 1.0)], 3.0);
+        assert!(matches!(
+            Solver::new().solve(&m),
+            Err(IlpError::Infeasible) | Err(IlpError::NoIntegerSolution)
+        ));
+    }
+
+    #[test]
+    fn tight_budget_still_returns_a_feasible_solution() {
+        // A slightly larger knapsack with a 1-node budget after the root: the
+        // solver should still return something feasible via the root or warm
+        // start rather than erroring, or report NoIntegerSolution cleanly.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_binary(format!("v{i}"), 1.0 + (i as f64) * 0.3))
+            .collect();
+        m.add_constraint_le(vars.iter().map(|&v| (v, 1.0)).collect(), 3.0);
+        let opts = SolverOptions {
+            max_nodes: 2,
+            ..SolverOptions::default()
+        };
+        let warm: Vec<f64> = (0..8).map(|i| if i < 3 { 1.0 } else { 0.0 }).collect();
+        let s = Solver::with_options(opts).warm_start(warm).solve(&m).unwrap();
+        assert!(s.objective >= 3.0 - 1e-6);
+    }
+
+    #[test]
+    fn pure_lp_model_is_returned_from_the_root() {
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_continuous("x", 1.0);
+        m.add_constraint_ge(vec![(x, 1.0)], 2.5);
+        let s = Solver::new().solve(&m).unwrap();
+        assert_eq!(s.status, SolutionStatus::Optimal);
+        assert!((s.objective - 2.5).abs() < 1e-6);
+        assert_eq!(s.nodes_explored, 1);
+    }
+}

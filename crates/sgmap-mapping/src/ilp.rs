@@ -1,0 +1,386 @@
+//! The ILP formulation of communication-aware mapping (Section 3.2.2).
+//!
+//! Decision variables:
+//!
+//! * `n_ij` (binary) — partition `i` runs on GPU `j`,
+//! * `x_el` (continuous, 0..1) — PDG edge `e`'s traffic crosses link `l`;
+//!   linearised as `x_el >= A + B - 1` where `A` (`B`) says the producer
+//!   (consumer) sits on the link's source (destination) side, derived from
+//!   the topology's `dtlist(l)`,
+//! * `d_l` (continuous) — bytes crossing link `l`, including the primary
+//!   input/output travelling between the host and the partitions' GPUs,
+//! * `Tmax` (continuous) — the objective.
+//!
+//! Per-transfer latency is excluded from the static objective (it is hidden
+//! by the N-fragment pipelining and charged by the executor instead), so the
+//! per-link time is the pure bandwidth term `d_l / BW`.
+//!
+//! The model is warm-started with the greedy mapping and solved by the
+//! branch-and-bound solver of `sgmap-ilp` under a configurable node/time
+//! budget; if the budget expires, the best incumbent (never worse than the
+//! greedy warm start) is returned.
+
+use std::time::Duration;
+
+use sgmap_gpusim::{Endpoint, LinkId, Platform};
+use sgmap_ilp::{IlpError, Model, ObjectiveSense, SolutionStatus, Solver, SolverOptions, VarId};
+use sgmap_partition::Pdg;
+
+use crate::evaluate::evaluate_assignment;
+use crate::greedy::map_greedy;
+use crate::{Mapping, MappingMethod};
+
+/// Budget and modelling options for the ILP mapper.
+#[derive(Debug, Clone)]
+pub struct MappingOptions {
+    /// Wall-clock budget for the branch-and-bound search.
+    pub time_limit: Duration,
+    /// Node budget for the branch-and-bound search.
+    pub max_nodes: usize,
+    /// When `false`, the communication constraints are dropped and the ILP
+    /// only balances the per-GPU workload (an ablation of the paper's main
+    /// contribution).
+    pub comm_aware: bool,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        MappingOptions {
+            time_limit: Duration::from_secs(5),
+            max_nodes: 600,
+            comm_aware: true,
+        }
+    }
+}
+
+/// Bookkeeping for the auxiliary variables of one PCIe link.
+struct LinkVars {
+    link: LinkId,
+    d: VarId,
+    /// `(edge index, x_el)` pairs.
+    x: Vec<(usize, VarId)>,
+}
+
+/// Solves the partition-to-GPU mapping with the ILP formulation.
+///
+/// # Errors
+///
+/// Returns an error only if the solver fails in an unexpected way; budget
+/// exhaustion falls back to the best feasible solution (at worst the greedy
+/// warm start).
+pub fn map_ilp(
+    pdg: &Pdg,
+    platform: &Platform,
+    options: &MappingOptions,
+) -> Result<Mapping, IlpError> {
+    let g = platform.gpu_count;
+    let p = pdg.len();
+    if p == 0 {
+        return Ok(Mapping {
+            assignment: Vec::new(),
+            predicted_tmax_us: 0.0,
+            per_gpu_time_us: vec![0.0; g],
+            per_link_time_us: vec![0.0; platform.topology.link_count()],
+            method: MappingMethod::Ilp,
+            optimal: true,
+        });
+    }
+    let greedy = map_greedy(pdg, platform);
+    if g == 1 {
+        return Ok(Mapping {
+            method: MappingMethod::Ilp,
+            optimal: true,
+            ..greedy
+        });
+    }
+
+    let topo = &platform.topology;
+    let bw_bytes_per_us = topo.bandwidth_gbs * 1000.0;
+
+    let mut model = Model::new(ObjectiveSense::Minimize);
+    let tmax = model.add_continuous("tmax", 1.0);
+
+    // n_ij.
+    let mut n: Vec<Vec<VarId>> = Vec::with_capacity(p);
+    for i in 0..p {
+        n.push((0..g).map(|j| model.add_binary(format!("n_{i}_{j}"), 0.0)).collect());
+    }
+    // Assignment constraints (III.5).
+    for ni in &n {
+        model.add_constraint_eq(ni.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+    }
+    // GPU time constraints (III.1, III.4).
+    for j in 0..g {
+        let mut terms: Vec<(VarId, f64)> = (0..p).map(|i| (n[i][j], pdg.times_us[i])).collect();
+        terms.push((tmax, -1.0));
+        model.add_constraint_le(terms, 0.0);
+    }
+    // Valid cuts that tighten the LP relaxation (they cut off fractional
+    // assignments but no integer one): the busiest GPU can never beat the
+    // average load, nor the largest single partition.
+    let total_work: f64 = pdg.times_us.iter().sum();
+    let max_partition = pdg.times_us.iter().cloned().fold(0.0f64, f64::max);
+    model.add_constraint_ge(vec![(tmax, 1.0)], total_work / g as f64);
+    model.add_constraint_ge(vec![(tmax, 1.0)], max_partition);
+
+    let mut link_vars: Vec<LinkVars> = Vec::new();
+    if options.comm_aware {
+        for link in topo.link_ids() {
+            let dtlist = topo.dtlist(link);
+            let mut srcs: Vec<usize> = dtlist.iter().map(|&(k, _)| k).collect();
+            let mut dsts: Vec<usize> = dtlist.iter().map(|&(_, h)| h).collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            dsts.sort_unstable();
+            dsts.dedup();
+
+            // Accumulate the load expression; skip the link entirely if
+            // nothing can ever use it.
+            let mut load_terms: Vec<(VarId, f64)> = Vec::new();
+            let mut x_vars: Vec<(usize, VarId)> = Vec::new();
+
+            let d_l = model.add_continuous(format!("d_{}", link.index()), 0.0);
+
+            if !srcs.is_empty() && !dsts.is_empty() {
+                for (e_idx, e) in pdg.edges.iter().enumerate() {
+                    if e.bytes_per_iteration == 0 {
+                        continue;
+                    }
+                    let x = model.add_continuous(format!("x_{}_{}", e_idx, link.index()), 0.0);
+                    // x >= A + B - 1  <=>  A + B - x <= 1.
+                    let mut cross: Vec<(VarId, f64)> =
+                        srcs.iter().map(|&k| (n[e.from][k], 1.0)).collect();
+                    cross.extend(dsts.iter().map(|&h| (n[e.to][h], 1.0)));
+                    cross.push((x, -1.0));
+                    model.add_constraint_le(cross, 1.0);
+                    load_terms.push((x, e.bytes_per_iteration as f64));
+                    x_vars.push((e_idx, x));
+                }
+            }
+            // Primary input / output over host routes.
+            for (i, ni) in n.iter().enumerate() {
+                for (j, &nij) in ni.iter().enumerate() {
+                    if pdg.primary_input_bytes[i] > 0
+                        && topo.route(Endpoint::Host, Endpoint::Gpu(j)).contains(&link)
+                    {
+                        load_terms.push((nij, pdg.primary_input_bytes[i] as f64));
+                    }
+                    if pdg.primary_output_bytes[i] > 0
+                        && topo.route(Endpoint::Gpu(j), Endpoint::Host).contains(&link)
+                    {
+                        load_terms.push((nij, pdg.primary_output_bytes[i] as f64));
+                    }
+                }
+            }
+            if load_terms.is_empty() {
+                continue;
+            }
+            // d_l >= load  <=>  load - d_l <= 0.
+            load_terms.push((d_l, -1.0));
+            model.add_constraint_le(load_terms, 0.0);
+            // d_l / BW <= Tmax  (III.2, III.3, with the latency amortised
+            // away by pipelining).
+            model.add_constraint_le(
+                vec![(d_l, 1.0 / bw_bytes_per_us), (tmax, -1.0)],
+                0.0,
+            );
+            link_vars.push(LinkVars {
+                link,
+                d: d_l,
+                x: x_vars,
+            });
+        }
+    }
+
+    // Warm start from the greedy assignment: fill in every variable so the
+    // point is feasible for the full model.
+    let warm = {
+        let mut values = vec![0.0; model.num_vars()];
+        for (i, &gpu) in greedy.assignment.iter().enumerate() {
+            values[n[i][gpu].index()] = 1.0;
+        }
+        let cost = evaluate_assignment(pdg, platform, &greedy.assignment);
+        let mut t = cost.per_gpu_time_us.iter().cloned().fold(0.0f64, f64::max);
+        for lv in &link_vars {
+            let bytes = cost.per_link_bytes[lv.link.index()];
+            values[lv.d.index()] = bytes as f64;
+            t = t.max(bytes as f64 / bw_bytes_per_us);
+            for &(e_idx, x) in &lv.x {
+                let e = &pdg.edges[e_idx];
+                let (src, dst) = (greedy.assignment[e.from], greedy.assignment[e.to]);
+                let crossing = src != dst
+                    && topo
+                        .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))
+                        .contains(&lv.link);
+                values[x.index()] = if crossing { 1.0 } else { 0.0 };
+            }
+        }
+        values[tmax.index()] = t;
+        values
+    };
+
+    let solver_options = SolverOptions {
+        max_nodes: options.max_nodes,
+        time_limit: options.time_limit,
+        ..SolverOptions::default()
+    };
+    let solution = match Solver::with_options(solver_options).warm_start(warm).solve(&model) {
+        Ok(s) => s,
+        // Budget exhaustion or numerical trouble: the greedy mapping is a
+        // valid (warm-start) solution of the same model, so keep it.
+        Err(IlpError::NoIntegerSolution) | Err(IlpError::Numerical(_)) => {
+            return Ok(Mapping {
+                method: MappingMethod::Ilp,
+                optimal: false,
+                ..greedy
+            });
+        }
+        Err(e) => return Err(e),
+    };
+
+    let mut assignment = vec![0usize; p];
+    for (i, ni) in n.iter().enumerate() {
+        assignment[i] = ni.iter().position(|&v| solution.binary_value(v)).unwrap_or(0);
+    }
+    // Re-evaluate with the shared cost model (authoritative numbers); keep
+    // the greedy mapping if the budget-limited search somehow did worse.
+    // The workload-only ablation skips that guard on purpose: its whole point
+    // is to show what ignoring communication costs.
+    let cost = evaluate_assignment(pdg, platform, &assignment);
+    if !options.comm_aware || cost.tmax_us <= greedy.predicted_tmax_us + 1e-6 {
+        Ok(Mapping {
+            assignment,
+            predicted_tmax_us: cost.tmax_us,
+            per_gpu_time_us: cost.per_gpu_time_us,
+            per_link_time_us: cost.per_link_time_us,
+            method: MappingMethod::Ilp,
+            optimal: solution.status == SolutionStatus::Optimal,
+        })
+    } else {
+        Ok(Mapping {
+            method: MappingMethod::Ilp,
+            optimal: false,
+            ..greedy
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::map_round_robin;
+    use sgmap_partition::PdgEdge;
+
+    fn pdg(times: Vec<f64>, edges: Vec<PdgEdge>) -> Pdg {
+        let n = times.len();
+        let mut input = vec![0u64; n];
+        let mut output = vec![0u64; n];
+        input[0] = 256;
+        output[n - 1] = 256;
+        Pdg {
+            times_us: times,
+            edges,
+            primary_input_bytes: input,
+            primary_output_bytes: output,
+        }
+    }
+
+    #[test]
+    fn ilp_balances_a_simple_chain_optimally() {
+        // Four partitions 8/6/6/8 on two GPUs: the optimum splits 14/14.
+        let p = pdg(
+            vec![8.0, 6.0, 6.0, 8.0],
+            (0..3)
+                .map(|i| PdgEdge {
+                    from: i,
+                    to: i + 1,
+                    bytes_per_iteration: 16,
+                })
+                .collect(),
+        );
+        let platform = Platform::quad_m2090().with_gpu_count(2);
+        let m = map_ilp(&p, &platform, &MappingOptions::default()).unwrap();
+        let max_gpu = m.per_gpu_time_us.iter().cloned().fold(0.0, f64::max);
+        assert!(max_gpu <= 14.0 + 1e-6, "per-GPU {:?}", m.per_gpu_time_us);
+        assert_eq!(m.method, MappingMethod::Ilp);
+    }
+
+    #[test]
+    fn ilp_is_never_worse_than_greedy_or_round_robin() {
+        let p = pdg(
+            vec![30.0, 5.0, 25.0, 10.0, 8.0, 22.0],
+            vec![
+                PdgEdge { from: 0, to: 1, bytes_per_iteration: 4_096 },
+                PdgEdge { from: 1, to: 2, bytes_per_iteration: 65_536 },
+                PdgEdge { from: 2, to: 3, bytes_per_iteration: 512 },
+                PdgEdge { from: 3, to: 4, bytes_per_iteration: 131_072 },
+                PdgEdge { from: 4, to: 5, bytes_per_iteration: 1_024 },
+            ],
+        );
+        for gpus in [2usize, 3, 4] {
+            let platform = Platform::quad_m2090().with_gpu_count(gpus);
+            let ilp = map_ilp(&p, &platform, &MappingOptions::default()).unwrap();
+            let greedy = map_greedy(&p, &platform);
+            let rr = map_round_robin(&p, &platform);
+            assert!(
+                ilp.predicted_tmax_us <= greedy.predicted_tmax_us + 1e-6,
+                "G={gpus}: ilp {} > greedy {}",
+                ilp.predicted_tmax_us,
+                greedy.predicted_tmax_us
+            );
+            assert!(ilp.predicted_tmax_us <= rr.predicted_tmax_us + 1e-6);
+        }
+    }
+
+    #[test]
+    fn communication_awareness_avoids_splitting_chatty_partitions() {
+        // Two heavy partitions exchanging a huge volume of data plus two
+        // light ones: a workload-only mapper splits the heavy pair across
+        // GPUs; the communication-aware ILP keeps them together.
+        let p = pdg(
+            vec![50.0, 50.0, 10.0, 10.0],
+            vec![
+                PdgEdge { from: 0, to: 1, bytes_per_iteration: 3_000_000 },
+                PdgEdge { from: 1, to: 2, bytes_per_iteration: 64 },
+                PdgEdge { from: 2, to: 3, bytes_per_iteration: 64 },
+            ],
+        );
+        let platform = Platform::quad_m2090().with_gpu_count(2);
+        let aware = map_ilp(&p, &platform, &MappingOptions::default()).unwrap();
+        assert_eq!(
+            aware.assignment[0], aware.assignment[1],
+            "chatty partitions should stay together: {:?}",
+            aware.assignment
+        );
+        // Splitting them would cost ~500 us of link time.
+        assert!(aware.predicted_tmax_us < 200.0);
+    }
+
+    #[test]
+    fn workload_only_ablation_ignores_the_interconnect() {
+        let p = pdg(
+            vec![50.0, 50.0],
+            vec![PdgEdge { from: 0, to: 1, bytes_per_iteration: 3_000_000 }],
+        );
+        let platform = Platform::quad_m2090().with_gpu_count(2);
+        let blind = map_ilp(
+            &p,
+            &platform,
+            &MappingOptions { comm_aware: false, ..MappingOptions::default() },
+        )
+        .unwrap();
+        // The workload-only model happily splits them (each GPU 50 us)...
+        assert_ne!(blind.assignment[0], blind.assignment[1]);
+        // ...which the true cost model reveals to be communication bound.
+        let cost = evaluate_assignment(&p, &platform, &blind.assignment);
+        assert!(cost.communication_bound());
+    }
+
+    #[test]
+    fn single_gpu_is_trivially_optimal() {
+        let p = pdg(vec![5.0, 7.0], vec![]);
+        let m = map_ilp(&p, &Platform::single_m2090(), &MappingOptions::default()).unwrap();
+        assert!(m.optimal);
+        assert!(m.assignment.iter().all(|&a| a == 0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Communication-aware partition-to-GPU mapping (Section 3.2).
+//!
+//! Given the Partition Dependence Graph and the PCIe topology of the target
+//! platform, the mapping step assigns every partition to a GPU so that the
+//! bottleneck — the busiest GPU *or* the busiest PCIe link — is as fast as
+//! possible:
+//!
+//! ```text
+//! minimise Tmax
+//!   T_gpu_j  = Σ_i n_ij · T_i              ≤ Tmax      (III.1, III.4)
+//!   T_comm_l = Lat + D_l / BW              ≤ Tmax      (III.2, III.3)
+//!   Σ_j n_ij = 1                                        (III.5)
+//!   D_l      = Σ_{(i,j)∈E_P} [crossing] · D_ij          (III.6, III.7)
+//! ```
+//!
+//! Three mappers are provided:
+//!
+//! * [`map_ilp`] — the exact formulation above, solved with the
+//!   branch-and-bound ILP solver of `sgmap-ilp` (warm-started by the greedy
+//!   mapper and bounded by a node/time budget),
+//! * [`map_greedy`] — longest-processing-time list scheduling followed by a
+//!   communication-aware local search; used both as the ILP warm start and as
+//!   a fast stand-alone mapper,
+//! * [`map_round_robin`] — the hardware-agnostic assignment in the style of
+//!   the prior work, which balances only the partition count per GPU and
+//!   ignores the interconnect.
+//!
+//! [`evaluate_assignment`] computes the objective of any assignment and is
+//! shared by all three (and by the tests, to check the ILP never loses to the
+//! greedy mapper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluate;
+mod greedy;
+mod ilp;
+
+pub use evaluate::{evaluate_assignment, MappingCost};
+pub use greedy::{map_greedy, map_round_robin};
+pub use ilp::{map_ilp, MappingOptions};
+
+use sgmap_gpusim::Platform;
+use sgmap_partition::Pdg;
+
+/// Which algorithm produced a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingMethod {
+    /// The communication-aware ILP formulation.
+    Ilp,
+    /// LPT list scheduling plus local search.
+    Greedy,
+    /// Hardware-agnostic round-robin (prior-work style).
+    RoundRobin,
+}
+
+/// A partition-to-GPU assignment together with its predicted cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// `assignment[i]` is the GPU index of partition `i`.
+    pub assignment: Vec<usize>,
+    /// Predicted bottleneck time (the ILP objective `Tmax`), microseconds.
+    pub predicted_tmax_us: f64,
+    /// Predicted busy time of each GPU, microseconds.
+    pub per_gpu_time_us: Vec<f64>,
+    /// Predicted communication time of each directed PCIe link, microseconds.
+    pub per_link_time_us: Vec<f64>,
+    /// The algorithm that produced this mapping.
+    pub method: MappingMethod,
+    /// Whether the ILP proved optimality (always `false` for the heuristics).
+    pub optimal: bool,
+}
+
+impl Mapping {
+    /// Number of distinct GPUs actually used.
+    pub fn gpus_used(&self) -> usize {
+        let mut used: Vec<usize> = self.assignment.clone();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+}
+
+/// Convenience entry point dispatching on [`MappingMethod`].
+///
+/// # Errors
+///
+/// Returns an error only for [`MappingMethod::Ilp`] when the solver fails;
+/// the heuristics cannot fail.
+pub fn map_with(
+    pdg: &Pdg,
+    platform: &Platform,
+    method: MappingMethod,
+    options: &MappingOptions,
+) -> Result<Mapping, sgmap_ilp::IlpError> {
+    match method {
+        MappingMethod::Ilp => map_ilp(pdg, platform, options),
+        MappingMethod::Greedy => Ok(map_greedy(pdg, platform)),
+        MappingMethod::RoundRobin => Ok(map_round_robin(pdg, platform)),
+    }
+}

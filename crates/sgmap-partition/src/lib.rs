@@ -1,0 +1,64 @@
+//! Stream graph partitioning (Section 3.1 of the paper).
+//!
+//! A *partition* is a connected, convex sub-graph of the stream graph that
+//! will be compiled into a single GPU kernel. This crate provides:
+//!
+//! * [`Partition`] / [`Partitioning`] — the result types, each partition
+//!   carrying the PEE's [`Estimate`](sgmap_pee::Estimate) for it,
+//! * [`partition_stream_graph`] — the paper's four-phase heuristic
+//!   (Algorithm 1), which merges filters only when the performance model
+//!   predicts the merge reduces total runtime,
+//! * [`partition_baseline`] — the prior work's heuristic, which merges while
+//!   the shared-memory requirement is satisfied and ignores time,
+//! * [`single_partition`] — the single-partition (SPSG) mapping of the whole
+//!   graph, with a global-memory spill fallback for graphs whose working set
+//!   exceeds shared memory,
+//! * [`Pdg`] — the Partition Dependence Graph (Figure 3.4) consumed by the
+//!   multi-GPU mapping step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod error;
+mod partitioning;
+mod pdg;
+mod proposed;
+mod spsg;
+
+pub use baseline::partition_baseline;
+pub use error::PartitionError;
+pub use partitioning::{Partition, Partitioning};
+pub use pdg::{build_pdg, Pdg, PdgEdge};
+pub use proposed::partition_stream_graph;
+pub use spsg::single_partition;
+
+use sgmap_pee::Estimator;
+
+/// Which partitioning algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionerKind {
+    /// The paper's four-phase, performance-model-driven heuristic.
+    Proposed,
+    /// The prior work's SM-requirement-only heuristic.
+    Baseline,
+    /// A single partition containing the whole graph (SPSG).
+    Single,
+}
+
+/// Runs the selected partitioner.
+///
+/// # Errors
+///
+/// Returns an error if some filter cannot fit into shared memory even on its
+/// own, or if the graph's rates are inconsistent.
+pub fn partition_with(
+    estimator: &Estimator<'_>,
+    kind: PartitionerKind,
+) -> Result<Partitioning, PartitionError> {
+    match kind {
+        PartitionerKind::Proposed => partition_stream_graph(estimator),
+        PartitionerKind::Baseline => partition_baseline(estimator),
+        PartitionerKind::Single => Ok(Partitioning::new(vec![single_partition(estimator)])),
+    }
+}

@@ -1,0 +1,382 @@
+//! The paper's four-phase partitioning heuristic (Algorithm 1).
+//!
+//! Phase 1 merges filters along innermost pipelines, phase 2 merges the
+//! remaining (split/join side) filters, phase 3 merges whole partitions with
+//! a priority on turning IO-bound partitions compute-bound, and phase 4
+//! attempts larger simultaneous merges, including collapsing the whole graph
+//! into one partition when that is predicted to be fastest. Every merge goes
+//! through `Try-Merge`, which requires connectivity, convexity, shared-memory
+//! feasibility and a strict improvement of the estimated total runtime.
+
+use sgmap_graph::{FilterId, NodeSet, StreamGraph};
+use sgmap_pee::{Estimate, Estimator};
+
+use crate::error::PartitionError;
+use crate::partitioning::{Partition, Partitioning};
+
+/// A partition under construction.
+type Part = (NodeSet, Estimate);
+
+/// Required relative improvement for a merge to be accepted: the merged
+/// partition's estimated time must be below this fraction of the sum of the
+/// parts. Compute-bound partitions gain almost nothing from merging (their
+/// compute time is additive and only a sliver of boundary IO disappears), so
+/// they fail this test and stay separate — the behaviour Section 4.0.3
+/// describes — while IO-bound partitions, whose shared buffers shrink the
+/// data-transfer time substantially, keep merging.
+pub const MERGE_GAIN_FACTOR: f64 = 0.98;
+
+/// Runs Algorithm 1 on the estimator's graph.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::FilterTooLarge`] if a filter does not fit in
+/// shared memory on its own, or a graph error if the rates are inconsistent.
+pub fn partition_stream_graph(est: &Estimator<'_>) -> Result<Partitioning, PartitionError> {
+    let graph = est.graph();
+    let mut parts: Vec<Part> = Vec::new();
+    let mut assigned = vec![false; graph.filter_count()];
+
+    phase1_pipelines(est, graph, &mut parts, &mut assigned)?;
+    phase2_remaining(est, graph, &mut parts, &mut assigned)?;
+    phase3_partition_merging(est, graph, &mut parts);
+    phase4_simultaneous(est, graph, &mut parts);
+
+    let partitioning: Partitioning = parts
+        .into_iter()
+        .map(|(nodes, estimate)| Partition::new(nodes, estimate))
+        .collect();
+    partitioning.validate_cover(graph)?;
+    Ok(partitioning)
+}
+
+/// Creates the singleton partition of a filter, failing if it cannot fit in
+/// shared memory on its own.
+fn singleton(est: &Estimator<'_>, id: FilterId) -> Result<Part, PartitionError> {
+    let set = NodeSet::singleton(id);
+    match est.estimate(&set) {
+        Some(e) => Ok((set, e)),
+        None => Err(PartitionError::FilterTooLarge(id)),
+    }
+}
+
+/// The conditional merge of Algorithm 1: the merge happens only if the two
+/// sets are connected once unified, the union is convex, it fits in shared
+/// memory, and its estimated time strictly improves on the sum of the parts.
+fn try_merge(est: &Estimator<'_>, a: &Part, b: &Part) -> Option<Part> {
+    let union = a.0.union(&b.0);
+    let graph = est.graph();
+    if !union.is_connected(graph) || !union.is_convex(graph) {
+        return None;
+    }
+    let merged = est.estimate(&union)?;
+    let combined = a.1.normalized_us + b.1.normalized_us;
+    if merged.normalized_us < MERGE_GAIN_FACTOR * combined {
+        Some((union, merged))
+    } else {
+        None
+    }
+}
+
+/// Identifies the innermost pipelines of the flat graph: maximal chains of
+/// filters with forward in-degree and out-degree at most one.
+fn pipeline_chains(graph: &StreamGraph) -> Vec<Vec<FilterId>> {
+    let qualifies = |id: FilterId| {
+        graph.predecessors(id).len() <= 1 && graph.successors(id).len() <= 1
+    };
+    let mut chains = Vec::new();
+    let mut visited = vec![false; graph.filter_count()];
+    for id in graph.filter_ids() {
+        if visited[id.index()] || !qualifies(id) {
+            continue;
+        }
+        // Walk back to the head of the chain.
+        let mut head = id;
+        loop {
+            let preds = graph.predecessors(head);
+            match preds.first() {
+                Some(&p) if qualifies(p) && !visited[p.index()] && graph.successors(p).len() == 1 => {
+                    head = p;
+                }
+                _ => break,
+            }
+        }
+        // Walk forward collecting the chain.
+        let mut chain = vec![head];
+        visited[head.index()] = true;
+        let mut cur = head;
+        loop {
+            let succs = graph.successors(cur);
+            match succs.first() {
+                Some(&s)
+                    if qualifies(s) && !visited[s.index()] && graph.predecessors(s).len() == 1 =>
+                {
+                    chain.push(s);
+                    visited[s.index()] = true;
+                    cur = s;
+                }
+                _ => break,
+            }
+        }
+        chains.push(chain);
+    }
+    chains
+}
+
+/// Phase 1 (lines 2–10): merge within innermost pipelines.
+fn phase1_pipelines(
+    est: &Estimator<'_>,
+    graph: &StreamGraph,
+    parts: &mut Vec<Part>,
+    assigned: &mut [bool],
+) -> Result<(), PartitionError> {
+    for chain in pipeline_chains(graph) {
+        let mut i = 0;
+        while i < chain.len() {
+            let mut current = singleton(est, chain[i])?;
+            let mut j = i + 1;
+            while j < chain.len() {
+                let next = singleton(est, chain[j])?;
+                match try_merge(est, &current, &next) {
+                    Some(m) => {
+                        current = m;
+                        j += 1;
+                    }
+                    None => break,
+                }
+            }
+            for k in i..j {
+                assigned[chain[k].index()] = true;
+            }
+            parts.push(current);
+            i = j;
+        }
+    }
+    Ok(())
+}
+
+/// Phase 2 (lines 13–20): merge the filters outside the pipelines.
+fn phase2_remaining(
+    est: &Estimator<'_>,
+    graph: &StreamGraph,
+    parts: &mut Vec<Part>,
+    assigned: &mut [bool],
+) -> Result<(), PartitionError> {
+    for id in graph.filter_ids() {
+        if assigned[id.index()] {
+            continue;
+        }
+        let mut current = singleton(est, id)?;
+        assigned[id.index()] = true;
+        loop {
+            let mut merged_any = false;
+            // Neighbours of the partition that belong to no partition yet.
+            let frontier: Vec<FilterId> = current
+                .0
+                .iter()
+                .flat_map(|m| graph.neighbors(m))
+                .filter(|k| !assigned[k.index()] && !current.0.contains(*k))
+                .collect();
+            for k in frontier {
+                if assigned[k.index()] {
+                    continue;
+                }
+                let next = singleton(est, k)?;
+                if let Some(m) = try_merge(est, &current, &next) {
+                    current = m;
+                    assigned[k.index()] = true;
+                    merged_any = true;
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        parts.push(current);
+    }
+    Ok(())
+}
+
+/// Returns `true` if some channel connects the two partitions (in either
+/// direction).
+fn adjacent(graph: &StreamGraph, a: &NodeSet, b: &NodeSet) -> bool {
+    graph.channels().any(|(_, ch)| {
+        (a.contains(ch.src) && b.contains(ch.dst)) || (b.contains(ch.src) && a.contains(ch.dst))
+    })
+}
+
+/// Phase 3 (lines 23–31): merge partitions, prioritising IO-bound ones, in
+/// three rounds of increasing scope.
+fn phase3_partition_merging(est: &Estimator<'_>, graph: &StreamGraph, parts: &mut Vec<Part>) {
+    // Round 1: IO-bound with IO-bound; round 2: IO-bound with anyone;
+    // round 3: anyone with anyone.
+    for round in 0..3 {
+        loop {
+            // Candidate sources in ascending order of execution time.
+            let mut order: Vec<usize> = (0..parts.len())
+                .filter(|&i| match round {
+                    0 | 1 => parts[i].1.is_io_bound(),
+                    _ => true,
+                })
+                .collect();
+            order.sort_by(|&a, &b| parts[a].1.normalized_us.total_cmp(&parts[b].1.normalized_us));
+            let mut merged_pair: Option<(usize, usize, Part)> = None;
+            'outer: for &i in &order {
+                for j in 0..parts.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let partner_ok = match round {
+                        0 => parts[j].1.is_io_bound(),
+                        _ => true,
+                    };
+                    if !partner_ok || !adjacent(graph, &parts[i].0, &parts[j].0) {
+                        continue;
+                    }
+                    if let Some(m) = try_merge(est, &parts[i], &parts[j]) {
+                        merged_pair = Some((i, j, m));
+                        break 'outer;
+                    }
+                }
+            }
+            match merged_pair {
+                Some((i, j, m)) => {
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    parts.swap_remove(hi);
+                    // After swap_remove(hi), index lo is still valid because
+                    // lo < hi.
+                    parts[lo] = m;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Phase 4 (lines 34–35): simultaneous merges of partition triples around a
+/// common neighbour, then the all-nodes merge.
+fn phase4_simultaneous(est: &Estimator<'_>, graph: &StreamGraph, parts: &mut Vec<Part>) {
+    // (1) Merge two neighbouring partitions of a common partition together
+    // with it, which can pay off even when no pairwise merge does.
+    if parts.len() <= 200 {
+        loop {
+            let mut best: Option<(usize, usize, usize, Part)> = None;
+            'search: for p in 0..parts.len() {
+                let neighbours: Vec<usize> = (0..parts.len())
+                    .filter(|&q| q != p && adjacent(graph, &parts[p].0, &parts[q].0))
+                    .collect();
+                for (x, &a) in neighbours.iter().enumerate() {
+                    for &b in neighbours.iter().skip(x + 1) {
+                        let union = parts[p].0.union(&parts[a].0).union(&parts[b].0);
+                        if !union.is_connected(graph) || !union.is_convex(graph) {
+                            continue;
+                        }
+                        if let Some(e) = est.estimate(&union) {
+                            let combined = parts[p].1.normalized_us
+                                + parts[a].1.normalized_us
+                                + parts[b].1.normalized_us;
+                            if e.normalized_us < MERGE_GAIN_FACTOR * combined {
+                                best = Some((p, a, b, (union, e)));
+                                break 'search;
+                            }
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((p, a, b, m)) => {
+                    let mut remove = [p, a, b];
+                    remove.sort_unstable();
+                    // Remove from the highest index down so indices stay valid.
+                    parts.remove(remove[2]);
+                    parts.remove(remove[1]);
+                    parts.remove(remove[0]);
+                    parts.push(m);
+                }
+                None => break,
+            }
+        }
+    }
+
+    // (2) The all-nodes merge: guarantees the multi-partition solution is no
+    // worse than the single-partition solution.
+    if parts.len() > 1 {
+        let all = NodeSet::all(graph);
+        if let Some(e) = est.estimate(&all) {
+            let total: f64 = parts.iter().map(|p| p.1.normalized_us).sum();
+            if e.normalized_us < MERGE_GAIN_FACTOR * total {
+                parts.clear();
+                parts.push((all, e));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgmap_apps::App;
+    use sgmap_gpusim::GpuSpec;
+
+    fn run(app: App, n: u32) -> (Partitioning, usize) {
+        let graph = app.build(n).unwrap();
+        let filters = graph.filter_count();
+        let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+        let p = partition_stream_graph(&est).unwrap();
+        (p, filters)
+    }
+
+    #[test]
+    fn des_partitioning_covers_the_graph_and_merges_filters() {
+        let graph = App::Des.build(8).unwrap();
+        let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+        let p = partition_stream_graph(&est).unwrap();
+        p.validate_cover(&graph).unwrap();
+        assert!(p.len() >= 1);
+        assert!(
+            p.len() < graph.filter_count(),
+            "some merging must happen: {} partitions for {} filters",
+            p.len(),
+            graph.filter_count()
+        );
+    }
+
+    #[test]
+    fn small_apps_collapse_to_few_partitions() {
+        let (p, filters) = run(App::MatMul2, 3);
+        assert!(p.len() <= filters);
+        assert!(p.len() <= 6, "MatMul2 N=3 should merge heavily: {}", p.len());
+    }
+
+    #[test]
+    fn fmradio_partitions_scale_with_bands() {
+        let (small, _) = run(App::FmRadio, 4);
+        let (large, _) = run(App::FmRadio, 16);
+        assert!(large.len() >= small.len());
+    }
+
+    #[test]
+    fn pipeline_chain_detection_matches_structure() {
+        let graph = App::Des.build(2).unwrap();
+        let chains = pipeline_chains(&graph);
+        // Every filter with degree <= 1 on both sides is in exactly one chain.
+        let covered: usize = chains.iter().map(Vec::len).sum();
+        let eligible = graph
+            .filter_ids()
+            .filter(|&id| graph.predecessors(id).len() <= 1 && graph.successors(id).len() <= 1)
+            .count();
+        assert_eq!(covered, eligible);
+    }
+
+    #[test]
+    fn total_time_never_exceeds_sum_of_singletons() {
+        let graph = App::Fft.build(64).unwrap();
+        let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+        let p = partition_stream_graph(&est).unwrap();
+        let singleton_total: f64 = graph
+            .filter_ids()
+            .map(|id| est.estimate(&NodeSet::singleton(id)).unwrap().normalized_us)
+            .sum();
+        assert!(p.total_estimated_time_us() <= singleton_total + 1e-6);
+    }
+}

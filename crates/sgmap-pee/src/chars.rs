@@ -1,0 +1,124 @@
+//! The abstract characteristics of a partition that the performance model
+//! consumes.
+
+use sgmap_graph::{NodeSet, RepetitionVector, StreamGraph};
+use sgmap_gpusim::profile::ProfileTable;
+use sgmap_gpusim::sm_layout;
+
+/// Everything the performance model needs to know about a partition,
+/// independent of the kernel parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionCharacteristics {
+    /// Per member filter: `(t_i, f_i)` — single-thread time of all firings in
+    /// one execution (microseconds) and the firing rate.
+    pub filters: Vec<(f64, u64)>,
+    /// Primary IO bytes per execution (`D / W`).
+    pub io_bytes_per_exec: u64,
+    /// Shared-memory bytes needed by one execution.
+    pub sm_bytes_per_exec: u64,
+    /// Highest firing rate among the member filters (bounds useful values of
+    /// `S`).
+    pub max_firing_rate: u64,
+}
+
+impl PartitionCharacteristics {
+    /// Builds the characteristics of partition `set` of `graph`.
+    ///
+    /// `enhanced` applies the splitter/joiner elimination of Chapter V:
+    /// splitters and joiners contribute neither compute time nor extra
+    /// shared-memory buffers.
+    pub fn from_set(
+        graph: &StreamGraph,
+        set: &NodeSet,
+        reps: &RepetitionVector,
+        profile: &ProfileTable,
+        enhanced: bool,
+    ) -> Self {
+        let mut filters = Vec::with_capacity(set.len());
+        let mut max_firing_rate = 1u64;
+        for id in set.iter() {
+            if enhanced && graph.filter(id).is_reorder_only() {
+                continue;
+            }
+            let firings = reps[id.index()];
+            let t_i = profile.iteration_time_us(id, reps);
+            filters.push((t_i, firings));
+            max_firing_rate = max_firing_rate.max(firings);
+        }
+        let fp = sm_layout::footprint(graph, set, reps, enhanced);
+        PartitionCharacteristics {
+            filters,
+            io_bytes_per_exec: fp.io_bytes(),
+            sm_bytes_per_exec: fp.per_execution_bytes(),
+            max_firing_rate,
+        }
+    }
+
+    /// Sum of the filters' single-thread times per execution (microseconds).
+    pub fn serial_compute_us(&self) -> f64 {
+        self.filters.iter().map(|(t, _)| *t).sum()
+    }
+
+    /// Shared-memory bytes of a kernel running `w` executions plus the double
+    /// buffer.
+    pub fn kernel_sm_bytes(&self, w: u32) -> u64 {
+        u64::from(w) * self.sm_bytes_per_exec + self.io_bytes_per_exec
+    }
+
+    /// Returns `true` if the partition contains no compute work at all.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgmap_gpusim::profile::profile_graph;
+    use sgmap_gpusim::GpuSpec;
+    use sgmap_graph::{GraphBuilder, JoinKind, SplitKind, StreamSpec};
+
+    fn graph_with_split() -> StreamGraph {
+        let spec = StreamSpec::pipeline(vec![
+            StreamSpec::filter("src", 0, 2, 1.0),
+            StreamSpec::split_join(
+                SplitKind::RoundRobin(vec![1, 1]),
+                vec![
+                    StreamSpec::filter("a", 1, 1, 40.0),
+                    StreamSpec::filter("b", 1, 1, 40.0),
+                ],
+                JoinKind::RoundRobin(vec![1, 1]),
+            ),
+            StreamSpec::filter("sink", 2, 0, 1.0),
+        ]);
+        GraphBuilder::new("t").build(spec).unwrap()
+    }
+
+    #[test]
+    fn characteristics_aggregate_profile_times() {
+        let g = graph_with_split();
+        let reps = g.repetition_vector().unwrap();
+        let gpu = GpuSpec::m2090();
+        let prof = profile_graph(&g, &gpu);
+        let all = NodeSet::all(&g);
+        let chars = PartitionCharacteristics::from_set(&g, &all, &reps, &prof, false);
+        assert_eq!(chars.filters.len(), g.filter_count());
+        assert!(chars.serial_compute_us() > 0.0);
+        assert!(chars.io_bytes_per_exec > 0);
+        assert!(chars.kernel_sm_bytes(2) > chars.kernel_sm_bytes(1));
+    }
+
+    #[test]
+    fn enhanced_mode_drops_splitters_and_joiners() {
+        let g = graph_with_split();
+        let reps = g.repetition_vector().unwrap();
+        let gpu = GpuSpec::m2090();
+        let prof = profile_graph(&g, &gpu);
+        let all = NodeSet::all(&g);
+        let plain = PartitionCharacteristics::from_set(&g, &all, &reps, &prof, false);
+        let enhanced = PartitionCharacteristics::from_set(&g, &all, &reps, &prof, true);
+        assert_eq!(plain.filters.len(), enhanced.filters.len() + 2);
+        assert!(enhanced.serial_compute_us() < plain.serial_compute_us());
+        assert!(enhanced.sm_bytes_per_exec <= plain.sm_bytes_per_exec);
+    }
+}

@@ -1,0 +1,263 @@
+//! The estimator façade: per-partition time estimates with caching.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use sgmap_graph::{GraphError, NodeSet, RepetitionVector, StreamGraph};
+use sgmap_gpusim::profile::{profile_graph, ProfileTable};
+use sgmap_gpusim::{GpuSpec, KernelParams};
+
+use crate::chars::PartitionCharacteristics;
+use crate::model::PerfModel;
+use crate::params::{select_parameters, ParamSearchSpace};
+
+/// The PEE's answer for one partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The kernel parameters the code generator should use.
+    pub params: KernelParams,
+    /// Compute time of the kernel (equation III.9), microseconds.
+    pub t_comp_us: f64,
+    /// Data-transfer time (III.10), microseconds.
+    pub t_dt_us: f64,
+    /// Buffer-swap time (III.11), microseconds.
+    pub t_db_us: f64,
+    /// Total kernel time (III.8), microseconds.
+    pub t_exec_us: f64,
+    /// Normalised per-execution time `T` (III.12), microseconds. This is the
+    /// `T(p)` used by the partitioning heuristic and the `T_i` workload of
+    /// the ILP mapping.
+    pub normalized_us: f64,
+    /// Shared-memory bytes of the kernel (all executions plus double buffer).
+    pub sm_bytes: u64,
+    /// Primary IO bytes per execution.
+    pub io_bytes_per_exec: u64,
+}
+
+impl Estimate {
+    /// A partition is compute-bound when its compute time dominates its
+    /// data-transfer time (Section 3.1.1).
+    pub fn is_compute_bound(&self) -> bool {
+        self.t_comp_us >= self.t_dt_us
+    }
+
+    /// A partition is IO-bound when data transfer dominates.
+    pub fn is_io_bound(&self) -> bool {
+        !self.is_compute_bound()
+    }
+}
+
+/// The Performance Estimation Engine: profiles a stream graph once, then
+/// produces [`Estimate`]s for arbitrary sub-graphs, caching results because
+/// the partitioning heuristic queries the same candidate sets repeatedly.
+pub struct Estimator<'g> {
+    graph: &'g StreamGraph,
+    reps: RepetitionVector,
+    profile: ProfileTable,
+    gpu: GpuSpec,
+    model: PerfModel,
+    space: ParamSearchSpace,
+    enhanced: bool,
+    cache: RefCell<HashMap<(NodeSet, bool), Option<Estimate>>>,
+}
+
+impl<'g> Estimator<'g> {
+    /// Creates an estimator for `graph` targeting `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph's balance equations are inconsistent.
+    pub fn new(graph: &'g StreamGraph, gpu: GpuSpec) -> Result<Self, GraphError> {
+        let reps = graph.repetition_vector()?;
+        let profile = profile_graph(graph, &gpu);
+        let model = PerfModel::for_gpu(&gpu);
+        Ok(Estimator {
+            graph,
+            reps,
+            profile,
+            gpu,
+            model,
+            space: ParamSearchSpace::default(),
+            enhanced: false,
+            cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Replaces the performance-model constants (e.g. after calibration).
+    pub fn with_model(mut self, model: PerfModel) -> Self {
+        self.model = model;
+        self.cache.borrow_mut().clear();
+        self
+    }
+
+    /// Enables or disables the splitter/joiner elimination of Chapter V for
+    /// all subsequent estimates.
+    pub fn with_enhancement(mut self, enhanced: bool) -> Self {
+        self.enhanced = enhanced;
+        self
+    }
+
+    /// The stream graph being estimated.
+    pub fn graph(&self) -> &StreamGraph {
+        self.graph
+    }
+
+    /// The steady-state repetition vector of the graph.
+    pub fn repetition_vector(&self) -> &RepetitionVector {
+        &self.reps
+    }
+
+    /// The per-filter profile.
+    pub fn profile(&self) -> &ProfileTable {
+        &self.profile
+    }
+
+    /// The target device.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The analytic model in use.
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    /// Whether Chapter-V enhancement is applied.
+    pub fn enhanced(&self) -> bool {
+        self.enhanced
+    }
+
+    /// Characteristics of a partition (uncached helper, mostly for tests and
+    /// the code generator).
+    pub fn characteristics(&self, set: &NodeSet) -> PartitionCharacteristics {
+        PartitionCharacteristics::from_set(self.graph, set, &self.reps, &self.profile, self.enhanced)
+    }
+
+    /// Estimates the execution time of partition `set`, or returns `None`
+    /// when the partition cannot fit in shared memory with any parameter
+    /// choice (i.e. it must not be formed).
+    pub fn estimate(&self, set: &NodeSet) -> Option<Estimate> {
+        let key = (set.clone(), self.enhanced);
+        if let Some(cached) = self.cache.borrow().get(&key) {
+            return *cached;
+        }
+        let est = self.estimate_uncached(set);
+        self.cache.borrow_mut().insert(key, est);
+        est
+    }
+
+    fn estimate_uncached(&self, set: &NodeSet) -> Option<Estimate> {
+        let chars = self.characteristics(set);
+        let (params, normalized_us) =
+            select_parameters(&chars, &self.model, &self.gpu, &self.space)?;
+        let t_comp_us = self.model.t_comp_us(&chars, params);
+        let t_dt_us = self.model.t_dt_us(&chars, params);
+        let t_db_us = self.model.t_db_us(&chars, params);
+        let t_exec_us = self.model.t_exec_us(&chars, params);
+        Some(Estimate {
+            params,
+            t_comp_us,
+            t_dt_us,
+            t_db_us,
+            t_exec_us,
+            normalized_us,
+            sm_bytes: chars.kernel_sm_bytes(params.w),
+            io_bytes_per_exec: chars.io_bytes_per_exec,
+        })
+    }
+}
+
+impl std::fmt::Debug for Estimator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Estimator")
+            .field("graph", &self.graph.name())
+            .field("gpu", &self.gpu.name)
+            .field("enhanced", &self.enhanced)
+            .field("cached", &self.cache.borrow().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgmap_graph::{Filter, FilterId};
+
+    fn chain(works: &[f64]) -> StreamGraph {
+        let mut g = StreamGraph::new("chain");
+        let n = works.len();
+        let ids: Vec<_> = works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                g.add_filter(Filter::new(
+                    format!("f{i}"),
+                    if i == 0 { 0 } else { 1 },
+                    if i + 1 == n { 0 } else { 1 },
+                    w,
+                ))
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            g.add_channel(pair[0], pair[1], 1, 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn estimates_are_cached_and_consistent() {
+        let g = chain(&[1.0, 500.0, 500.0, 1.0]);
+        let est = Estimator::new(&g, GpuSpec::m2090()).unwrap();
+        let all = NodeSet::all(&g);
+        let a = est.estimate(&all).unwrap();
+        let b = est.estimate(&all).unwrap();
+        assert_eq!(a, b);
+        assert!(a.t_exec_us > 0.0);
+        assert!(a.normalized_us <= a.t_exec_us);
+        assert!(a.sm_bytes <= u64::from(est.gpu().shared_mem_bytes));
+    }
+
+    #[test]
+    fn merging_whole_graph_beats_tiny_fragments_for_compute_bound_chains() {
+        // For a compute-heavy chain the whole-graph partition amortises IO
+        // better than the single middle filter alone plus its IO.
+        let g = chain(&[1.0, 2000.0, 2000.0, 1.0]);
+        let est = Estimator::new(&g, GpuSpec::m2090()).unwrap();
+        let whole = est.estimate(&NodeSet::all(&g)).unwrap();
+        let single = est
+            .estimate(&NodeSet::singleton(FilterId::from_index(1)))
+            .unwrap();
+        assert!(whole.is_compute_bound());
+        // The sum of the parts' normalised times exceeds the whole's.
+        let parts: f64 = (0..4)
+            .map(|i| {
+                est.estimate(&NodeSet::singleton(FilterId::from_index(i)))
+                    .unwrap()
+                    .normalized_us
+            })
+            .sum();
+        assert!(whole.normalized_us < parts);
+        assert!(single.normalized_us > 0.0);
+    }
+
+    #[test]
+    fn io_heavy_graphs_are_classified_io_bound() {
+        // Filters that do almost nothing but move lots of bytes.
+        let mut g = StreamGraph::new("io");
+        let a = g.add_filter(Filter::new("src", 0, 256, 1.0).with_token_bytes(16));
+        let b = g.add_filter(Filter::new("sink", 256, 0, 1.0).with_token_bytes(16));
+        g.add_channel(a, b, 256, 256).unwrap();
+        let est = Estimator::new(&g, GpuSpec::m2090()).unwrap();
+        let e = est.estimate(&NodeSet::all(&g)).unwrap();
+        assert!(e.is_io_bound());
+    }
+
+    #[test]
+    fn enhancement_flag_changes_the_cache_key() {
+        let g = chain(&[1.0, 10.0, 1.0]);
+        let est = Estimator::new(&g, GpuSpec::m2090()).unwrap().with_enhancement(true);
+        assert!(est.enhanced());
+        let e = est.estimate(&NodeSet::all(&g)).unwrap();
+        assert!(e.t_exec_us > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The analytic kernel-time model (equations III.8–III.12).
+
+use serde::{Deserialize, Serialize};
+use sgmap_gpusim::{GpuSpec, KernelParams};
+
+use crate::chars::PartitionCharacteristics;
+
+/// The constants reported by the paper for its platform (`C1 = 38.4`,
+/// `C2 = 11.2`, in the authors' time/byte units). They are kept for
+/// reference; this reproduction derives its own defaults from the simulated
+/// device and can re-fit them by regression ([`crate::calibrate`]).
+pub const PAPER_C1: f64 = 38.4;
+/// See [`PAPER_C1`].
+pub const PAPER_C2: f64 = 11.2;
+
+/// The analytic GPU performance model of Section 3.3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Data-transfer cost per byte per data-transfer thread (microseconds).
+    pub c1: f64,
+    /// Buffer-swap cost per byte per participating thread (microseconds).
+    pub c2: f64,
+    /// Warp width used by the optional issue-throughput saturation term.
+    pub warp_size: u32,
+    /// Enables the SM issue-throughput correction (see the crate-level
+    /// documentation). Disable to obtain the paper's formula verbatim.
+    pub issue_throughput_correction: bool,
+}
+
+impl PerfModel {
+    /// Derives default constants for a device analytically: `C1` from the
+    /// per-thread global-memory access cost and `C2` from the shared-memory
+    /// copy cost of the buffer swap.
+    pub fn for_gpu(gpu: &GpuSpec) -> Self {
+        let c1 = gpu.cycles_to_us(gpu.global_access_cycles) / 4.0;
+        let c2 = gpu.cycles_to_us(2.0 * gpu.shared_access_cycles) / 4.0;
+        PerfModel {
+            c1,
+            c2,
+            warp_size: gpu.warp_size,
+            issue_throughput_correction: true,
+        }
+    }
+
+    /// Returns a copy with the given calibrated constants.
+    pub fn with_constants(mut self, c1: f64, c2: f64) -> Self {
+        self.c1 = c1;
+        self.c2 = c2;
+        self
+    }
+
+    /// Returns a copy using the paper's formula verbatim (no saturation
+    /// term).
+    pub fn without_throughput_correction(mut self) -> Self {
+        self.issue_throughput_correction = false;
+        self
+    }
+
+    /// Equation III.9: compute time of the partition for `S` compute threads
+    /// per execution (optionally including the saturation term for `W`
+    /// concurrent executions).
+    pub fn t_comp_us(&self, chars: &PartitionCharacteristics, params: KernelParams) -> f64 {
+        let s = f64::from(params.s.max(1));
+        let latency: f64 = chars
+            .filters
+            .iter()
+            .map(|&(t_i, f_i)| t_i / (f_i as f64).min(s).max(1.0))
+            .sum();
+        if self.issue_throughput_correction {
+            let throughput = f64::from(params.w.max(1)) * chars.serial_compute_us()
+                / f64::from(self.warp_size);
+            latency.max(throughput)
+        } else {
+            latency
+        }
+    }
+
+    /// Equation III.10: data-transfer time for the kernel's total IO volume
+    /// `D = W · io_bytes_per_exec`.
+    pub fn t_dt_us(&self, chars: &PartitionCharacteristics, params: KernelParams) -> f64 {
+        let d = (u64::from(params.w) * chars.io_bytes_per_exec) as f64;
+        self.c1 * d / f64::from(params.f.max(1))
+    }
+
+    /// Equation III.11: working-set / double-buffer swap time.
+    pub fn t_db_us(&self, chars: &PartitionCharacteristics, params: KernelParams) -> f64 {
+        let d = (u64::from(params.w) * chars.io_bytes_per_exec) as f64;
+        self.c2 * d / f64::from(params.total_threads().max(1))
+    }
+
+    /// Equation III.8: total kernel time.
+    pub fn t_exec_us(&self, chars: &PartitionCharacteristics, params: KernelParams) -> f64 {
+        self.t_comp_us(chars, params).max(self.t_dt_us(chars, params))
+            + self.t_db_us(chars, params)
+    }
+
+    /// Equation III.12: normalised (per-execution) time, the metric used to
+    /// compare partitions of different sizes.
+    pub fn normalized_us(&self, chars: &PartitionCharacteristics, params: KernelParams) -> f64 {
+        self.t_exec_us(chars, params) / f64::from(params.w.max(1))
+    }
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel::for_gpu(&GpuSpec::m2090())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(times: &[(f64, u64)], io: u64) -> PartitionCharacteristics {
+        PartitionCharacteristics {
+            filters: times.to_vec(),
+            io_bytes_per_exec: io,
+            sm_bytes_per_exec: 1024,
+            max_firing_rate: times.iter().map(|&(_, f)| f).max().unwrap_or(1),
+        }
+    }
+
+    #[test]
+    fn compute_time_parallelises_up_to_the_firing_rate() {
+        let m = PerfModel::default().without_throughput_correction();
+        let c = chars(&[(8.0, 8), (4.0, 2)], 0);
+        let t1 = m.t_comp_us(&c, KernelParams { w: 1, s: 1, f: 32 });
+        let t4 = m.t_comp_us(&c, KernelParams { w: 1, s: 4, f: 32 });
+        let t16 = m.t_comp_us(&c, KernelParams { w: 1, s: 16, f: 32 });
+        assert!((t1 - 12.0).abs() < 1e-9);
+        assert!((t4 - (2.0 + 2.0)).abs() < 1e-9);
+        // S beyond the firing rate gives no further benefit (min(f_i, S)).
+        assert!((t16 - (1.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_transfer_scales_with_w_and_inverse_f() {
+        let m = PerfModel::default();
+        let c = chars(&[(1.0, 1)], 1000);
+        let base = m.t_dt_us(&c, KernelParams { w: 1, s: 1, f: 32 });
+        let double_w = m.t_dt_us(&c, KernelParams { w: 2, s: 1, f: 32 });
+        let double_f = m.t_dt_us(&c, KernelParams { w: 1, s: 1, f: 64 });
+        assert!((double_w - 2.0 * base).abs() < 1e-9);
+        assert!((double_f - 0.5 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_time_is_max_plus_swap() {
+        let m = PerfModel::default().without_throughput_correction();
+        let c = chars(&[(100.0, 1)], 64);
+        let p = KernelParams { w: 1, s: 1, f: 32 };
+        let t = m.t_exec_us(&c, p);
+        assert!((t - (m.t_comp_us(&c, p).max(m.t_dt_us(&c, p)) + m.t_db_us(&c, p))).abs() < 1e-12);
+        // This partition is compute bound.
+        assert!(m.t_comp_us(&c, p) > m.t_dt_us(&c, p));
+    }
+
+    #[test]
+    fn normalisation_amortises_compute_over_w() {
+        let m = PerfModel::default().without_throughput_correction();
+        let c = chars(&[(100.0, 1)], 16);
+        let t1 = m.normalized_us(&c, KernelParams { w: 1, s: 1, f: 32 });
+        let t8 = m.normalized_us(&c, KernelParams { w: 8, s: 1, f: 32 });
+        assert!(t8 < t1);
+    }
+
+    #[test]
+    fn throughput_correction_saturates_large_w() {
+        let with = PerfModel::default();
+        let without = PerfModel::default().without_throughput_correction();
+        let c = chars(&[(10.0, 1)], 0);
+        let p = KernelParams { w: 256, s: 1, f: 32 };
+        assert!(with.t_comp_us(&c, p) > without.t_comp_us(&c, p));
+    }
+
+    #[test]
+    fn paper_constants_are_recorded() {
+        assert_eq!(PAPER_C1, 38.4);
+        assert_eq!(PAPER_C2, 11.2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Kernel parameter selection: choosing `W`, `S` and `F`.
+//!
+//! The paper stresses that all three parameters must be chosen
+//! *simultaneously*: more executions (`W`) amortise the fixed costs but eat
+//! shared memory; more compute threads per execution (`S`) only help filters
+//! with firing rates above one; more data-transfer threads (`F`) speed up the
+//! IO streaming but compete for the thread budget. The PEE performs the same
+//! search the code generator performs, which is what keeps the "static
+//! discrepancy" between estimation and generated code small.
+
+use sgmap_gpusim::{GpuSpec, KernelParams};
+
+use crate::chars::PartitionCharacteristics;
+use crate::model::PerfModel;
+
+/// The candidate values enumerated for each parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSearchSpace {
+    /// Candidate compute-thread counts per execution.
+    pub s_candidates: Vec<u32>,
+    /// Candidate data-transfer thread counts.
+    pub f_candidates: Vec<u32>,
+    /// Upper bound on the number of executions per kernel.
+    pub max_w: u32,
+}
+
+impl Default for ParamSearchSpace {
+    fn default() -> Self {
+        ParamSearchSpace {
+            s_candidates: vec![1, 2, 4, 8, 16, 32],
+            f_candidates: vec![16, 32, 64, 128, 256],
+            max_w: 64,
+        }
+    }
+}
+
+/// Selects the kernel parameters minimising the normalised execution time
+/// `T = Texec / W` under the shared-memory and thread-count constraints of
+/// the device.
+///
+/// Returns `None` if even the smallest configuration does not fit in shared
+/// memory (the partition violates the SM constraint and must not be formed).
+pub fn select_parameters(
+    chars: &PartitionCharacteristics,
+    model: &PerfModel,
+    gpu: &GpuSpec,
+    space: &ParamSearchSpace,
+) -> Option<(KernelParams, f64)> {
+    let shared_mem = u64::from(gpu.shared_mem_bytes);
+    if chars.kernel_sm_bytes(1) > shared_mem {
+        return None;
+    }
+    let mut best: Option<(KernelParams, f64)> = None;
+    for &s in &space.s_candidates {
+        // S beyond the maximum firing rate wastes threads (min(f_i, S)).
+        if u64::from(s) > chars.max_firing_rate.max(1) && s != 1 {
+            continue;
+        }
+        for &f in &space.f_candidates {
+            // Largest W that satisfies both the shared-memory and the
+            // thread-count budgets.
+            let mut w_max = space.max_w;
+            if chars.sm_bytes_per_exec > 0 {
+                let by_sm = (shared_mem.saturating_sub(chars.io_bytes_per_exec))
+                    / chars.sm_bytes_per_exec;
+                w_max = w_max.min(by_sm.min(u64::from(u32::MAX)) as u32);
+            }
+            let by_threads = (gpu.max_threads_per_block.saturating_sub(f)) / s.max(1);
+            w_max = w_max.min(by_threads);
+            if w_max == 0 {
+                continue;
+            }
+            // The normalised time is monotone enough that checking a handful
+            // of W values (1, 2, 4, ..., w_max) finds the minimum; include
+            // w_max itself.
+            let mut candidates: Vec<u32> = std::iter::successors(Some(1u32), |w| {
+                let next = w * 2;
+                (next < w_max).then_some(next)
+            })
+            .collect();
+            candidates.push(w_max);
+            for &w in &candidates {
+                let params = KernelParams { w, s, f };
+                let t = model.normalized_us(chars, params);
+                let better = match &best {
+                    None => true,
+                    Some((_, bt)) => t < *bt - 1e-12,
+                };
+                if better {
+                    best = Some((params, t));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgmap_gpusim::GpuSpec;
+
+    fn chars(serial_us: f64, firing: u64, io: u64, sm_per_exec: u64) -> PartitionCharacteristics {
+        PartitionCharacteristics {
+            filters: vec![(serial_us, firing)],
+            io_bytes_per_exec: io,
+            sm_bytes_per_exec: sm_per_exec,
+            max_firing_rate: firing,
+        }
+    }
+
+    #[test]
+    fn oversized_partitions_are_rejected() {
+        let gpu = GpuSpec::m2090();
+        let c = chars(10.0, 1, 1024, 100_000); // > 48 KiB per execution
+        assert!(select_parameters(&c, &PerfModel::for_gpu(&gpu), &gpu, &Default::default())
+            .is_none());
+    }
+
+    #[test]
+    fn high_firing_rates_attract_more_compute_threads() {
+        let gpu = GpuSpec::m2090();
+        let model = PerfModel::for_gpu(&gpu);
+        let sequential = chars(50.0, 1, 256, 2048);
+        let parallel = chars(50.0, 32, 256, 2048);
+        let (p_seq, _) =
+            select_parameters(&sequential, &model, &gpu, &Default::default()).unwrap();
+        let (p_par, t_par) =
+            select_parameters(&parallel, &model, &gpu, &Default::default()).unwrap();
+        assert_eq!(p_seq.s, 1, "a firing rate of 1 cannot use more threads");
+        assert!(p_par.s > 1);
+        let (_, t_seq) = select_parameters(&sequential, &model, &gpu, &Default::default()).unwrap();
+        assert!(t_par < t_seq);
+    }
+
+    #[test]
+    fn io_heavy_partitions_get_many_dt_threads() {
+        let gpu = GpuSpec::m2090();
+        let model = PerfModel::for_gpu(&gpu);
+        let io_heavy = chars(1.0, 1, 16 * 1024, 20_000);
+        let (p, _) = select_parameters(&io_heavy, &model, &gpu, &Default::default()).unwrap();
+        assert!(p.f >= 128, "selected F = {}", p.f);
+    }
+
+    #[test]
+    fn shared_memory_limits_w() {
+        let gpu = GpuSpec::m2090();
+        let model = PerfModel::for_gpu(&gpu);
+        // 20 KiB per execution: at most 2 executions fit in 48 KiB.
+        let big = chars(50.0, 1, 1024, 20 * 1024);
+        let (p, _) = select_parameters(&big, &model, &gpu, &Default::default()).unwrap();
+        assert!(p.w <= 2);
+        // A small partition can use many executions.
+        let small = chars(50.0, 1, 64, 512);
+        let (p_small, _) = select_parameters(&small, &model, &gpu, &Default::default()).unwrap();
+        assert!(p_small.w > p.w);
+    }
+
+    #[test]
+    fn selection_respects_the_thread_budget() {
+        let gpu = GpuSpec::m2090();
+        let model = PerfModel::for_gpu(&gpu);
+        let c = chars(10.0, 64, 512, 256);
+        let (p, _) = select_parameters(&c, &model, &gpu, &Default::default()).unwrap();
+        assert!(p.total_threads() <= gpu.max_threads_per_block);
+    }
+}

@@ -1,0 +1,53 @@
+//! Multi-GPU scaling of a compute-bound application (the Figure 4.2
+//! experiment for a single application, as a library-usage example).
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_scaling
+//! ```
+
+use sgmap::{compile_and_run, FlowConfig};
+use sgmap_apps::App;
+use sgmap_partition::PartitionerKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = App::Des;
+    let n = 20;
+    let graph = app.build(n)?;
+    println!("{} N={n}: {} filters", app.name(), graph.filter_count());
+    println!(
+        "{:<28} {:>10} {:>12} {:>9}",
+        "configuration", "partitions", "us/iter", "speedup"
+    );
+
+    let mut baseline_time = None;
+    for gpus in 1..=4 {
+        let config = FlowConfig::default().with_gpu_count(gpus);
+        let report = compile_and_run(&graph, &config)?;
+        let time = report.time_per_iteration_us;
+        let base = *baseline_time.get_or_insert(time);
+        println!(
+            "{:<28} {:>10} {:>12.3} {:>8.2}x",
+            format!("proposed, {gpus} GPU(s)"),
+            report.partition_count,
+            time,
+            base / time
+        );
+    }
+
+    // Contrast with the single-partition mapping, the SOSP reference.
+    let spsg = compile_and_run(
+        &graph,
+        &FlowConfig::default()
+            .with_gpu_count(1)
+            .with_partitioner(PartitionerKind::Single),
+    )?;
+    let base = baseline_time.unwrap_or(spsg.time_per_iteration_us);
+    println!(
+        "{:<28} {:>10} {:>12.3} {:>8.2}x",
+        "single partition, 1 GPU",
+        spsg.partition_count,
+        spsg.time_per_iteration_us,
+        base / spsg.time_per_iteration_us
+    );
+    Ok(())
+}

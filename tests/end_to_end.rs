@@ -1,0 +1,173 @@
+//! Integration tests spanning the whole workspace: benchmark graphs flow
+//! through profiling, partitioning, ILP mapping, code generation and the
+//! platform simulator, and the headline qualitative results of the paper
+//! hold on the simulated platform.
+
+use sgmap::{compile, compile_and_run, execute, FlowConfig};
+use sgmap_apps::App;
+use sgmap_gpusim::TransferMode;
+use sgmap_mapping::MappingMethod;
+use sgmap_partition::PartitionerKind;
+
+#[test]
+fn every_app_compiles_and_runs_on_one_and_four_gpus() {
+    for app in App::all() {
+        let n = app.quick_n_values()[1];
+        let graph = app.build(n).unwrap();
+        for gpus in [1usize, 4] {
+            let config = FlowConfig::default().with_gpu_count(gpus);
+            let compiled = compile(&graph, &config)
+                .unwrap_or_else(|e| panic!("{app} N={n} G={gpus}: {e}"));
+            compiled
+                .partitioning
+                .validate_cover(&graph)
+                .unwrap_or_else(|e| panic!("{app} N={n}: bad cover: {e}"));
+            assert!(
+                compiled.mapping.assignment.iter().all(|&a| a < gpus),
+                "{app}: invalid GPU index"
+            );
+            let report = execute(&compiled, &config);
+            assert!(report.time_per_iteration_us > 0.0, "{app} G={gpus}");
+        }
+    }
+}
+
+#[test]
+fn four_gpus_speed_up_large_compute_bound_apps() {
+    // The core scalability claim (Figure 4.2): for large, compute-bound
+    // graphs, the 4-GPU mapping clearly beats the 1-GPU multi-partition
+    // mapping.
+    for (app, n) in [(App::Des, 20), (App::Dct, 18)] {
+        let graph = app.build(n).unwrap();
+        let one = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(1)).unwrap();
+        let four = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(4)).unwrap();
+        let speedup = one.time_per_iteration_us / four.time_per_iteration_us;
+        assert!(
+            speedup > 1.5,
+            "{app} N={n}: expected >1.5x speedup on 4 GPUs, got {speedup:.2}"
+        );
+    }
+}
+
+#[test]
+fn small_workloads_do_not_benefit_from_many_gpus() {
+    // The other half of Figure 4.2: when N is small the communication cost
+    // eats the benefit, and the mapping gracefully stays close to the 1-GPU
+    // throughput instead of collapsing.
+    let graph = App::Bitonic.build(2).unwrap();
+    let one = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(1)).unwrap();
+    let four = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(4)).unwrap();
+    let speedup = one.time_per_iteration_us / four.time_per_iteration_us;
+    assert!(speedup < 2.0, "tiny bitonic should not scale: {speedup:.2}");
+    assert!(
+        four.time_per_iteration_us <= one.time_per_iteration_us * 1.6,
+        "communication-aware mapping must not fall off a cliff"
+    );
+}
+
+#[test]
+fn sosp_of_our_stack_beats_the_previous_work_for_compute_bound_apps() {
+    // Figure 4.3, qualitatively: measured as speedup over the same SPSG
+    // reference, our partitioning + ILP mapping outperforms the prior-work
+    // stack on compute-bound applications.
+    let graph = App::Des.build(16).unwrap();
+    let spsg = compile_and_run(&graph, &FlowConfig::spsg()).unwrap();
+    let ours = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(4)).unwrap();
+    let prev = compile_and_run(&graph, &FlowConfig::previous_work().with_gpu_count(4)).unwrap();
+    let sosp_ours = spsg.time_per_iteration_us / ours.time_per_iteration_us;
+    let sosp_prev = spsg.time_per_iteration_us / prev.time_per_iteration_us;
+    assert!(
+        sosp_ours > sosp_prev,
+        "ours {sosp_ours:.2} should beat previous {sosp_prev:.2}"
+    );
+    assert!(sosp_ours > 1.5, "ours should clearly beat SPSG: {sosp_ours:.2}");
+}
+
+#[test]
+fn proposed_partitioner_produces_at_least_as_many_partitions_as_baseline() {
+    // Section 4.0.3's "kernel count ratio" observation.
+    for (app, n) in [(App::Des, 12), (App::FmRadio, 12), (App::Bitonic, 16)] {
+        let graph = app.build(n).unwrap();
+        let ours = compile(&graph, &FlowConfig::default()).unwrap();
+        let base = compile(
+            &graph,
+            &FlowConfig::default().with_partitioner(PartitionerKind::Baseline),
+        )
+        .unwrap();
+        assert!(
+            ours.partition_count() >= base.partition_count(),
+            "{app}: {} < {}",
+            ours.partition_count(),
+            base.partition_count()
+        );
+    }
+}
+
+#[test]
+fn peer_to_peer_transfers_beat_host_staging_for_chatty_mappings() {
+    // Section 3.2.3: peer-to-peer communication is more efficient than
+    // routing every transfer through the CPU.
+    let graph = App::Fft.build(256).unwrap();
+    let p2p = compile_and_run(
+        &graph,
+        &FlowConfig::default()
+            .with_gpu_count(4)
+            .with_mapper(MappingMethod::RoundRobin),
+    )
+    .unwrap();
+    let via_host = compile_and_run(
+        &graph,
+        &FlowConfig::default()
+            .with_gpu_count(4)
+            .with_mapper(MappingMethod::RoundRobin)
+            .with_transfer_mode(TransferMode::ViaHost),
+    )
+    .unwrap();
+    assert!(
+        p2p.time_per_iteration_us <= via_host.time_per_iteration_us * 1.01,
+        "p2p {} vs via-host {}",
+        p2p.time_per_iteration_us,
+        via_host.time_per_iteration_us
+    );
+}
+
+#[test]
+fn ilp_mapping_never_loses_to_the_heuristics_on_the_model() {
+    for (app, n) in [(App::FmRadio, 12), (App::MatMul3, 4)] {
+        let graph = app.build(n).unwrap();
+        let ilp = compile(&graph, &FlowConfig::default().with_gpu_count(3)).unwrap();
+        let greedy = compile(
+            &graph,
+            &FlowConfig::default()
+                .with_gpu_count(3)
+                .with_mapper(MappingMethod::Greedy),
+        )
+        .unwrap();
+        assert!(
+            ilp.mapping.predicted_tmax_us <= greedy.mapping.predicted_tmax_us + 1e-6,
+            "{app}: ILP {} worse than greedy {}",
+            ilp.mapping.predicted_tmax_us,
+            greedy.mapping.predicted_tmax_us
+        );
+    }
+}
+
+#[test]
+fn splitter_elimination_helps_split_heavy_apps_more_than_fft() {
+    let bitonic = App::Bitonic.build(16).unwrap();
+    let fft = App::Fft.build(128).unwrap();
+    let speedup = |graph: &sgmap_graph::StreamGraph| {
+        let base = compile_and_run(graph, &FlowConfig::spsg()).unwrap();
+        let enhanced =
+            compile_and_run(graph, &FlowConfig::spsg().with_enhancement(true)).unwrap();
+        base.time_per_iteration_us / enhanced.time_per_iteration_us
+    };
+    let bitonic_gain = speedup(&bitonic);
+    let fft_gain = speedup(&fft);
+    assert!(bitonic_gain >= 1.0, "enhancement must not slow bitonic down");
+    assert!(fft_gain >= 0.95, "enhancement must not slow FFT down");
+    assert!(
+        bitonic_gain >= fft_gain * 0.9,
+        "bitonic (many splitters) should gain at least as much as FFT: {bitonic_gain:.2} vs {fft_gain:.2}"
+    );
+}

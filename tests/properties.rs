@@ -1,0 +1,177 @@
+//! Property-based tests of the core data structures and invariants, using
+//! randomly generated stream programs and optimisation models.
+
+use proptest::prelude::*;
+
+use sgmap_graph::{GraphBuilder, JoinKind, NodeSet, SplitKind, StreamGraph, StreamSpec};
+use sgmap_ilp::{Model, ObjectiveSense, Solver};
+use sgmap_mapping::evaluate_assignment;
+use sgmap_partition::{build_pdg, partition_stream_graph};
+use sgmap_pee::Estimator;
+use sgmap_gpusim::{sm_layout, GpuSpec, Platform};
+
+/// Strategy producing random but well-formed StreamIt-style specifications.
+///
+/// Split-join branches must all have the same aggregate rate ratio for the
+/// program's balance equations to be solvable (the same restriction StreamIt
+/// imposes), so branches are drawn from the `balanced` sub-strategy whose
+/// filters produce exactly as many tokens as they consume; rate-changing
+/// filters appear freely outside split-joins.
+fn spec_strategy(depth: u32, balanced: bool) -> BoxedStrategy<StreamSpec> {
+    let filter = (1u32..4, 1u32..4, 1.0f64..200.0)
+        .prop_map(move |(pop, push, work)| {
+            let push = if balanced { pop } else { push };
+            StreamSpec::filter(format!("f_{pop}_{push}_{}", work as u64), pop, push, work)
+        });
+    if depth == 0 {
+        return filter.boxed();
+    }
+    let pipeline = prop::collection::vec(spec_strategy(depth - 1, balanced), 1..4)
+        .prop_map(StreamSpec::pipeline);
+    let split_join = (
+        prop::collection::vec(spec_strategy(depth - 1, true), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(move |(branches, duplicate)| {
+            let n = branches.len();
+            // A duplicate split multiplies the stream by the branch count, so
+            // it may only appear where no sibling branch has to match its
+            // rate (i.e. not inside an already-balanced sub-program).
+            let split = if duplicate && !balanced {
+                SplitKind::Duplicate
+            } else {
+                SplitKind::round_robin_uniform(n)
+            };
+            StreamSpec::split_join(split, branches, JoinKind::round_robin_uniform(n))
+        });
+    prop_oneof![3 => filter, 2 => pipeline, 1 => split_join].boxed()
+}
+
+/// Wraps a random spec into a closed program (source ... sink) and flattens
+/// it.
+fn random_graph(spec: StreamSpec) -> StreamGraph {
+    // Determine the interface rates of the inner spec by flattening it alone
+    // first; rather than doing that, simply wrap with rate-1 source/sink and
+    // let the repetition vector absorb the difference: the source pushes one
+    // token per firing into whatever the entry filter pops.
+    let program = StreamSpec::pipeline(vec![
+        StreamSpec::filter("source", 0, 1, 1.0),
+        spec,
+        StreamSpec::filter("sink", 1, 0, 1.0),
+    ]);
+    GraphBuilder::new("random").build(program).expect("builder accepts well-formed specs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The repetition vector satisfies every balance equation of the graph.
+    #[test]
+    fn repetition_vector_balances_every_channel(spec in spec_strategy(2, false)) {
+        let graph = random_graph(spec);
+        let reps = graph.repetition_vector().unwrap();
+        for (_, ch) in graph.channels() {
+            prop_assert_eq!(
+                reps[ch.src.index()] * u64::from(ch.push),
+                reps[ch.dst.index()] * u64::from(ch.pop),
+                "unbalanced channel {} -> {}", ch.src, ch.dst
+            );
+        }
+        prop_assert!(reps.iter().all(|&r| r >= 1));
+    }
+
+    /// The proposed partitioner always produces a disjoint, complete cover of
+    /// connected, convex partitions, and never predicts a total time worse
+    /// than leaving every filter alone.
+    #[test]
+    fn partitioning_is_a_valid_cover(spec in spec_strategy(2, false)) {
+        let graph = random_graph(spec);
+        let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+        // Skip the rare graphs whose single filters overflow shared memory.
+        let singleton_total: Option<f64> = graph
+            .filter_ids()
+            .map(|id| est.estimate(&NodeSet::singleton(id)).map(|e| e.normalized_us))
+            .sum();
+        prop_assume!(singleton_total.is_some());
+        let partitioning = partition_stream_graph(&est).unwrap();
+        partitioning.validate_cover(&graph).unwrap();
+        for p in partitioning.iter() {
+            prop_assert!(p.nodes.is_connected(&graph));
+            prop_assert!(p.nodes.is_convex(&graph));
+            prop_assert!(p.estimate.sm_bytes <= u64::from(est.gpu().shared_mem_bytes));
+        }
+        prop_assert!(
+            partitioning.total_estimated_time_us() <= singleton_total.unwrap() + 1e-6
+        );
+    }
+
+    /// The shared-memory footprint never shrinks when the enhancement is
+    /// disabled, and the kernel footprint grows monotonically with W.
+    #[test]
+    fn footprint_monotonicity(spec in spec_strategy(2, false), w in 1u32..8) {
+        let graph = random_graph(spec);
+        let reps = graph.repetition_vector().unwrap();
+        let all = NodeSet::all(&graph);
+        let plain = sm_layout::footprint(&graph, &all, &reps, false);
+        let enhanced = sm_layout::footprint(&graph, &all, &reps, true);
+        prop_assert!(enhanced.internal_peak_bytes <= plain.internal_peak_bytes);
+        prop_assert!(plain.kernel_bytes(w + 1) >= plain.kernel_bytes(w));
+    }
+
+    /// The PDG of any partitioning preserves the total inter-partition byte
+    /// volume and admits a topological order; any assignment evaluated on a
+    /// platform yields a bottleneck no smaller than the average load bound.
+    #[test]
+    fn pdg_and_mapping_cost_are_consistent(spec in spec_strategy(2, false), gpus in 1usize..5) {
+        let graph = random_graph(spec);
+        let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+        prop_assume!(graph.filter_ids().all(|id| est.estimate(&NodeSet::singleton(id)).is_some()));
+        let partitioning = partition_stream_graph(&est).unwrap();
+        let reps = graph.repetition_vector().unwrap();
+        let pdg = build_pdg(&graph, &reps, &partitioning);
+        prop_assert_eq!(pdg.topological_order().len(), pdg.len());
+        let platform = Platform::homogeneous(GpuSpec::m2090(), gpus);
+        // Round-robin assignment is always valid input for the evaluator.
+        let assignment: Vec<usize> = (0..pdg.len()).map(|i| i % gpus).collect();
+        let cost = evaluate_assignment(&pdg, &platform, &assignment);
+        let avg = pdg.total_time_us() / gpus as f64;
+        prop_assert!(cost.tmax_us + 1e-9 >= avg / gpus as f64);
+        prop_assert_eq!(cost.per_gpu_time_us.len(), gpus);
+    }
+
+    /// The branch-and-bound ILP solver agrees with brute force on random
+    /// small 0/1 knapsack-style models.
+    #[test]
+    fn ilp_matches_brute_force(
+        values in prop::collection::vec(1.0f64..20.0, 2..7),
+        weights_seed in prop::collection::vec(1u32..9, 2..7),
+        cap in 4u32..20,
+    ) {
+        let n = values.len().min(weights_seed.len());
+        let values = &values[..n];
+        let weights: Vec<f64> = weights_seed[..n].iter().map(|&w| f64::from(w)).collect();
+        let mut model = Model::new(ObjectiveSense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| model.add_binary(format!("x{i}"), v))
+            .collect();
+        model.add_constraint_le(
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect(),
+            f64::from(cap),
+        );
+        let solution = Solver::new().solve(&model).unwrap();
+
+        // Brute force over all subsets.
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let weight: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+            if weight <= f64::from(cap) {
+                let value: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| values[i]).sum();
+                best = best.max(value);
+            }
+        }
+        prop_assert!((solution.objective - best).abs() < 1e-6,
+            "solver {} vs brute force {}", solution.objective, best);
+    }
+}
