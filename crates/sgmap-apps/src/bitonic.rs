@@ -8,9 +8,7 @@
 //! classic recursive construction and therefore nests split-joins instead of
 //! flattening them.
 
-use sgmap_graph::{
-    Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec,
-};
+use sgmap_graph::{Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec};
 
 /// Work estimate (abstract ops) of one compare-exchange of two keys.
 pub const COMPARE_WORK: f64 = 3.0;

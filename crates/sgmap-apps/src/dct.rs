@@ -7,7 +7,7 @@
 //! samples, giving the high compute-to-IO ratio that puts DCT in the paper's
 //! compute-bound class.
 
-use sgmap_graph::{GraphError, GraphBuilder, JoinKind, SplitKind, StreamGraph, StreamSpec};
+use sgmap_graph::{GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec};
 
 /// Work estimate of a 1-D DCT over `n` samples (direct `n²` formulation,
 /// two ops per multiply-accumulate).
@@ -54,8 +54,14 @@ mod tests {
     #[test]
     fn two_dct_passes_of_n_lanes_each() {
         let g = build(8).unwrap();
-        let rows = g.filters().filter(|(_, f)| f.name.starts_with("dct_row_")).count();
-        let cols = g.filters().filter(|(_, f)| f.name.starts_with("dct_col_")).count();
+        let rows = g
+            .filters()
+            .filter(|(_, f)| f.name.starts_with("dct_row_"))
+            .count();
+        let cols = g
+            .filters()
+            .filter(|(_, f)| f.name.starts_with("dct_col_"))
+            .count();
         assert_eq!((rows, cols), (8, 8));
         // source, transpose, quantize, sink + 2*(split+join) = 8 extra.
         assert_eq!(g.filter_count(), 16 + 8);

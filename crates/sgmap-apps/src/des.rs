@@ -8,9 +8,7 @@
 //! with a large amount of arithmetic per byte of stream data: the archetype
 //! of the paper's compute-bound class.
 
-use sgmap_graph::{
-    GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec,
-};
+use sgmap_graph::{GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec};
 
 /// Work estimate of one S-box substitution pass over a half block.
 pub const SBOX_WORK: f64 = 96.0;
@@ -52,7 +50,12 @@ pub fn build(n: u32) -> Result<StreamGraph, GraphError> {
     }
     let mut stages = Vec::new();
     stages.push(StreamSpec::filter("source", 0, 2, 2.0));
-    stages.push(StreamSpec::filter("initial_permutation", 2, 2, PERMUTE_WORK));
+    stages.push(StreamSpec::filter(
+        "initial_permutation",
+        2,
+        2,
+        PERMUTE_WORK,
+    ));
     for r in 0..n {
         stages.push(round(r));
     }

@@ -7,9 +7,7 @@
 //! matching the paper's observation ("FFT only has one splitter and one
 //! joiner", Chapter V).
 
-use sgmap_graph::{
-    Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec,
-};
+use sgmap_graph::{Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec};
 
 /// Work estimate (abstract ops) per complex point of one butterfly stage.
 pub const BUTTERFLY_WORK_PER_POINT: f64 = 6.0;

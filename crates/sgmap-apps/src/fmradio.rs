@@ -7,9 +7,7 @@
 //! together. The FIR filters have large peek windows, which is what makes
 //! this benchmark's buffers interesting for the shared-memory model.
 
-use sgmap_graph::{
-    Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec,
-};
+use sgmap_graph::{Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec};
 
 /// Number of taps of each FIR filter (the StreamIt program uses 64).
 pub const FIR_TAPS: u32 = 64;

@@ -10,9 +10,7 @@
 //! so the generated graph can be checked against a reference multiply.
 
 use sgmap_graph::interp::{behavior, Interpreter};
-use sgmap_graph::{
-    Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec,
-};
+use sgmap_graph::{Filter, GraphBuilder, GraphError, JoinKind, SplitKind, StreamGraph, StreamSpec};
 
 /// Work of one row of an `n × n` product: `n` dot products of length `n`.
 pub fn row_work(n: u32) -> f64 {
@@ -155,7 +153,10 @@ mod tests {
     #[test]
     fn matmul2_structure() {
         let g = build_matmul2(6).unwrap();
-        let rows = g.filters().filter(|(_, f)| f.name.starts_with("row_ab_")).count();
+        let rows = g
+            .filters()
+            .filter(|(_, f)| f.name.starts_with("row_ab_"))
+            .count();
         assert_eq!(rows, 6);
         // source, split, 6 rows, join, sink.
         assert_eq!(g.filter_count(), 10);
@@ -164,8 +165,14 @@ mod tests {
     #[test]
     fn matmul3_chains_two_products() {
         let g = build_matmul3(3).unwrap();
-        let ab = g.filters().filter(|(_, f)| f.name.starts_with("row_ab_")).count();
-        let abc = g.filters().filter(|(_, f)| f.name.starts_with("row_abc_")).count();
+        let ab = g
+            .filters()
+            .filter(|(_, f)| f.name.starts_with("row_ab_"))
+            .count();
+        let abc = g
+            .filters()
+            .filter(|(_, f)| f.name.starts_with("row_abc_"))
+            .count();
         assert_eq!((ab, abc), (3, 3));
         assert!(g.filter_by_name("forward_c").is_some());
         g.validate().unwrap();

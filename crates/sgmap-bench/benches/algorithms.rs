@@ -84,7 +84,9 @@ fn bench_mapping(c: &mut Criterion) {
         b.iter(|| map_greedy(&pdg, &platform))
     });
     let mut group = c.benchmark_group("mapping/ilp");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("12parts_4gpus", |b| {
         b.iter(|| map_ilp(&pdg, &platform, &MappingOptions::default()).unwrap())
     });

@@ -17,7 +17,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     let des = App::Des.build(8).unwrap();
     let bitonic = App::Bitonic.build(16).unwrap();
     let mut group = c.benchmark_group("flow/compile_and_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("des8_2gpu", |b| {
         b.iter(|| compile_and_run(&des, &FlowConfig::default().with_gpu_count(2)).unwrap())
     });

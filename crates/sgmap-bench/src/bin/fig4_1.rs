@@ -19,7 +19,10 @@ fn main() {
     let mut actual = Vec::new();
 
     println!("# Figure 4.1: estimated vs actual kernel runtime (us, per execution)");
-    println!("{:<12} {:>6} {:>12} {:>12}", "app", "N", "partitions", "samples");
+    println!(
+        "{:<12} {:>6} {:>12} {:>12}",
+        "app", "N", "partitions", "samples"
+    );
     for app in App::all() {
         for n in sweep(app, full) {
             let graph = app.build(n).expect("benchmark graph builds");

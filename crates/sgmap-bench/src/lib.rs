@@ -114,8 +114,14 @@ pub fn run_mapped(
         transfer_mode: stack.transfer_mode(),
         ..PlanOptions::default()
     };
-    let (plan, _kernels) =
-        build_execution_plan(estimator, partitioning, &pdg, &mapping, platform, &plan_options);
+    let (plan, _kernels) = build_execution_plan(
+        estimator,
+        partitioning,
+        &pdg,
+        &mapping,
+        platform,
+        &plan_options,
+    );
     let stats = simulate_plan(&plan, platform);
     let iterations = u64::from(plan.n_fragments) * plan_options.iterations_per_fragment;
     RunResult {

@@ -1,8 +1,8 @@
 //! Pipelined multi-GPU execution plans (Figure 3.5).
 
 use sgmap_gpusim::{
-    simulate_kernel, Endpoint, ExecutionPlan, KernelSpec, Platform, PlannedKernel,
-    PlannedTransfer, TransferMode,
+    simulate_kernel, Endpoint, ExecutionPlan, KernelSpec, PlannedKernel, PlannedTransfer, Platform,
+    TransferMode,
 };
 use sgmap_mapping::Mapping;
 use sgmap_partition::{Partitioning, Pdg};
@@ -146,12 +146,11 @@ mod tests {
     use sgmap_mapping::{map_greedy, map_round_robin};
     use sgmap_partition::{build_pdg, partition_stream_graph};
 
-    fn setup(
-        app: App,
-        n: u32,
-        gpus: usize,
-    ) -> (sgmap_graph::StreamGraph, Platform) {
-        (app.build(n).unwrap(), Platform::quad_m2090().with_gpu_count(gpus))
+    fn setup(app: App, n: u32, gpus: usize) -> (sgmap_graph::StreamGraph, Platform) {
+        (
+            app.build(n).unwrap(),
+            Platform::quad_m2090().with_gpu_count(gpus),
+        )
     }
 
     #[test]
@@ -162,8 +161,14 @@ mod tests {
         let partitioning = partition_stream_graph(&est).unwrap();
         let pdg = build_pdg(&graph, &reps, &partitioning);
         let mapping = map_greedy(&pdg, &platform);
-        let (plan, specs) =
-            build_execution_plan(&est, &partitioning, &pdg, &mapping, &platform, &PlanOptions::default());
+        let (plan, specs) = build_execution_plan(
+            &est,
+            &partitioning,
+            &pdg,
+            &mapping,
+            &platform,
+            &PlanOptions::default(),
+        );
         assert_eq!(plan.kernels.len(), partitioning.len());
         assert_eq!(specs.len(), partitioning.len());
         // Every transfer's producer precedes its consumer in the kernel list.
@@ -212,10 +217,22 @@ mod tests {
             use_measured_kernel_times: false,
             ..PlanOptions::default()
         };
-        let (mp, _) =
-            build_execution_plan(&est, &partitioning, &pdg, &mapping, &platform, &measured_opts);
-        let (ep, _) =
-            build_execution_plan(&est, &partitioning, &pdg, &mapping, &platform, &estimated_opts);
+        let (mp, _) = build_execution_plan(
+            &est,
+            &partitioning,
+            &pdg,
+            &mapping,
+            &platform,
+            &measured_opts,
+        );
+        let (ep, _) = build_execution_plan(
+            &est,
+            &partitioning,
+            &pdg,
+            &mapping,
+            &platform,
+            &estimated_opts,
+        );
         let m = simulate_plan(&mp, &platform).makespan_us;
         let e = simulate_plan(&ep, &platform).makespan_us;
         let ratio = m / e;

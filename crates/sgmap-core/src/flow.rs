@@ -110,8 +110,7 @@ pub fn compile(graph: &StreamGraph, config: &FlowConfig) -> Result<CompileResult
 /// Executes a compiled result on the platform simulator.
 pub fn execute(compiled: &CompileResult, config: &FlowConfig) -> RunReport {
     let stats = simulate_plan(&compiled.plan, &compiled.platform);
-    let iterations =
-        u64::from(compiled.plan.n_fragments) * config.plan.iterations_per_fragment;
+    let iterations = u64::from(compiled.plan.n_fragments) * config.plan.iterations_per_fragment;
     RunReport::new(
         compiled.partition_count(),
         compiled.mapping.clone(),
@@ -147,7 +146,12 @@ mod tests {
             times.push(report.time_per_iteration_us);
         }
         // More GPUs never makes the (communication-aware) mapping much worse.
-        assert!(times[3] <= times[0] * 1.25, "4-GPU {} vs 1-GPU {}", times[3], times[0]);
+        assert!(
+            times[3] <= times[0] * 1.25,
+            "4-GPU {} vs 1-GPU {}",
+            times[3],
+            times[0]
+        );
     }
 
     #[test]
@@ -156,7 +160,10 @@ mod tests {
         let config = FlowConfig::default().with_gpu_count(2);
         let compiled = compile(&graph, &config).unwrap();
         assert_eq!(compiled.kernels.len(), compiled.partition_count());
-        assert_eq!(compiled.mapping.assignment.len(), compiled.partition_count());
+        assert_eq!(
+            compiled.mapping.assignment.len(),
+            compiled.partition_count()
+        );
         assert_eq!(compiled.pdg.len(), compiled.partition_count());
         let report = execute(&compiled, &config);
         assert!(report.makespan_us > 0.0);
@@ -174,8 +181,7 @@ mod tests {
     fn previous_work_stack_is_never_faster_than_ours_on_compute_bound_apps() {
         let graph = App::Des.build(12).unwrap();
         let ours = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(4)).unwrap();
-        let prev =
-            compile_and_run(&graph, &FlowConfig::previous_work().with_gpu_count(4)).unwrap();
+        let prev = compile_and_run(&graph, &FlowConfig::previous_work().with_gpu_count(4)).unwrap();
         assert!(
             ours.time_per_iteration_us <= prev.time_per_iteration_us * 1.05,
             "ours {} vs previous {}",

@@ -72,7 +72,10 @@ impl KernelSpec {
     /// Sum of the filters' single-thread times per execution, in
     /// microseconds.
     pub fn serial_compute_time_us(&self) -> f64 {
-        self.filters.iter().map(KernelFilter::iteration_time_us).sum()
+        self.filters
+            .iter()
+            .map(KernelFilter::iteration_time_us)
+            .sum()
     }
 
     /// Total IO bytes per kernel launch (`D = W * io_bytes_per_exec`).

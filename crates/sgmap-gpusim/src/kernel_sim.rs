@@ -93,8 +93,7 @@ pub fn simulate_kernel(kernel: &KernelSpec, gpu: &GpuSpec, seed: u64) -> KernelM
 
     // --- Buffer swap ---------------------------------------------------------
     let all_threads = (w * s + f).max(1.0);
-    let buffer_swap_us =
-        gpu.cycles_to_us(words / all_threads * 2.0 * gpu.shared_access_cycles);
+    let buffer_swap_us = gpu.cycles_to_us(words / all_threads * 2.0 * gpu.shared_access_cycles);
 
     // --- Bank conflicts -------------------------------------------------------
     // Conflicts only matter while compute and data-transfer warps are both

@@ -127,7 +127,13 @@ pub fn simulate_plan(plan: &ExecutionPlan, platform: &Platform) -> ExecStats {
     let g = platform.gpu_count;
     let k_count = plan.kernels.len();
     for k in &plan.kernels {
-        assert!(k.gpu < g, "kernel {} mapped to GPU {} of {}", k.name, k.gpu, g);
+        assert!(
+            k.gpu < g,
+            "kernel {} mapped to GPU {} of {}",
+            k.name,
+            k.gpu,
+            g
+        );
     }
     for t in &plan.transfers {
         if let Some(k) = t.after_kernel {
@@ -167,11 +173,11 @@ pub fn simulate_plan(plan: &ExecutionPlan, platform: &Platform) -> ExecStats {
 
     // Dispatch a transfer whose payload becomes available at `available`.
     let dispatch = |t: &PlannedTransfer,
-                        available: f64,
-                        link_free: &mut [f64],
-                        per_link_busy: &mut [f64],
-                        per_link_bytes: &mut [u64],
-                        transfer_total: &mut f64|
+                    available: f64,
+                    link_free: &mut [f64],
+                    per_link_busy: &mut [f64],
+                    per_link_bytes: &mut [u64],
+                    transfer_total: &mut f64|
      -> f64 {
         if t.bytes_per_fragment == 0 || t.from == t.to {
             return available;

@@ -137,8 +137,6 @@ mod tests {
         let reps = g.repetition_vector().unwrap();
         assert_eq!(reps[b.index()], 4);
         let p = profile_graph(&g, &GpuSpec::m2090());
-        assert!(
-            (p.iteration_time_us(b, &reps) - 4.0 * p.time_per_firing_us(b)).abs() < 1e-12
-        );
+        assert!((p.iteration_time_us(b, &reps) - 4.0 * p.time_per_firing_us(b)).abs() < 1e-12);
     }
 }

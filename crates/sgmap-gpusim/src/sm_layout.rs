@@ -100,9 +100,10 @@ pub fn footprint(
         Ok(o) => o.into_iter().filter(|id| set.contains(*id)).collect(),
         Err(_) => set.iter().collect(),
     };
+    // `internal_channels` returns ids in ascending order (graph.channels()
+    // enumerates by index), so binary search is sufficient.
     let internal = set.internal_channels(graph);
-    let is_internal =
-        |cid: sgmap_graph::ChannelId| internal.binary_search(&cid).is_ok() || internal.contains(&cid);
+    let is_internal = |cid: sgmap_graph::ChannelId| internal.binary_search(&cid).is_ok();
 
     let mut live: u64 = 0;
     let mut peak: u64 = 0;
@@ -172,7 +173,9 @@ mod tests {
             specs.push(StreamSpec::filter(format!("s{i}"), 1, 1, 2.0));
         }
         specs.push(StreamSpec::filter("sink", 1, 0, 1.0));
-        GraphBuilder::new("pipe").build(StreamSpec::pipeline(specs)).unwrap()
+        GraphBuilder::new("pipe")
+            .build(StreamSpec::pipeline(specs))
+            .unwrap()
     }
 
     fn split_graph(branches: usize) -> StreamGraph {

@@ -88,7 +88,10 @@ impl PcieTopology {
     ///
     /// Panics if `gpu_count` is zero or greater than four.
     pub fn switch_tree(gpu_count: usize) -> Self {
-        assert!((1..=4).contains(&gpu_count), "switch tree hosts 1 to 4 GPUs");
+        assert!(
+            (1..=4).contains(&gpu_count),
+            "switch tree hosts 1 to 4 GPUs"
+        );
         let mut t = TopologyBuilder::new();
         let host = t.host();
         let sw1 = t.switch(host);

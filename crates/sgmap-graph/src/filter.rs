@@ -209,8 +209,8 @@ mod tests {
 
     #[test]
     fn reorder_only_detection() {
-        let split = Filter::new("split", 2, 2, 0.5)
-            .with_kind(FilterKind::Splitter(SplitKind::Duplicate));
+        let split =
+            Filter::new("split", 2, 2, 0.5).with_kind(FilterKind::Splitter(SplitKind::Duplicate));
         assert!(split.is_reorder_only());
         assert!(!Filter::new("work", 1, 1, 1.0).is_reorder_only());
     }

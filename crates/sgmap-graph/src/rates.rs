@@ -233,7 +233,9 @@ pub(crate) fn repetition_vector(graph: &StreamGraph) -> Result<RepetitionVector>
         .into_iter()
         .map(|r| r.expect("every node assigned"))
         .collect();
-    let denom_lcm = rationals.iter().fold(1u64, |acc, r| lcm(acc, r.denominator()));
+    let denom_lcm = rationals
+        .iter()
+        .fold(1u64, |acc, r| lcm(acc, r.denominator()));
     let scaled: Vec<u64> = rationals
         .iter()
         .map(|r| r.numerator() * (denom_lcm / r.denominator()))
@@ -241,7 +243,7 @@ pub(crate) fn repetition_vector(graph: &StreamGraph) -> Result<RepetitionVector>
     let num_gcd = scaled.iter().fold(0u64, |acc, &v| gcd(acc, v));
     let reps = scaled
         .iter()
-        .map(|&v| if num_gcd > 0 { v / num_gcd } else { 1 })
+        .map(|&v| v.checked_div(num_gcd).unwrap_or(1))
         .collect();
     Ok(RepetitionVector { reps })
 }

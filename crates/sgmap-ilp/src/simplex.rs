@@ -261,8 +261,8 @@ impl Tableau {
             let b = self.basis[row];
             let cb = cost[b];
             if cb != 0.0 {
-                for col in 0..width {
-                    red[col] -= cb * self.a[row * width + col];
+                for (r, a) in red.iter_mut().zip(&self.a[row * width..(row + 1) * width]) {
+                    *r -= cb * a;
                 }
             }
         }
@@ -274,17 +274,17 @@ impl Tableau {
             let use_bland = iter > bland_after;
             let mut entering = None;
             if use_bland {
-                for col in 0..entering_limit {
-                    if red[col] < -TOL {
+                for (col, &r) in red.iter().enumerate().take(entering_limit) {
+                    if r < -TOL {
                         entering = Some(col);
                         break;
                     }
                 }
             } else {
                 let mut best = -TOL;
-                for col in 0..entering_limit {
-                    if red[col] < best {
-                        best = red[col];
+                for (col, &r) in red.iter().enumerate().take(entering_limit) {
+                    if r < best {
+                        best = r;
                         entering = Some(col);
                     }
                 }
@@ -328,8 +328,11 @@ impl Tableau {
             // Update the reduced-cost row.
             let factor = red[entering];
             if factor != 0.0 {
-                for col in 0..width {
-                    red[col] -= factor * self.a[leaving * width + col];
+                for (r, a) in red
+                    .iter_mut()
+                    .zip(&self.a[leaving * width..(leaving + 1) * width])
+                {
+                    *r -= factor * a;
                 }
             }
         }

@@ -113,7 +113,13 @@ impl Solver {
         let start = Instant::now();
         let minimize = model.objective_sense() == ObjectiveSense::Minimize;
         // "Better" means smaller for minimisation, larger for maximisation.
-        let better = |a: f64, b: f64| if minimize { a < b - 1e-12 } else { a > b + 1e-12 };
+        let better = |a: f64, b: f64| {
+            if minimize {
+                a < b - 1e-12
+            } else {
+                a > b + 1e-12
+            }
+        };
 
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
         if let Some(ws) = &self.warm_start {
@@ -145,8 +151,7 @@ impl Solver {
         let mut budget_hit = false;
 
         while let Some(node) = stack.pop() {
-            if nodes_explored >= self.options.max_nodes
-                || start.elapsed() > self.options.time_limit
+            if nodes_explored >= self.options.max_nodes || start.elapsed() > self.options.time_limit
             {
                 budget_hit = true;
                 break;
@@ -305,15 +310,15 @@ mod tests {
         let mut m = Model::new(ObjectiveSense::Minimize);
         let mut x = vec![vec![]; 3];
         for (i, xi) in x.iter_mut().enumerate() {
-            for j in 0..3 {
-                xi.push(m.add_binary(format!("x{i}{j}"), cost[i][j]));
+            for (j, &c) in cost[i].iter().enumerate() {
+                xi.push(m.add_binary(format!("x{i}{j}"), c));
             }
         }
         for xi in &x {
             m.add_constraint_eq(xi.iter().map(|&v| (v, 1.0)).collect(), 1.0);
         }
         for j in 0..3 {
-            m.add_constraint_eq((0..3).map(|i| (x[i][j], 1.0)).collect(), 1.0);
+            m.add_constraint_eq(x.iter().map(|xi| (xi[j], 1.0)).collect(), 1.0);
         }
         let s = Solver::new().solve(&m).unwrap();
         // Optimal assignment: job0->m1(2), job1->m0(4), job2->... m2(6)?
@@ -343,7 +348,11 @@ mod tests {
             let _ = i;
         }
         for bin in 0..2 {
-            let mut terms: Vec<_> = x.iter().enumerate().map(|(i, xs)| (xs[bin], w[i])).collect();
+            let mut terms: Vec<_> = x
+                .iter()
+                .enumerate()
+                .map(|(i, xs)| (xs[bin], w[i]))
+                .collect();
             terms.push((t, -1.0));
             m.add_constraint_le(terms, 0.0);
         }
@@ -358,10 +367,7 @@ mod tests {
         let a = m.add_binary("a", 1.0);
         let b = m.add_binary("b", 1.0);
         m.add_constraint_le(vec![(a, 1.0), (b, 1.0)], 1.0);
-        let s = Solver::new()
-            .warm_start(vec![1.0, 0.0])
-            .solve(&m)
-            .unwrap();
+        let s = Solver::new().warm_start(vec![1.0, 0.0]).solve(&m).unwrap();
         assert!((s.objective - 1.0).abs() < 1e-6);
     }
 
@@ -392,7 +398,10 @@ mod tests {
             ..SolverOptions::default()
         };
         let warm: Vec<f64> = (0..8).map(|i| if i < 3 { 1.0 } else { 0.0 }).collect();
-        let s = Solver::with_options(opts).warm_start(warm).solve(&m).unwrap();
+        let s = Solver::with_options(opts)
+            .warm_start(warm)
+            .solve(&m)
+            .unwrap();
         assert!(s.objective >= 3.0 - 1e-6);
     }
 

@@ -35,9 +35,8 @@ pub fn map_greedy(pdg: &Pdg, platform: &Platform) -> Mapping {
     // are broken by the total link traffic time, which lets the search peel
     // away pointless cross-GPU cuts one at a time instead of stalling on a
     // plateau where a different link is the bottleneck.
-    let secondary = |c: &crate::evaluate::MappingCost| -> f64 {
-        c.per_link_time_us.iter().sum::<f64>()
-    };
+    let secondary =
+        |c: &crate::evaluate::MappingCost| -> f64 { c.per_link_time_us.iter().sum::<f64>() };
     let mut cost = evaluate_assignment(pdg, platform, &assignment);
     let mut improved = true;
     let mut rounds = 0;

@@ -103,7 +103,11 @@ pub fn map_ilp(
     // n_ij.
     let mut n: Vec<Vec<VarId>> = Vec::with_capacity(p);
     for i in 0..p {
-        n.push((0..g).map(|j| model.add_binary(format!("n_{i}_{j}"), 0.0)).collect());
+        n.push(
+            (0..g)
+                .map(|j| model.add_binary(format!("n_{i}_{j}"), 0.0))
+                .collect(),
+        );
     }
     // Assignment constraints (III.5).
     for ni in &n {
@@ -111,7 +115,11 @@ pub fn map_ilp(
     }
     // GPU time constraints (III.1, III.4).
     for j in 0..g {
-        let mut terms: Vec<(VarId, f64)> = (0..p).map(|i| (n[i][j], pdg.times_us[i])).collect();
+        let mut terms: Vec<(VarId, f64)> = n
+            .iter()
+            .zip(&pdg.times_us)
+            .map(|(ni, &t)| (ni[j], t))
+            .collect();
         terms.push((tmax, -1.0));
         model.add_constraint_le(terms, 0.0);
     }
@@ -180,10 +188,7 @@ pub fn map_ilp(
             model.add_constraint_le(load_terms, 0.0);
             // d_l / BW <= Tmax  (III.2, III.3, with the latency amortised
             // away by pipelining).
-            model.add_constraint_le(
-                vec![(d_l, 1.0 / bw_bytes_per_us), (tmax, -1.0)],
-                0.0,
-            );
+            model.add_constraint_le(vec![(d_l, 1.0 / bw_bytes_per_us), (tmax, -1.0)], 0.0);
             link_vars.push(LinkVars {
                 link,
                 d: d_l,
@@ -224,7 +229,10 @@ pub fn map_ilp(
         time_limit: options.time_limit,
         ..SolverOptions::default()
     };
-    let solution = match Solver::with_options(solver_options).warm_start(warm).solve(&model) {
+    let solution = match Solver::with_options(solver_options)
+        .warm_start(warm)
+        .solve(&model)
+    {
         Ok(s) => s,
         // Budget exhaustion or numerical trouble: the greedy mapping is a
         // valid (warm-start) solution of the same model, so keep it.
@@ -240,7 +248,10 @@ pub fn map_ilp(
 
     let mut assignment = vec![0usize; p];
     for (i, ni) in n.iter().enumerate() {
-        assignment[i] = ni.iter().position(|&v| solution.binary_value(v)).unwrap_or(0);
+        assignment[i] = ni
+            .iter()
+            .position(|&v| solution.binary_value(v))
+            .unwrap_or(0);
     }
     // Re-evaluate with the shared cost model (authoritative numbers); keep
     // the greedy mapping if the budget-limited search somehow did worse.
@@ -310,11 +321,31 @@ mod tests {
         let p = pdg(
             vec![30.0, 5.0, 25.0, 10.0, 8.0, 22.0],
             vec![
-                PdgEdge { from: 0, to: 1, bytes_per_iteration: 4_096 },
-                PdgEdge { from: 1, to: 2, bytes_per_iteration: 65_536 },
-                PdgEdge { from: 2, to: 3, bytes_per_iteration: 512 },
-                PdgEdge { from: 3, to: 4, bytes_per_iteration: 131_072 },
-                PdgEdge { from: 4, to: 5, bytes_per_iteration: 1_024 },
+                PdgEdge {
+                    from: 0,
+                    to: 1,
+                    bytes_per_iteration: 4_096,
+                },
+                PdgEdge {
+                    from: 1,
+                    to: 2,
+                    bytes_per_iteration: 65_536,
+                },
+                PdgEdge {
+                    from: 2,
+                    to: 3,
+                    bytes_per_iteration: 512,
+                },
+                PdgEdge {
+                    from: 3,
+                    to: 4,
+                    bytes_per_iteration: 131_072,
+                },
+                PdgEdge {
+                    from: 4,
+                    to: 5,
+                    bytes_per_iteration: 1_024,
+                },
             ],
         );
         for gpus in [2usize, 3, 4] {
@@ -340,9 +371,21 @@ mod tests {
         let p = pdg(
             vec![50.0, 50.0, 10.0, 10.0],
             vec![
-                PdgEdge { from: 0, to: 1, bytes_per_iteration: 3_000_000 },
-                PdgEdge { from: 1, to: 2, bytes_per_iteration: 64 },
-                PdgEdge { from: 2, to: 3, bytes_per_iteration: 64 },
+                PdgEdge {
+                    from: 0,
+                    to: 1,
+                    bytes_per_iteration: 3_000_000,
+                },
+                PdgEdge {
+                    from: 1,
+                    to: 2,
+                    bytes_per_iteration: 64,
+                },
+                PdgEdge {
+                    from: 2,
+                    to: 3,
+                    bytes_per_iteration: 64,
+                },
             ],
         );
         let platform = Platform::quad_m2090().with_gpu_count(2);
@@ -360,13 +403,20 @@ mod tests {
     fn workload_only_ablation_ignores_the_interconnect() {
         let p = pdg(
             vec![50.0, 50.0],
-            vec![PdgEdge { from: 0, to: 1, bytes_per_iteration: 3_000_000 }],
+            vec![PdgEdge {
+                from: 0,
+                to: 1,
+                bytes_per_iteration: 3_000_000,
+            }],
         );
         let platform = Platform::quad_m2090().with_gpu_count(2);
         let blind = map_ilp(
             &p,
             &platform,
-            &MappingOptions { comm_aware: false, ..MappingOptions::default() },
+            &MappingOptions {
+                comm_aware: false,
+                ..MappingOptions::default()
+            },
         )
         .unwrap();
         // The workload-only model happily splits them (each GPU 50 us)...

@@ -79,7 +79,12 @@ mod tests {
         // Section 4.0.3: the proposed partitioner's counts are "almost always
         // greater than or equal to" the prior work's, because its merging
         // criteria are stricter.
-        for (app, n) in [(App::Des, 8), (App::Dct, 6), (App::Fft, 64), (App::Bitonic, 8)] {
+        for (app, n) in [
+            (App::Des, 8),
+            (App::Dct, 6),
+            (App::Fft, 64),
+            (App::Bitonic, 8),
+        ] {
             let graph = app.build(n).unwrap();
             let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
             let baseline = partition_baseline(&est).unwrap();

@@ -177,6 +177,9 @@ mod tests {
             Partition::new(NodeSet::from_ids([a, b]), dummy_estimate(1.0)),
             Partition::new(NodeSet::singleton(b), dummy_estimate(1.0)),
         ]);
-        assert_eq!(overlap.validate_cover(&g), Err(PartitionError::InvalidCover));
+        assert_eq!(
+            overlap.validate_cover(&g),
+            Err(PartitionError::InvalidCover)
+        );
     }
 }

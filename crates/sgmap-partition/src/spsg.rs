@@ -33,20 +33,17 @@ pub fn single_partition(est: &Estimator<'_>) -> Partition {
         .map(|cid| graph.channel_iteration_bytes(cid, reps))
         .sum();
     chars.io_bytes_per_exec += 2 * internal_bytes; // written once, read once
-    chars.sm_bytes_per_exec = chars.io_bytes_per_exec.min(4096).max(256);
+    chars.sm_bytes_per_exec = chars.io_bytes_per_exec.clamp(256, 4096);
 
     let gpu = est.gpu();
     let model = est.model();
     let (params, normalized_us) =
-        select_parameters(&chars, model, gpu, &ParamSearchSpace::default())
-            .unwrap_or_else(|| {
-                // Even the staging buffer does not fit: fall back to a
-                // minimal, heavily serialised configuration.
-                (sgmap_gpusim::KernelParams { w: 1, s: 1, f: 32 }, {
-                    let p = sgmap_gpusim::KernelParams { w: 1, s: 1, f: 32 };
-                    model.t_exec_us(&chars, p)
-                })
-            });
+        select_parameters(&chars, model, gpu, &ParamSearchSpace::default()).unwrap_or_else(|| {
+            // Even the staging buffer does not fit: fall back to a
+            // minimal, heavily serialised configuration.
+            let p = sgmap_gpusim::KernelParams { w: 1, s: 1, f: 32 };
+            (p, model.t_exec_us(&chars, p))
+        });
     let estimate = Estimate {
         params,
         t_comp_us: model.t_comp_us(&chars, params),
@@ -96,7 +93,10 @@ mod tests {
         ]);
         let graph = GraphBuilder::new("huge").build(spec).unwrap();
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
-        assert!(est.estimate(&NodeSet::all(&graph)).is_none(), "should not fit");
+        assert!(
+            est.estimate(&NodeSet::all(&graph)).is_none(),
+            "should not fit"
+        );
         let spilled = single_partition(&est);
         // The spilled kernel is IO bound: its DT volume includes the internal
         // traffic.

@@ -84,7 +84,10 @@ pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
 
 /// Fits `C1` and `C2` from calibration samples and returns an updated model.
 pub fn fit_constants(base: PerfModel, samples: &[CalibrationSample]) -> PerfModel {
-    let dt_x: Vec<f64> = samples.iter().map(|s| s.io_bytes / f64::from(s.f.max(1))).collect();
+    let dt_x: Vec<f64> = samples
+        .iter()
+        .map(|s| s.io_bytes / f64::from(s.f.max(1)))
+        .collect();
     let dt_y: Vec<f64> = samples.iter().map(|s| s.measured_dt_us).collect();
     let db_x: Vec<f64> = samples
         .iter()

@@ -1,9 +1,9 @@
 //! The abstract characteristics of a partition that the performance model
 //! consumes.
 
-use sgmap_graph::{NodeSet, RepetitionVector, StreamGraph};
 use sgmap_gpusim::profile::ProfileTable;
 use sgmap_gpusim::sm_layout;
+use sgmap_graph::{NodeSet, RepetitionVector, StreamGraph};
 
 /// Everything the performance model needs to know about a partition,
 /// independent of the kernel parameters.

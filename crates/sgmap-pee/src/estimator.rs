@@ -3,9 +3,9 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use sgmap_graph::{GraphError, NodeSet, RepetitionVector, StreamGraph};
 use sgmap_gpusim::profile::{profile_graph, ProfileTable};
 use sgmap_gpusim::{GpuSpec, KernelParams};
+use sgmap_graph::{GraphError, NodeSet, RepetitionVector, StreamGraph};
 
 use crate::chars::PartitionCharacteristics;
 use crate::model::PerfModel;
@@ -130,7 +130,13 @@ impl<'g> Estimator<'g> {
     /// Characteristics of a partition (uncached helper, mostly for tests and
     /// the code generator).
     pub fn characteristics(&self, set: &NodeSet) -> PartitionCharacteristics {
-        PartitionCharacteristics::from_set(self.graph, set, &self.reps, &self.profile, self.enhanced)
+        PartitionCharacteristics::from_set(
+            self.graph,
+            set,
+            &self.reps,
+            &self.profile,
+            self.enhanced,
+        )
     }
 
     /// Estimates the execution time of partition `set`, or returns `None`
@@ -255,7 +261,9 @@ mod tests {
     #[test]
     fn enhancement_flag_changes_the_cache_key() {
         let g = chain(&[1.0, 10.0, 1.0]);
-        let est = Estimator::new(&g, GpuSpec::m2090()).unwrap().with_enhancement(true);
+        let est = Estimator::new(&g, GpuSpec::m2090())
+            .unwrap()
+            .with_enhancement(true);
         assert!(est.enhanced());
         let e = est.estimate(&NodeSet::all(&g)).unwrap();
         assert!(e.t_exec_us > 0.0);

@@ -67,8 +67,8 @@ impl PerfModel {
             .map(|&(t_i, f_i)| t_i / (f_i as f64).min(s).max(1.0))
             .sum();
         if self.issue_throughput_correction {
-            let throughput = f64::from(params.w.max(1)) * chars.serial_compute_us()
-                / f64::from(self.warp_size);
+            let throughput =
+                f64::from(params.w.max(1)) * chars.serial_compute_us() / f64::from(self.warp_size);
             latency.max(throughput)
         } else {
             latency
@@ -90,7 +90,8 @@ impl PerfModel {
 
     /// Equation III.8: total kernel time.
     pub fn t_exec_us(&self, chars: &PartitionCharacteristics, params: KernelParams) -> f64 {
-        self.t_comp_us(chars, params).max(self.t_dt_us(chars, params))
+        self.t_comp_us(chars, params)
+            .max(self.t_dt_us(chars, params))
             + self.t_db_us(chars, params)
     }
 
@@ -169,7 +170,11 @@ mod tests {
         let with = PerfModel::default();
         let without = PerfModel::default().without_throughput_correction();
         let c = chars(&[(10.0, 1)], 0);
-        let p = KernelParams { w: 256, s: 1, f: 32 };
+        let p = KernelParams {
+            w: 256,
+            s: 1,
+            f: 32,
+        };
         assert!(with.t_comp_us(&c, p) > without.t_comp_us(&c, p));
     }
 

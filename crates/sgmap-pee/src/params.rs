@@ -60,9 +60,10 @@ pub fn select_parameters(
             // Largest W that satisfies both the shared-memory and the
             // thread-count budgets.
             let mut w_max = space.max_w;
-            if chars.sm_bytes_per_exec > 0 {
-                let by_sm = (shared_mem.saturating_sub(chars.io_bytes_per_exec))
-                    / chars.sm_bytes_per_exec;
+            if let Some(by_sm) = shared_mem
+                .saturating_sub(chars.io_bytes_per_exec)
+                .checked_div(chars.sm_bytes_per_exec)
+            {
                 w_max = w_max.min(by_sm.min(u64::from(u32::MAX)) as u32);
             }
             let by_threads = (gpu.max_threads_per_block.saturating_sub(f)) / s.max(1);
@@ -113,8 +114,9 @@ mod tests {
     fn oversized_partitions_are_rejected() {
         let gpu = GpuSpec::m2090();
         let c = chars(10.0, 1, 1024, 100_000); // > 48 KiB per execution
-        assert!(select_parameters(&c, &PerfModel::for_gpu(&gpu), &gpu, &Default::default())
-            .is_none());
+        assert!(
+            select_parameters(&c, &PerfModel::for_gpu(&gpu), &gpu, &Default::default()).is_none()
+        );
     }
 
     #[test]
@@ -123,8 +125,7 @@ mod tests {
         let model = PerfModel::for_gpu(&gpu);
         let sequential = chars(50.0, 1, 256, 2048);
         let parallel = chars(50.0, 32, 256, 2048);
-        let (p_seq, _) =
-            select_parameters(&sequential, &model, &gpu, &Default::default()).unwrap();
+        let (p_seq, _) = select_parameters(&sequential, &model, &gpu, &Default::default()).unwrap();
         let (p_par, t_par) =
             select_parameters(&parallel, &model, &gpu, &Default::default()).unwrap();
         assert_eq!(p_seq.s, 1, "a firing rate of 1 cannot use more threads");

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         StreamSpec::filter("display", 16, 0, 4.0),
     ]);
     let graph = GraphBuilder::new("edge_detect").build(spec)?;
-    println!("built {} with {} filters", graph.name(), graph.filter_count());
+    println!(
+        "built {} with {} filters",
+        graph.name(),
+        graph.filter_count()
+    );
 
     let config = FlowConfig::default().with_gpu_count(2);
     let compiled = compile(&graph, &config)?;
@@ -51,6 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let estimator = Estimator::new(&graph, config.gpu.clone())?;
     let first = &compiled.partitioning.partitions()[0];
     println!("\n--- generated kernel for partition 0 ---");
-    println!("{}", emit_pseudo_cuda(&estimator, &graph, first, "edge_detect_p0"));
+    println!(
+        "{}",
+        emit_pseudo_cuda(&estimator, &graph, first, "edge_detect_p0")
+    );
     Ok(())
 }

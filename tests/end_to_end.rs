@@ -16,8 +16,8 @@ fn every_app_compiles_and_runs_on_one_and_four_gpus() {
         let graph = app.build(n).unwrap();
         for gpus in [1usize, 4] {
             let config = FlowConfig::default().with_gpu_count(gpus);
-            let compiled = compile(&graph, &config)
-                .unwrap_or_else(|e| panic!("{app} N={n} G={gpus}: {e}"));
+            let compiled =
+                compile(&graph, &config).unwrap_or_else(|e| panic!("{app} N={n} G={gpus}: {e}"));
             compiled
                 .partitioning
                 .validate_cover(&graph)
@@ -80,7 +80,10 @@ fn sosp_of_our_stack_beats_the_previous_work_for_compute_bound_apps() {
         sosp_ours > sosp_prev,
         "ours {sosp_ours:.2} should beat previous {sosp_prev:.2}"
     );
-    assert!(sosp_ours > 1.5, "ours should clearly beat SPSG: {sosp_ours:.2}");
+    assert!(
+        sosp_ours > 1.5,
+        "ours should clearly beat SPSG: {sosp_ours:.2}"
+    );
 }
 
 #[test]
@@ -158,13 +161,15 @@ fn splitter_elimination_helps_split_heavy_apps_more_than_fft() {
     let fft = App::Fft.build(128).unwrap();
     let speedup = |graph: &sgmap_graph::StreamGraph| {
         let base = compile_and_run(graph, &FlowConfig::spsg()).unwrap();
-        let enhanced =
-            compile_and_run(graph, &FlowConfig::spsg().with_enhancement(true)).unwrap();
+        let enhanced = compile_and_run(graph, &FlowConfig::spsg().with_enhancement(true)).unwrap();
         base.time_per_iteration_us / enhanced.time_per_iteration_us
     };
     let bitonic_gain = speedup(&bitonic);
     let fft_gain = speedup(&fft);
-    assert!(bitonic_gain >= 1.0, "enhancement must not slow bitonic down");
+    assert!(
+        bitonic_gain >= 1.0,
+        "enhancement must not slow bitonic down"
+    );
     assert!(fft_gain >= 0.95, "enhancement must not slow FFT down");
     assert!(
         bitonic_gain >= fft_gain * 0.9,

@@ -3,12 +3,12 @@
 
 use proptest::prelude::*;
 
+use sgmap_gpusim::{sm_layout, GpuSpec, Platform};
 use sgmap_graph::{GraphBuilder, JoinKind, NodeSet, SplitKind, StreamGraph, StreamSpec};
 use sgmap_ilp::{Model, ObjectiveSense, Solver};
 use sgmap_mapping::evaluate_assignment;
 use sgmap_partition::{build_pdg, partition_stream_graph};
 use sgmap_pee::Estimator;
-use sgmap_gpusim::{sm_layout, GpuSpec, Platform};
 
 /// Strategy producing random but well-formed StreamIt-style specifications.
 ///
@@ -18,11 +18,10 @@ use sgmap_gpusim::{sm_layout, GpuSpec, Platform};
 /// filters produce exactly as many tokens as they consume; rate-changing
 /// filters appear freely outside split-joins.
 fn spec_strategy(depth: u32, balanced: bool) -> BoxedStrategy<StreamSpec> {
-    let filter = (1u32..4, 1u32..4, 1.0f64..200.0)
-        .prop_map(move |(pop, push, work)| {
-            let push = if balanced { pop } else { push };
-            StreamSpec::filter(format!("f_{pop}_{push}_{}", work as u64), pop, push, work)
-        });
+    let filter = (1u32..4, 1u32..4, 1.0f64..200.0).prop_map(move |(pop, push, work)| {
+        let push = if balanced { pop } else { push };
+        StreamSpec::filter(format!("f_{pop}_{push}_{}", work as u64), pop, push, work)
+    });
     if depth == 0 {
         return filter.boxed();
     }
@@ -59,7 +58,9 @@ fn random_graph(spec: StreamSpec) -> StreamGraph {
         spec,
         StreamSpec::filter("sink", 1, 0, 1.0),
     ]);
-    GraphBuilder::new("random").build(program).expect("builder accepts well-formed specs")
+    GraphBuilder::new("random")
+        .build(program)
+        .expect("builder accepts well-formed specs")
 }
 
 proptest! {

@@ -1,0 +1,21 @@
+//! Workspace hygiene gate: every target in every crate — benches, figure
+//! binaries and examples included — must at least type-check, so they can
+//! never silently rot while the regular test targets stay green.
+
+use std::process::Command;
+
+#[test]
+fn every_workspace_target_type_checks() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["check", "--all-targets", "--workspace", "--quiet"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo check");
+    assert!(
+        output.status.success(),
+        "cargo check --all-targets --workspace failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

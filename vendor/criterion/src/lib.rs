@@ -1,0 +1,239 @@
+//! Local stand-in for the Criterion benchmarking harness.
+//!
+//! The container builds offline, so this crate implements the small part of
+//! the Criterion API the workspace benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a plain wall-clock measurement loop.
+//! It reports the mean and best time per iteration for each benchmark.
+//!
+//! Like the real Criterion, when invoked by `cargo test` (which passes
+//! `--test` to `harness = false` bench targets) each benchmark body runs only
+//! once, as a smoke test.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Reads the command line to decide between measurement and smoke-test
+    /// mode. Called by `criterion_main!`.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.settings, self.test_mode, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks with its own settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            test_mode: self.test_mode,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.settings, self.test_mode, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` times the supplied closure.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    test_mode: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration samples for the final report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm up and size the inner batch so one sample is >= ~1% of the
+        // measurement budget without being a single huge run.
+        let warm_deadline = Instant::now() + self.settings.warm_up_time.min(Duration::from_secs(1));
+        let mut one = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline || warm_iters == 0 {
+            let t0 = Instant::now();
+            black_box(f());
+            one += t0.elapsed();
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = one.as_secs_f64() / warm_iters as f64;
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let total_iters = (budget / per_iter.max(1e-9)) as u64;
+        let samples = self.settings.sample_size.max(2) as u64;
+        let batch = (total_iters / samples).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        settings,
+        test_mode,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    if b.samples_ns.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let n = b.samples_ns.len() as f64;
+    let mean = b.samples_ns.iter().sum::<f64>() / n;
+    let best = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("{name}: mean {} / best {}", fmt_ns(mean), fmt_ns(best));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

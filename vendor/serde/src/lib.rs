@@ -1,0 +1,14 @@
+//! Local stand-in for the `serde` facade.
+//!
+//! The container builds with no network access, so the workspace vendors the
+//! tiny serde surface it actually uses: the `Serialize` / `Deserialize`
+//! marker traits and their no-op derive macros. The real serde can be swapped
+//! back in by repointing `[workspace.dependencies]` at crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

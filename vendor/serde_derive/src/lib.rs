@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds offline, so this proc-macro crate stands in for the
+//! real `serde_derive`. The derives accept the usual `#[serde(...)]` helper
+//! attributes and expand to nothing: the workspace only uses the derives as
+//! markers and never serializes through them.
+
+use proc_macro::TokenStream;
+
+/// Derives a (no-op) `Serialize` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives a (no-op) `Deserialize` implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
