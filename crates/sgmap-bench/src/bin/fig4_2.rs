@@ -1,19 +1,24 @@
 //! Figure 4.2 — scalability of the proposed mapping technique.
 //!
-//! For every application and size parameter N, the graph is partitioned once
-//! with the proposed heuristic and mapped to 1, 2, 3 and 4 GPUs with the
-//! communication-aware ILP. Speedups are reported over the 1-GPU
+//! For every application and size parameter N, the paper's stack is mapped to
+//! 1, 2, 3 and 4 GPUs and speedups are reported over the 1-GPU
 //! multi-partition mapping, together with the number of partitions (the
 //! x-axis annotation of the paper's figure). The paper's headline averages
 //! for the largest N are 1.8x / 2.6x / 3.2x for 2 / 3 / 4 GPUs.
+//!
+//! The grid itself is the `scaling` sweep preset, executed by the
+//! `sgmap-sweep` engine in parallel with a shared estimator cache; this
+//! binary only formats the report.
 
-use sgmap_apps::App;
-use sgmap_bench::{full_sweep_requested, mean, partition_app, run_mapped, sweep, Stack};
-use sgmap_gpusim::{GpuSpec, Platform};
+use sgmap_bench::{exit_on_failed_points, full_sweep_requested, mean};
+use sgmap_sweep::{run_sweep, SweepSpec};
 
 fn main() {
     let full = full_sweep_requested();
-    let gpu = GpuSpec::m2090();
+    let spec = SweepSpec::scaling(full);
+    let report = run_sweep(&spec, 0).expect("the scaling grid is valid");
+    exit_on_failed_points(&report);
+
     println!("# Figure 4.2: speedup over the 1-GPU multi-partition mapping");
     println!(
         "{:<12} {:>6} {:>11} {:>9} {:>9} {:>9} {:>9}",
@@ -21,29 +26,35 @@ fn main() {
     );
 
     let mut final_speedups = vec![Vec::new(); 3]; // index 0 -> 2 GPUs, ...
-    for app in App::all() {
-        let ns = sweep(app, full);
-        for (pos, &n) in ns.iter().enumerate() {
-            let graph = app.build(n).expect("benchmark graph builds");
-            let (estimator, partitioning) = partition_app(&graph, &gpu, Stack::Ours, false);
-            let mut times = Vec::new();
-            for gpus in 1..=4usize {
-                let platform = Platform::homogeneous(gpu.clone(), gpus);
-                let r = run_mapped(&graph, &estimator, &partitioning, &platform, Stack::Ours);
-                times.push(r.time_per_iteration_us);
-            }
-            let speedups: Vec<f64> = times.iter().map(|t| times[0] / t).collect();
+
+    // Iterate the spec's own axes so the table can never drift from the grid
+    // that actually ran.
+    for app_sweep in &spec.apps {
+        let app = app_sweep.app;
+        for (pos, &n) in app_sweep.n_values.iter().enumerate() {
+            let speedups: Vec<f64> = (1..=4usize)
+                .map(|gpus| {
+                    report
+                        .find(app, n, gpus, "ours", None, None)
+                        .and_then(|r| r.speedup_vs_1gpu)
+                        .expect("every scaling point runs")
+                })
+                .collect();
+            let partitions = report
+                .find(app, n, 1, "ours", None, None)
+                .expect("1-GPU point exists")
+                .partitions;
             println!(
                 "{:<12} {:>6} {:>11} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
                 app.name(),
                 n,
-                partitioning.len(),
+                partitions,
                 speedups[0],
                 speedups[1],
                 speedups[2],
                 speedups[3]
             );
-            if pos + 1 == ns.len() {
+            if pos + 1 == app_sweep.n_values.len() {
                 for (g, s) in final_speedups.iter_mut().zip(&speedups[1..]) {
                     g.push(*s);
                 }
@@ -56,4 +67,11 @@ fn main() {
     for (i, s) in final_speedups.iter().enumerate() {
         println!("  {}-GPU: {:.2}", i + 2, mean(s));
     }
+    eprintln!(
+        "[sweep: {} points on {} threads in {:.2}s, cache hit rate {:.0}%]",
+        report.records.len(),
+        report.threads,
+        report.wall_clock.as_secs_f64(),
+        report.cache.hit_rate() * 100.0
+    );
 }

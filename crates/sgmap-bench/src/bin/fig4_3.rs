@@ -7,14 +7,20 @@
 //! applications whose multi-GPU numbers the prior work reports, and the
 //! summary table gives the average "ours / previous" SOSP ratio per GPU count
 //! (paper: 1.17 / 1.33 / 1.40 / 1.47 for 1–4 GPUs).
+//!
+//! The grid is the `compare` sweep preset (ours and previous on 1–4 GPUs
+//! plus the pinned 1-GPU SPSG reference), executed by the `sgmap-sweep`
+//! engine; this binary only derives the SOSP ratios from the report.
 
-use sgmap_apps::App;
-use sgmap_bench::{full_sweep_requested, mean, partition_app, run_mapped, sweep, Stack};
-use sgmap_gpusim::{GpuSpec, Platform};
+use sgmap_bench::{exit_on_failed_points, full_sweep_requested, mean};
+use sgmap_sweep::{run_sweep, SweepSpec};
 
 fn main() {
     let full = full_sweep_requested();
-    let gpu = GpuSpec::m2090();
+    let spec = SweepSpec::compare(full);
+    let report = run_sweep(&spec, 0).expect("the compare grid is valid");
+    exit_on_failed_points(&report);
+
     println!("# Figure 4.3: SOSP, ours vs previous work, 1-4 GPUs");
     println!(
         "{:<10} {:>6} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
@@ -23,32 +29,23 @@ fn main() {
 
     // ratio accumulators per GPU count.
     let mut ratios = vec![Vec::new(); 4];
-    for app in App::figure_4_3_subset() {
-        let ns = sweep(app, full);
-        for &n in &ns {
-            let graph = app.build(n).expect("benchmark graph builds");
-            // SPSG reference on the same hardware.
-            let (spsg_est, spsg_part) = partition_app(&graph, &gpu, Stack::Spsg, false);
-            let spsg = run_mapped(
-                &graph,
-                &spsg_est,
-                &spsg_part,
-                &Platform::homogeneous(gpu.clone(), 1),
-                Stack::Spsg,
-            );
-
-            let (our_est, our_part) = partition_app(&graph, &gpu, Stack::Ours, false);
-            let (prev_est, prev_part) = partition_app(&graph, &gpu, Stack::Previous, false);
-
-            let mut our_sosp = Vec::new();
-            let mut prev_sosp = Vec::new();
-            for gpus in 1..=4usize {
-                let platform = Platform::homogeneous(gpu.clone(), gpus);
-                let ours = run_mapped(&graph, &our_est, &our_part, &platform, Stack::Ours);
-                let prev = run_mapped(&graph, &prev_est, &prev_part, &platform, Stack::Previous);
-                our_sosp.push(spsg.time_per_iteration_us / ours.time_per_iteration_us);
-                prev_sosp.push(spsg.time_per_iteration_us / prev.time_per_iteration_us);
-            }
+    // Iterate the spec's own axes so the table can never drift from the grid
+    // that actually ran.
+    for app_sweep in &spec.apps {
+        let app = app_sweep.app;
+        for &n in &app_sweep.n_values {
+            let spsg = report
+                .find(app, n, 1, "spsg", None, None)
+                .expect("SPSG reference runs at 1 GPU")
+                .time_per_iteration_us;
+            let time = |stack: &str, gpus: usize| {
+                report
+                    .find(app, n, gpus, stack, None, None)
+                    .expect("every compare point runs")
+                    .time_per_iteration_us
+            };
+            let our_sosp: Vec<f64> = (1..=4).map(|g| spsg / time("ours", g)).collect();
+            let prev_sosp: Vec<f64> = (1..=4).map(|g| spsg / time("previous", g)).collect();
             println!(
                 "{:<10} {:>6} | {:>7.2} {:>7.2} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
                 app.name(),
@@ -75,4 +72,11 @@ fn main() {
     for (g, r) in ratios.iter().enumerate() {
         println!("  {}-GPU: {:.2}", g + 1, mean(r));
     }
+    eprintln!(
+        "[sweep: {} points on {} threads in {:.2}s, cache hit rate {:.0}%]",
+        report.records.len(),
+        report.threads,
+        report.wall_clock.as_secs_f64(),
+        report.cache.hit_rate() * 100.0
+    );
 }

@@ -4,14 +4,20 @@
 //! enhancement that removes splitters and joiners from the generated kernels,
 //! for FFT (N = 512, 256, 128) and Bitonic (N = 64, 32, 16). The paper
 //! reports speedups of 1.44–1.66x for FFT and up to 5x for Bitonic.
+//!
+//! The grid is the `enhancement` sweep preset (SPSG on one GPU, with and
+//! without the Chapter-V enhancement), executed by the `sgmap-sweep` engine;
+//! this binary only formats the report.
 
 use sgmap_apps::App;
-use sgmap_bench::{partition_app, run_mapped, Stack};
-use sgmap_gpusim::{GpuSpec, Platform};
+use sgmap_bench::exit_on_failed_points;
+use sgmap_sweep::{run_sweep, SweepSpec};
 
 fn main() {
-    let gpu = GpuSpec::m2090();
-    let platform = Platform::homogeneous(gpu.clone(), 1);
+    let spec = SweepSpec::enhancement();
+    let report = run_sweep(&spec, 0).expect("the enhancement grid is valid");
+    exit_on_failed_points(&report);
+
     println!("# Table 5.1: runtime (ms per 16384 iterations) original vs enhanced, 1 GPU");
     println!(
         "{:<10} {:>6} {:>14} {:>14} {:>9}",
@@ -24,25 +30,34 @@ fn main() {
     ];
     for (app, ns) in cases {
         for n in ns {
-            let graph = app.build(n).expect("benchmark graph builds");
-            let mut times = Vec::new();
-            for enhanced in [false, true] {
-                let (est, part) = partition_app(&graph, &gpu, Stack::Spsg, enhanced);
-                let r = run_mapped(&graph, &est, &part, &platform, Stack::Spsg);
-                // Report the run of all pipelined fragments in milliseconds,
-                // like the paper's table does.
-                times.push(r.time_per_iteration_us * 16384.0 / 1000.0);
-            }
+            // Report the run of all pipelined fragments in milliseconds,
+            // like the paper's table does.
+            let ms = |enhanced: bool| {
+                report
+                    .find(app, n, 1, "spsg", None, Some(enhanced))
+                    .expect("every enhancement point runs")
+                    .time_per_iteration_us
+                    * 16384.0
+                    / 1000.0
+            };
+            let (original, enhanced) = (ms(false), ms(true));
             println!(
                 "{:<10} {:>6} {:>14.2} {:>14.2} {:>9.2}",
                 app.name(),
                 n,
-                times[0],
-                times[1],
-                times[0] / times[1]
+                original,
+                enhanced,
+                original / enhanced
             );
         }
     }
     println!();
     println!("Paper reference: FFT 1.44-1.66x, Bitonic 1.05-5.01x.");
+    eprintln!(
+        "[sweep: {} points on {} threads in {:.2}s, cache hit rate {:.0}%]",
+        report.records.len(),
+        report.threads,
+        report.wall_clock.as_secs_f64(),
+        report.cache.hit_rate() * 100.0
+    );
 }

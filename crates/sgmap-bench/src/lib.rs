@@ -160,6 +160,30 @@ pub fn sweep(app: App, full: bool) -> Vec<u32> {
     }
 }
 
+/// Prints every failed point of a sweep report (with the captured cause) and
+/// exits non-zero if there was any. The figure binaries call this right after
+/// `run_sweep` so a failing grid point surfaces its real error instead of a
+/// later `expect` panic on a missing record.
+pub fn exit_on_failed_points(report: &sgmap_sweep::SweepReport) {
+    let mut failed = false;
+    for r in report.records.iter().filter(|r| !r.is_ok()) {
+        failed = true;
+        eprintln!(
+            "sweep point failed: {} N={} {} G={} [{}{}]: {}",
+            r.app.name(),
+            r.n,
+            r.gpu_model,
+            r.gpus,
+            r.stack,
+            if r.enhanced { ", enhanced" } else { "" },
+            r.error.as_deref().unwrap_or("unknown error")
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// `true` if the harness was invoked with `--full`.
 pub fn full_sweep_requested() -> bool {
     std::env::args().any(|a| a == "--full")

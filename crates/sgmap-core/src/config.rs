@@ -93,6 +93,30 @@ impl FlowConfig {
             .with_gpu_count(1)
     }
 
+    /// Checks the configuration for degenerate values that would otherwise
+    /// produce a nonsense run (or a panic deep inside the platform model).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid knob found: a GPU count
+    /// outside the reference switch tree's 1–4, or a zero fragment /
+    /// iteration count in the plan options.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=4).contains(&self.gpu_count) {
+            return Err(format!(
+                "gpu_count must be between 1 and 4 (the reference switch tree), got {}",
+                self.gpu_count
+            ));
+        }
+        if self.plan.n_fragments == 0 {
+            return Err("plan.n_fragments must be at least 1".to_string());
+        }
+        if self.plan.iterations_per_fragment == 0 {
+            return Err("plan.iterations_per_fragment must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
     /// The platform this configuration targets.
     pub fn platform(&self) -> Platform {
         Platform::homogeneous(self.gpu.clone(), self.gpu_count)
@@ -121,5 +145,18 @@ mod tests {
         assert_eq!(spsg.gpu_count, 1);
         assert_eq!(spsg.partitioner, PartitionerKind::Single);
         assert_eq!(ours.platform().gpu_count, 4);
+    }
+
+    #[test]
+    fn degenerate_configs_fail_validation() {
+        assert!(FlowConfig::default().validate().is_ok());
+        assert!(FlowConfig::default().with_gpu_count(0).validate().is_err());
+        assert!(FlowConfig::default().with_gpu_count(5).validate().is_err());
+        let mut zero_fragments = FlowConfig::default();
+        zero_fragments.plan.n_fragments = 0;
+        assert!(zero_fragments.validate().is_err());
+        let mut zero_iterations = FlowConfig::default();
+        zero_iterations.plan.iterations_per_fragment = 0;
+        assert!(zero_iterations.validate().is_err());
     }
 }

@@ -17,6 +17,8 @@ use crate::report::RunReport;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum FlowError {
+    /// The configuration contains a degenerate value (e.g. zero GPUs).
+    InvalidConfig(String),
     /// Stream graph analysis failed.
     Graph(GraphError),
     /// Partitioning failed.
@@ -28,6 +30,7 @@ pub enum FlowError {
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FlowError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             FlowError::Graph(e) => write!(f, "graph analysis failed: {e}"),
             FlowError::Partition(e) => write!(f, "partitioning failed: {e}"),
             FlowError::Mapping(e) => write!(f, "mapping failed: {e}"),
@@ -81,16 +84,70 @@ impl CompileResult {
 ///
 /// # Errors
 ///
-/// Returns an error if graph analysis, partitioning or mapping fails.
+/// Returns an error if the configuration is degenerate or if graph analysis,
+/// partitioning or mapping fails.
 pub fn compile(graph: &StreamGraph, config: &FlowConfig) -> Result<CompileResult, FlowError> {
+    config.validate().map_err(FlowError::InvalidConfig)?;
+    let estimator = Estimator::new(graph, config.gpu.clone())?.with_enhancement(config.enhanced);
+    compile_with_estimator(graph, config, &estimator)
+}
+
+/// Like [`compile`], but uses a caller-supplied estimator instead of building
+/// one internally.
+///
+/// This is the entry point batch drivers use to share estimator state across
+/// many compilations: build one [`Estimator`] per graph, attach a shared
+/// [`EstimateCache`](sgmap_pee::EstimateCache), and compile the same graph
+/// against many configurations (GPU counts, mappers, transfer modes) without
+/// re-answering estimation queries. The estimator must have been built for
+/// this graph (checked cheaply by identity, falling back to name and filter
+/// count), target the same GPU model as `config` and have the matching
+/// enhancement flag; mismatches are reported as
+/// [`FlowError::InvalidConfig`].
+///
+/// # Errors
+///
+/// Returns an error if the configuration is degenerate, disagrees with the
+/// estimator, or if graph analysis, partitioning or mapping fails.
+pub fn compile_with_estimator(
+    graph: &StreamGraph,
+    config: &FlowConfig,
+    estimator: &Estimator<'_>,
+) -> Result<CompileResult, FlowError> {
+    config.validate().map_err(FlowError::InvalidConfig)?;
+    if !std::ptr::eq(estimator.graph(), graph)
+        && (estimator.graph().name() != graph.name()
+            || estimator.graph().filter_count() != graph.filter_count())
+    {
+        return Err(FlowError::InvalidConfig(format!(
+            "estimator was built for graph '{}' ({} filters) but the flow was handed '{}' ({} filters)",
+            estimator.graph().name(),
+            estimator.graph().filter_count(),
+            graph.name(),
+            graph.filter_count()
+        )));
+    }
+    if estimator.gpu() != &config.gpu {
+        return Err(FlowError::InvalidConfig(format!(
+            "estimator targets GPU '{}' but the configuration targets '{}'",
+            estimator.gpu().name,
+            config.gpu.name
+        )));
+    }
+    if estimator.enhanced() != config.enhanced {
+        return Err(FlowError::InvalidConfig(format!(
+            "estimator enhancement flag ({}) disagrees with the configuration ({})",
+            estimator.enhanced(),
+            config.enhanced
+        )));
+    }
     let platform = config.platform();
     let reps = graph.repetition_vector()?;
-    let estimator = Estimator::new(graph, platform.gpu.clone())?.with_enhancement(config.enhanced);
-    let partitioning = partition_with(&estimator, config.partitioner)?;
+    let partitioning = partition_with(estimator, config.partitioner)?;
     let pdg = build_pdg(graph, &reps, &partitioning);
     let mapping = map_with(&pdg, &platform, config.mapper, &config.mapping_options)?;
     let (plan, kernels) = build_execution_plan(
-        &estimator,
+        estimator,
         &partitioning,
         &pdg,
         &mapping,
@@ -175,6 +232,44 @@ mod tests {
         let report = compile_and_run(&graph, &FlowConfig::spsg()).unwrap();
         assert_eq!(report.partition_count, 1);
         assert_eq!(report.mapping.gpus_used(), 1);
+    }
+
+    #[test]
+    fn zero_gpu_count_is_a_flow_error_not_a_panic() {
+        let graph = App::FmRadio.build(4).unwrap();
+        let err = compile_and_run(&graph, &FlowConfig::default().with_gpu_count(0)).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
+        let err = compile(&graph, &FlowConfig::default().with_gpu_count(9)).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn compile_with_a_shared_estimator_matches_plain_compile() {
+        use sgmap_pee::EstimateCache;
+
+        let graph = App::FmRadio.build(8).unwrap();
+        let config = FlowConfig::default().with_gpu_count(2);
+        let plain = compile_and_run(&graph, &config).unwrap();
+
+        let cache = EstimateCache::shared();
+        let estimator = Estimator::new(&graph, config.gpu.clone())
+            .unwrap()
+            .with_shared_cache(cache.clone());
+        let compiled = compile_with_estimator(&graph, &config, &estimator).unwrap();
+        let shared = execute(&compiled, &config);
+        assert_eq!(
+            plain.time_per_iteration_us.to_bits(),
+            shared.time_per_iteration_us.to_bits()
+        );
+        assert_eq!(plain.partition_count, shared.partition_count);
+        assert!(cache.stats().misses > 0);
+
+        // A mismatched estimator is rejected up front.
+        let wrong = Estimator::new(&graph, config.gpu.clone())
+            .unwrap()
+            .with_enhancement(true);
+        let err = compile_with_estimator(&graph, &config, &wrong).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

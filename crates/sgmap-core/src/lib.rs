@@ -26,5 +26,7 @@ mod flow;
 mod report;
 
 pub use config::FlowConfig;
-pub use flow::{compile, compile_and_run, execute, CompileResult, FlowError};
+pub use flow::{
+    compile, compile_and_run, compile_with_estimator, execute, CompileResult, FlowError,
+};
 pub use report::{speedup, RunReport};

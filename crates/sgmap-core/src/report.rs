@@ -1,10 +1,11 @@
 //! Execution reports and the speedup metrics of the evaluation.
 
+use serde::{Deserialize, Serialize};
 use sgmap_gpusim::ExecStats;
 use sgmap_mapping::Mapping;
 
 /// The result of running a compiled stream graph on the platform simulator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Number of partitions (kernels) the graph was compiled into.
     pub partition_count: usize,

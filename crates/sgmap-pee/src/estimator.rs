@@ -2,6 +2,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sgmap_gpusim::profile::{profile_graph, ProfileTable};
 use sgmap_gpusim::{GpuSpec, KernelParams};
@@ -10,6 +11,7 @@ use sgmap_graph::{GraphError, NodeSet, RepetitionVector, StreamGraph};
 use crate::chars::PartitionCharacteristics;
 use crate::model::PerfModel;
 use crate::params::{select_parameters, ParamSearchSpace};
+use crate::shared_cache::{EstimateCache, EstimateKey};
 
 /// The PEE's answer for one partition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +61,7 @@ pub struct Estimator<'g> {
     space: ParamSearchSpace,
     enhanced: bool,
     cache: RefCell<HashMap<(NodeSet, bool), Option<Estimate>>>,
+    shared: Option<Arc<EstimateCache>>,
 }
 
 impl<'g> Estimator<'g> {
@@ -80,6 +83,7 @@ impl<'g> Estimator<'g> {
             space: ParamSearchSpace::default(),
             enhanced: false,
             cache: RefCell::new(HashMap::new()),
+            shared: None,
         })
     }
 
@@ -94,6 +98,16 @@ impl<'g> Estimator<'g> {
     /// all subsequent estimates.
     pub fn with_enhancement(mut self, enhanced: bool) -> Self {
         self.enhanced = enhanced;
+        self
+    }
+
+    /// Attaches a shared, thread-safe estimate cache. Queries are answered
+    /// from (and recorded into) the shared cache keyed by partition
+    /// characteristics and platform parameters, so estimators for different
+    /// graphs — including estimators on other threads — reuse each other's
+    /// work. Cached answers are bit-identical to fresh computations.
+    pub fn with_shared_cache(mut self, cache: Arc<EstimateCache>) -> Self {
+        self.shared = Some(cache);
         self
     }
 
@@ -147,19 +161,30 @@ impl<'g> Estimator<'g> {
         if let Some(cached) = self.cache.borrow().get(&key) {
             return *cached;
         }
-        let est = self.estimate_uncached(set);
+        let est = match &self.shared {
+            Some(shared) => {
+                let chars = self.characteristics(set);
+                let shared_key = EstimateKey::new(&chars, &self.model, &self.gpu, &self.space);
+                shared.get_or_compute(shared_key, || self.estimate_from_chars(&chars))
+            }
+            None => self.estimate_uncached(set),
+        };
         self.cache.borrow_mut().insert(key, est);
         est
     }
 
     fn estimate_uncached(&self, set: &NodeSet) -> Option<Estimate> {
         let chars = self.characteristics(set);
+        self.estimate_from_chars(&chars)
+    }
+
+    fn estimate_from_chars(&self, chars: &PartitionCharacteristics) -> Option<Estimate> {
         let (params, normalized_us) =
-            select_parameters(&chars, &self.model, &self.gpu, &self.space)?;
-        let t_comp_us = self.model.t_comp_us(&chars, params);
-        let t_dt_us = self.model.t_dt_us(&chars, params);
-        let t_db_us = self.model.t_db_us(&chars, params);
-        let t_exec_us = self.model.t_exec_us(&chars, params);
+            select_parameters(chars, &self.model, &self.gpu, &self.space)?;
+        let t_comp_us = self.model.t_comp_us(chars, params);
+        let t_dt_us = self.model.t_dt_us(chars, params);
+        let t_db_us = self.model.t_db_us(chars, params);
+        let t_exec_us = self.model.t_exec_us(chars, params);
         Some(Estimate {
             params,
             t_comp_us,

@@ -39,8 +39,10 @@ mod chars;
 mod estimator;
 mod model;
 mod params;
+mod shared_cache;
 
 pub use chars::PartitionCharacteristics;
 pub use estimator::{Estimate, Estimator};
 pub use model::{PerfModel, PAPER_C1, PAPER_C2};
 pub use params::{select_parameters, ParamSearchSpace};
+pub use shared_cache::{CacheStats, EstimateCache, EstimateKey};

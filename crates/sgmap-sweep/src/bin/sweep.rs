@@ -1,0 +1,142 @@
+//! The `sweep` CLI: run a named sweep preset and emit a JSON report.
+//!
+//! ```text
+//! sweep [--preset NAME] [--threads N] [--out FILE] [--canonical] [--list]
+//! ```
+//!
+//! * `--preset NAME` — which grid to run (default `quick`); see `--list`.
+//! * `--threads N` — worker threads (default: available parallelism, max 8).
+//! * `--out FILE` — write the JSON report to `FILE` instead of stdout.
+//! * `--canonical` — emit only the deterministic report body (no wall-clock
+//!   metadata), for byte-for-byte comparisons between runs.
+//! * `--list` — print the available presets and exit.
+//!
+//! A human-readable summary always goes to stderr, so stdout stays valid
+//! JSON for piping.
+
+use std::process::ExitCode;
+
+use sgmap_sweep::{default_threads, run_sweep, SweepSpec};
+
+const USAGE: &str =
+    "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--canonical] [--list]";
+
+struct Args {
+    preset: String,
+    threads: usize,
+    out: Option<String>,
+    canonical: bool,
+    list: bool,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        preset: "quick".to_string(),
+        threads: 0,
+        out: None,
+        canonical: false,
+        list: false,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => {
+                args.preset = it.next().ok_or("--preset needs a value")?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a number: {v}"))?;
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a value")?);
+            }
+            "--canonical" => args.canonical = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.list {
+        for name in SweepSpec::PRESETS {
+            let points = SweepSpec::preset(name)
+                .and_then(|s| s.expand())
+                .map(|p| p.len())
+                .unwrap_or(0);
+            println!("{name:<12} {points} points");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let spec = match SweepSpec::preset(&args.preset) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = if args.threads == 0 {
+        default_threads()
+    } else {
+        args.threads
+    };
+    eprintln!("sweep '{}' on {} threads...", spec.name, threads);
+    let report = match run_sweep(&spec, threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ok = report.ok_records().count();
+    let failed = report.records.len() - ok;
+    eprintln!(
+        "{} points ({} ok, {} failed) in {:.2}s; cache: {} hits / {} misses ({:.0}% hit rate)",
+        report.records.len(),
+        ok,
+        failed,
+        report.wall_clock.as_secs_f64(),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate() * 100.0,
+    );
+
+    let json = if args.canonical {
+        report.canonical_json()
+    } else {
+        report.to_json()
+    };
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    if failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! The vendored `serde` shim has no serializer back-end, so the sweep report
+//! formats itself with this tiny builder instead. Output is deterministic by
+//! construction: object keys appear in insertion order and `f64` values use
+//! Rust's shortest-round-trip formatting, so equal reports serialise to equal
+//! bytes.
+
+use std::fmt::Write;
+
+/// Escapes `s` as the contents of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON value rendered to a string.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// An unsigned integer.
+    Uint(u64),
+    /// A finite float (non-finite values render as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// An object with keys in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for object values.
+    pub fn object(fields: Vec<(&str, Value)>) -> Self {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{}` is the shortest round-trip representation; add
+                    // `.0` to integral floats so the value stays
+                    // unambiguously a float for JSON consumers.
+                    let mut s = x.to_string();
+                    if !s.contains(['.', 'e', 'E']) {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_render_compact_deterministic_json() {
+        let v = Value::object(vec![
+            ("name", Value::str("a \"b\"\n")),
+            ("count", Value::Uint(3)),
+            ("ratio", Value::Float(1.5)),
+            ("whole", Value::Float(2.0)),
+            ("nan", Value::Float(f64::NAN)),
+            ("flag", Value::Bool(true)),
+            ("none", Value::Null),
+            ("list", Value::Array(vec![Value::Int(-1), Value::Uint(2)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"a \"b\"\n","count":3,"ratio":1.5,"whole":2.0,"nan":null,"flag":true,"none":null,"list":[-1,2]}"#
+        );
+        assert_eq!(v.render(), v.render());
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape("t\ta"), "t\\ta");
+    }
+}

@@ -1,0 +1,59 @@
+//! Parallel experiment-sweep engine for the `sgmap` flow.
+//!
+//! The paper's evaluation is a grid of (application, size `N`, GPU count,
+//! mapper, partitioner, transfer mode) runs. This crate turns that grid into
+//! a first-class object:
+//!
+//! * [`SweepSpec`] — a declarative description of the grid: per-application
+//!   `N` axes, GPU models and counts, correlated partitioner/mapper/transfer
+//!   "stacks" and per-axis [`PointFilter`]s,
+//! * [`SweepSpec::expand`] — deterministic expansion into an indexed work
+//!   list of [`SweepPoint`]s,
+//! * [`run_sweep`] — execution on a scoped worker pool where all points
+//!   share one thread-safe [`EstimateCache`](sgmap_pee::EstimateCache), so
+//!   repeated estimator queries across points are answered once,
+//! * [`SweepReport`] — per-point [`SweepRecord`]s (throughput, bottleneck
+//!   kind, speedup over the 1-GPU baseline) plus cache statistics, rendered
+//!   as stable JSON.
+//!
+//! Reports are deterministic by construction: points are reassembled in
+//! work-list order, the ILP budget is node-bound rather than wall-clock
+//! bound, and the single-flight cache makes even the hit/miss counters
+//! independent of thread scheduling. Running the same spec with 1 or N
+//! worker threads therefore renders byte-identical
+//! [`SweepReport::canonical_json`].
+//!
+//! ```rust
+//! use sgmap_sweep::{run_sweep, AppSweep, GpuModel, StackConfig, SweepSpec};
+//! use sgmap_apps::App;
+//!
+//! let spec = SweepSpec::new(
+//!     "doc",
+//!     vec![AppSweep::explicit(App::FmRadio, vec![4])],
+//!     vec![GpuModel::M2090],
+//!     vec![1, 2],
+//!     vec![StackConfig::ours()],
+//! );
+//! let report = run_sweep(&spec, 2).unwrap();
+//! assert_eq!(report.records.len(), 2);
+//! assert!(report.records.iter().all(|r| r.is_ok()));
+//! ```
+//!
+//! The `sweep` binary exposes the named presets on the command line; see the
+//! repository README's "Running sweeps" section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod report;
+mod runner;
+mod spec;
+
+pub use json::Value as JsonValue;
+pub use report::{Bottleneck, SweepRecord, SweepReport};
+pub use runner::{default_threads, run_sweep};
+pub use spec::{
+    mapper_name, partitioner_name, transfer_name, AppSweep, GpuModel, PointFilter, StackConfig,
+    SweepError, SweepPoint, SweepSpec,
+};

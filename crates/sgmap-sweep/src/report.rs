@@ -1,0 +1,328 @@
+//! Sweep records and the JSON report.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use sgmap_apps::App;
+use sgmap_core::RunReport;
+use sgmap_pee::CacheStats;
+
+use crate::json::Value;
+use crate::spec::{mapper_name, partitioner_name, transfer_name, SweepPoint};
+
+/// What limited the throughput of a point, judged from the mapping's
+/// predicted per-GPU and per-link busy times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// The busiest GPU bounds the throughput.
+    Compute,
+    /// The busiest PCIe link bounds the throughput.
+    Interconnect,
+}
+
+impl Bottleneck {
+    /// Stable lower-case name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Bottleneck::Compute => "compute",
+            Bottleneck::Interconnect => "interconnect",
+        }
+    }
+}
+
+/// The serializable outcome of one sweep point — a [`RunReport`] flattened
+/// into the stable record shape the JSON report emits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Position in the deterministic work list.
+    pub index: usize,
+    /// The application.
+    pub app: App,
+    /// The size parameter.
+    pub n: u32,
+    /// GPU model name.
+    pub gpu_model: String,
+    /// Number of GPUs in the platform.
+    pub gpus: usize,
+    /// Stack label (e.g. `"ours"`).
+    pub stack: String,
+    /// Partitioner name.
+    pub partitioner: String,
+    /// Mapper name.
+    pub mapper: String,
+    /// Transfer-mode name.
+    pub transfer: String,
+    /// Whether the Chapter-V enhancement was applied.
+    pub enhanced: bool,
+    /// The failure message when the point could not be compiled (all
+    /// measurement fields are zero in that case).
+    pub error: Option<String>,
+    /// Number of partitions the graph was compiled into.
+    pub partitions: usize,
+    /// GPUs actually used by the mapping.
+    pub gpus_used: usize,
+    /// Average time per steady-state iteration, microseconds.
+    pub time_per_iteration_us: f64,
+    /// End-to-end makespan, microseconds.
+    pub makespan_us: f64,
+    /// The mapper's predicted bottleneck time, microseconds.
+    pub predicted_tmax_us: f64,
+    /// What limited the throughput (`None` for failed points).
+    pub bottleneck: Option<Bottleneck>,
+    /// Speedup over the matching 1-GPU point of the same (app, N, model,
+    /// stack, enhancement) group, when that point exists in the sweep.
+    pub speedup_vs_1gpu: Option<f64>,
+}
+
+impl SweepRecord {
+    /// Builds the record for a successfully executed point.
+    pub fn from_run(point: &SweepPoint, report: &RunReport) -> Self {
+        let max_gpu = report
+            .mapping
+            .per_gpu_time_us
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        let max_link = report
+            .mapping
+            .per_link_time_us
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        let bottleneck = if max_link > max_gpu {
+            Bottleneck::Interconnect
+        } else {
+            Bottleneck::Compute
+        };
+        SweepRecord {
+            partitions: report.partition_count,
+            gpus_used: report.mapping.gpus_used(),
+            time_per_iteration_us: report.time_per_iteration_us,
+            makespan_us: report.makespan_us,
+            predicted_tmax_us: report.mapping.predicted_tmax_us,
+            bottleneck: Some(bottleneck),
+            error: None,
+            ..SweepRecord::empty(point)
+        }
+    }
+
+    /// Builds the record for a point that failed to compile.
+    pub fn from_error(point: &SweepPoint, error: impl std::fmt::Display) -> Self {
+        SweepRecord {
+            error: Some(error.to_string()),
+            ..SweepRecord::empty(point)
+        }
+    }
+
+    fn empty(point: &SweepPoint) -> Self {
+        SweepRecord {
+            index: point.index,
+            app: point.app,
+            n: point.n,
+            gpu_model: point.gpu_model.name().to_string(),
+            gpus: point.gpu_count,
+            stack: point.stack.label.clone(),
+            partitioner: partitioner_name(point.stack.partitioner).to_string(),
+            mapper: mapper_name(point.stack.mapper).to_string(),
+            transfer: transfer_name(point.stack.transfer_mode).to_string(),
+            enhanced: point.enhanced,
+            error: None,
+            partitions: 0,
+            gpus_used: 0,
+            time_per_iteration_us: 0.0,
+            makespan_us: 0.0,
+            predicted_tmax_us: 0.0,
+            bottleneck: None,
+            speedup_vs_1gpu: None,
+        }
+    }
+
+    /// `true` when the point compiled and ran.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The grouping key used to match records across the GPU-count axis.
+    pub(crate) fn scaling_group(&self) -> (App, u32, &str, &str, bool) {
+        (
+            self.app,
+            self.n,
+            &self.gpu_model,
+            &self.stack,
+            self.enhanced,
+        )
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("index", Value::Uint(self.index as u64)),
+            ("app", Value::str(self.app.name())),
+            ("n", Value::Uint(u64::from(self.n))),
+            ("gpu_model", Value::str(&*self.gpu_model)),
+            ("gpus", Value::Uint(self.gpus as u64)),
+            ("stack", Value::str(&*self.stack)),
+            ("partitioner", Value::str(&*self.partitioner)),
+            ("mapper", Value::str(&*self.mapper)),
+            ("transfer", Value::str(&*self.transfer)),
+            ("enhanced", Value::Bool(self.enhanced)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Value::str(&**e),
+                    None => Value::Null,
+                },
+            ),
+            ("partitions", Value::Uint(self.partitions as u64)),
+            ("gpus_used", Value::Uint(self.gpus_used as u64)),
+            (
+                "time_per_iteration_us",
+                Value::Float(self.time_per_iteration_us),
+            ),
+            ("makespan_us", Value::Float(self.makespan_us)),
+            ("predicted_tmax_us", Value::Float(self.predicted_tmax_us)),
+            (
+                "bottleneck",
+                match self.bottleneck {
+                    Some(b) => Value::str(b.name()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "speedup_vs_1gpu",
+                match self.speedup_vs_1gpu {
+                    Some(s) => Value::Float(s),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// The result of running a sweep: the per-point records in work-list order
+/// plus shared-cache statistics and (non-deterministic) execution metadata.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Name of the sweep spec that produced this report.
+    pub spec_name: String,
+    /// Per-point records, ordered by [`SweepRecord::index`].
+    pub records: Vec<SweepRecord>,
+    /// Shared estimator-cache counters at the end of the sweep. These are
+    /// deterministic for a given spec (single-flight caching makes the miss
+    /// count equal the number of distinct keys, independent of scheduling).
+    pub cache: CacheStats,
+    /// Number of worker threads used (metadata; excluded from canonical
+    /// JSON).
+    pub threads: usize,
+    /// Wall-clock duration of the sweep (metadata; excluded from canonical
+    /// JSON).
+    pub wall_clock: Duration,
+}
+
+impl SweepReport {
+    /// The deterministic part of the report: spec name, records and cache
+    /// statistics. Two runs of the same spec — with any thread counts —
+    /// render byte-identical canonical JSON.
+    pub fn canonical_json(&self) -> String {
+        self.body_value().render()
+    }
+
+    /// The full report: the canonical body plus an execution-metadata object
+    /// (thread count, wall-clock time).
+    pub fn to_json(&self) -> String {
+        let mut body = match self.body_value() {
+            Value::Object(fields) => fields,
+            _ => unreachable!("body is always an object"),
+        };
+        body.push((
+            "meta".to_string(),
+            Value::object(vec![
+                ("threads", Value::Uint(self.threads as u64)),
+                (
+                    "wall_clock_ms",
+                    Value::Float(self.wall_clock.as_secs_f64() * 1000.0),
+                ),
+            ]),
+        ));
+        Value::Object(body).render()
+    }
+
+    fn body_value(&self) -> Value {
+        Value::object(vec![
+            ("sweep", Value::str(&*self.spec_name)),
+            (
+                "points",
+                Value::Array(self.records.iter().map(SweepRecord::to_value).collect()),
+            ),
+            (
+                "cache",
+                Value::object(vec![
+                    ("hits", Value::Uint(self.cache.hits)),
+                    ("misses", Value::Uint(self.cache.misses)),
+                    ("entries", Value::Uint(self.cache.entries)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Looks up the record for an exact (app, N, GPU count, stack label)
+    /// coordinate. The GPU-model and enhancement axes are ignored when
+    /// `None`; pass them explicitly on sweeps that vary those axes, or the
+    /// first matching record (in work-list order) wins.
+    pub fn find(
+        &self,
+        app: App,
+        n: u32,
+        gpus: usize,
+        stack: &str,
+        gpu_model: Option<&str>,
+        enhanced: Option<bool>,
+    ) -> Option<&SweepRecord> {
+        self.records.iter().find(|r| {
+            r.app == app
+                && r.n == n
+                && r.gpus == gpus
+                && r.stack == stack
+                && gpu_model.is_none_or(|m| r.gpu_model == m)
+                && enhanced.is_none_or(|e| r.enhanced == e)
+        })
+    }
+
+    /// All successfully executed records.
+    pub fn ok_records(&self) -> impl Iterator<Item = &SweepRecord> {
+        self.records.iter().filter(|r| r.is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GpuModel, StackConfig};
+
+    fn point() -> SweepPoint {
+        SweepPoint {
+            index: 0,
+            app: App::Des,
+            n: 4,
+            gpu_model: GpuModel::M2090,
+            gpu_count: 2,
+            stack: StackConfig::ours(),
+            enhanced: false,
+        }
+    }
+
+    #[test]
+    fn error_records_serialise_with_null_measurements() {
+        let rec = SweepRecord::from_error(&point(), "boom");
+        assert!(!rec.is_ok());
+        let report = SweepReport {
+            spec_name: "t".to_string(),
+            records: vec![rec],
+            cache: CacheStats::default(),
+            threads: 1,
+            wall_clock: Duration::from_millis(1),
+        };
+        let json = report.canonical_json();
+        assert!(json.contains(r#""error":"boom""#));
+        assert!(json.contains(r#""bottleneck":null"#));
+        assert!(!json.contains("meta"));
+        assert!(report.to_json().contains(r#""meta":{"threads":1"#));
+    }
+}

@@ -1,0 +1,185 @@
+//! Parallel execution of an expanded sweep.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sgmap_core::{compile_with_estimator, execute, FlowConfig};
+use sgmap_pee::{EstimateCache, Estimator};
+
+use crate::report::{SweepRecord, SweepReport};
+use crate::spec::{SweepError, SweepPoint, SweepSpec};
+
+/// The number of worker threads `run_sweep` uses when the caller passes 0:
+/// the machine's available parallelism, capped at 8 (points are coarse
+/// enough that more workers only add scheduling noise).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Expands `spec` and executes every point on `threads` worker threads
+/// (0 = [`default_threads`]). Workers pull points from a shared queue, so a
+/// slow point never stalls the rest of the grid; results are reassembled in
+/// work-list order, which makes the report independent of scheduling.
+///
+/// All points share one [`EstimateCache`], so estimation work done for one
+/// point (say, DES at N=8 on 1 GPU) is reused by every other point that asks
+/// the same physical question (DES at N=8 on 4 GPUs, or with a different
+/// mapper). Points that fail to build or compile become error records rather
+/// than aborting the sweep.
+///
+/// # Errors
+///
+/// Returns an error if the spec fails validation.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (i.e. a bug in the flow itself, not a
+/// recoverable per-point failure).
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
+    let points = spec.expand()?;
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .min(points.len().max(1));
+    let cache = EstimateCache::shared();
+    let started = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SweepRecord>>> = Mutex::new(vec![None; points.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let record = run_point(spec, &points[i], &cache);
+                results.lock().expect("sweep results lock poisoned")[i] = Some(record);
+            });
+        }
+    });
+
+    let mut records: Vec<SweepRecord> = results
+        .into_inner()
+        .expect("sweep results lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("every point produces a record"))
+        .collect();
+    attach_speedups(&mut records);
+
+    Ok(SweepReport {
+        spec_name: spec.name.clone(),
+        records,
+        cache: cache.stats(),
+        threads,
+        wall_clock: started.elapsed(),
+    })
+}
+
+/// Runs a single expanded point against the shared cache.
+fn run_point(spec: &SweepSpec, point: &SweepPoint, cache: &Arc<EstimateCache>) -> SweepRecord {
+    let graph = match point.app.build(point.n) {
+        Ok(graph) => graph,
+        Err(e) => return SweepRecord::from_error(point, e),
+    };
+    let mut config = FlowConfig::new()
+        .with_gpu(point.gpu_model.spec())
+        .with_gpu_count(point.gpu_count)
+        .with_partitioner(point.stack.partitioner)
+        .with_mapper(point.stack.mapper)
+        .with_enhancement(point.enhanced);
+    config.mapping_options = spec.mapping_options.clone();
+    config.plan = spec.plan.clone();
+    // The stack axis is authoritative for routing; the spec-level plan only
+    // contributes the fragment/iteration shape.
+    config.plan.transfer_mode = point.stack.transfer_mode;
+
+    let estimator = match Estimator::new(&graph, config.gpu.clone()) {
+        Ok(est) => est
+            .with_enhancement(point.enhanced)
+            .with_shared_cache(cache.clone()),
+        Err(e) => return SweepRecord::from_error(point, e),
+    };
+    match compile_with_estimator(&graph, &config, &estimator) {
+        Ok(compiled) => SweepRecord::from_run(point, &execute(&compiled, &config)),
+        Err(e) => SweepRecord::from_error(point, e),
+    }
+}
+
+/// Fills `speedup_vs_1gpu` for every record whose (app, N, model, stack,
+/// enhancement) group also contains a successful 1-GPU record.
+fn attach_speedups(records: &mut [SweepRecord]) {
+    let baselines: Vec<(usize, f64)> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_ok() && r.gpus == 1 && r.time_per_iteration_us > 0.0)
+        .map(|(i, r)| (i, r.time_per_iteration_us))
+        .collect();
+    for (baseline_idx, baseline_time) in baselines {
+        let group = {
+            let r = &records[baseline_idx];
+            (r.app, r.n, r.gpu_model.clone(), r.stack.clone(), r.enhanced)
+        };
+        for record in records.iter_mut() {
+            let same_group = record.scaling_group()
+                == (
+                    group.0,
+                    group.1,
+                    group.2.as_str(),
+                    group.3.as_str(),
+                    group.4,
+                );
+            if same_group && record.is_ok() && record.time_per_iteration_us > 0.0 {
+                record.speedup_vs_1gpu = Some(baseline_time / record.time_per_iteration_us);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppSweep, GpuModel, StackConfig};
+    use sgmap_apps::App;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new(
+            "tiny",
+            vec![AppSweep::explicit(App::FmRadio, vec![4])],
+            vec![GpuModel::M2090],
+            vec![1, 2],
+            vec![StackConfig::ours()],
+        )
+    }
+
+    #[test]
+    fn a_tiny_sweep_runs_and_reports_speedups() {
+        let report = run_sweep(&tiny_spec(), 2).unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert!(report.records.iter().all(|r| r.is_ok()), "{report:?}");
+        let one = report.find(App::FmRadio, 4, 1, "ours", None, None).unwrap();
+        let two = report.find(App::FmRadio, 4, 2, "ours", None, None).unwrap();
+        assert_eq!(one.speedup_vs_1gpu, Some(1.0));
+        assert!(two.speedup_vs_1gpu.unwrap() > 0.0);
+        assert!(report.cache.misses > 0);
+    }
+
+    #[test]
+    fn unbuildable_points_become_error_records() {
+        // FFT requires a power-of-two N; 7 cannot build.
+        let mut spec = tiny_spec();
+        spec.apps = vec![AppSweep::explicit(App::Fft, vec![7])];
+        spec.gpu_counts = vec![1];
+        let report = run_sweep(&spec, 1).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert!(report.records[0].error.is_some());
+        assert_eq!(report.records[0].time_per_iteration_us, 0.0);
+    }
+}

@@ -1,0 +1,666 @@
+//! Declarative sweep specifications and their expansion into work lists.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use sgmap_apps::App;
+use sgmap_codegen::PlanOptions;
+use sgmap_gpusim::{GpuSpec, TransferMode};
+use sgmap_mapping::{MappingMethod, MappingOptions};
+use sgmap_partition::PartitionerKind;
+
+/// Errors produced while validating or expanding a [`SweepSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// An axis of the grid is empty, so the cartesian product is empty.
+    EmptyAxis(&'static str),
+    /// An axis contains a degenerate value (zero N, GPU count outside 1–4).
+    InvalidAxisValue(String),
+    /// No preset with the requested name exists.
+    UnknownPreset(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptyAxis(axis) => write!(f, "sweep axis '{axis}' is empty"),
+            SweepError::InvalidAxisValue(msg) => write!(f, "invalid axis value: {msg}"),
+            SweepError::UnknownPreset(name) => write!(
+                f,
+                "unknown preset '{name}' (available: {})",
+                SweepSpec::PRESETS.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// The GPU models a sweep can target (a serializable stand-in for
+/// [`GpuSpec`] presets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// The Tesla M2090 used by the paper's evaluation.
+    M2090,
+    /// The Tesla C2070 used by the prior work.
+    C2070,
+}
+
+impl GpuModel {
+    /// The full device specification.
+    pub fn spec(&self) -> GpuSpec {
+        match self {
+            GpuModel::M2090 => GpuSpec::m2090(),
+            GpuModel::C2070 => GpuSpec::c2070(),
+        }
+    }
+
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuModel::M2090 => "M2090",
+            GpuModel::C2070 => "C2070",
+        }
+    }
+}
+
+/// One application together with the `N` values to sweep for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppSweep {
+    /// The benchmark application.
+    pub app: App,
+    /// The size parameters to run, in sweep order.
+    pub n_values: Vec<u32>,
+}
+
+impl AppSweep {
+    /// Sweeps `app` over its reduced quick-N list.
+    pub fn quick(app: App) -> Self {
+        AppSweep {
+            app,
+            n_values: app.quick_n_values(),
+        }
+    }
+
+    /// Sweeps `app` over the paper's full N list.
+    pub fn paper(app: App) -> Self {
+        AppSweep {
+            app,
+            n_values: app.paper_n_values(),
+        }
+    }
+
+    /// Sweeps `app` over an explicit N list.
+    pub fn explicit(app: App, n_values: Vec<u32>) -> Self {
+        AppSweep { app, n_values }
+    }
+}
+
+/// A correlated (partitioner, mapper, transfer-mode) triple — one "stack" of
+/// the comparison, optionally pinned to a subset of the GPU-count axis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Stable label used in reports (e.g. `"ours"`).
+    pub label: String,
+    /// Which partitioner to run.
+    pub partitioner: PartitionerKind,
+    /// Which mapper to run.
+    pub mapper: MappingMethod,
+    /// How inter-GPU transfers are routed.
+    pub transfer_mode: TransferMode,
+    /// When set, this stack only runs on these GPU counts (intersected with
+    /// the spec's GPU-count axis); `None` means the whole axis.
+    pub gpu_counts: Option<Vec<usize>>,
+}
+
+impl StackConfig {
+    /// The paper's stack: proposed partitioner, communication-aware ILP,
+    /// peer-to-peer transfers.
+    pub fn ours() -> Self {
+        StackConfig {
+            label: "ours".to_string(),
+            partitioner: PartitionerKind::Proposed,
+            mapper: MappingMethod::Ilp,
+            transfer_mode: TransferMode::PeerToPeer,
+            gpu_counts: None,
+        }
+    }
+
+    /// The prior work's stack: SM-only partitioner, round-robin mapping,
+    /// transfers staged through the host.
+    pub fn previous() -> Self {
+        StackConfig {
+            label: "previous".to_string(),
+            partitioner: PartitionerKind::Baseline,
+            mapper: MappingMethod::RoundRobin,
+            transfer_mode: TransferMode::ViaHost,
+            gpu_counts: None,
+        }
+    }
+
+    /// The single-partition single-GPU reference stack (pinned to 1 GPU).
+    pub fn spsg() -> Self {
+        StackConfig {
+            label: "spsg".to_string(),
+            partitioner: PartitionerKind::Single,
+            mapper: MappingMethod::Greedy,
+            transfer_mode: TransferMode::PeerToPeer,
+            gpu_counts: Some(vec![1]),
+        }
+    }
+
+    /// The full cartesian product of the given partitioner, mapper and
+    /// transfer-mode axes, labelled `partitioner/mapper/transfer`.
+    pub fn cartesian(
+        partitioners: &[PartitionerKind],
+        mappers: &[MappingMethod],
+        transfer_modes: &[TransferMode],
+    ) -> Vec<Self> {
+        let mut stacks = Vec::new();
+        for &partitioner in partitioners {
+            for &mapper in mappers {
+                for &transfer_mode in transfer_modes {
+                    stacks.push(StackConfig {
+                        label: format!(
+                            "{}/{}/{}",
+                            partitioner_name(partitioner),
+                            mapper_name(mapper),
+                            transfer_name(transfer_mode)
+                        ),
+                        partitioner,
+                        mapper,
+                        transfer_mode,
+                        gpu_counts: None,
+                    });
+                }
+            }
+        }
+        stacks
+    }
+}
+
+/// Stable lower-case name of a partitioner, as used in reports.
+pub fn partitioner_name(kind: PartitionerKind) -> &'static str {
+    match kind {
+        PartitionerKind::Proposed => "proposed",
+        PartitionerKind::Baseline => "baseline",
+        PartitionerKind::Single => "single",
+    }
+}
+
+/// Stable lower-case name of a mapper, as used in reports.
+pub fn mapper_name(method: MappingMethod) -> &'static str {
+    match method {
+        MappingMethod::Ilp => "ilp",
+        MappingMethod::Greedy => "greedy",
+        MappingMethod::RoundRobin => "round-robin",
+    }
+}
+
+/// Stable lower-case name of a transfer mode, as used in reports.
+pub fn transfer_name(mode: TransferMode) -> &'static str {
+    match mode {
+        TransferMode::PeerToPeer => "p2p",
+        TransferMode::ViaHost => "via-host",
+    }
+}
+
+/// Per-axis filters applied during expansion. All fields default to
+/// "accept everything"; set a field to narrow the grid without editing the
+/// axis lists themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointFilter {
+    /// Keep only these applications.
+    pub apps: Option<Vec<App>>,
+    /// Drop points with `N` below this value.
+    pub min_n: Option<u32>,
+    /// Drop points with `N` above this value.
+    pub max_n: Option<u32>,
+    /// Keep only these GPU counts.
+    pub gpu_counts: Option<Vec<usize>>,
+    /// Keep only stacks with these labels.
+    pub stack_labels: Option<Vec<String>>,
+    /// Truncate the expanded work list to its first `max_points` entries.
+    pub max_points: Option<usize>,
+}
+
+impl PointFilter {
+    fn accepts(&self, point: &SweepPoint) -> bool {
+        if let Some(apps) = &self.apps {
+            if !apps.contains(&point.app) {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_n {
+            if point.n < min {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_n {
+            if point.n > max {
+                return false;
+            }
+        }
+        if let Some(counts) = &self.gpu_counts {
+            if !counts.contains(&point.gpu_count) {
+                return false;
+            }
+        }
+        if let Some(labels) = &self.stack_labels {
+            if !labels.iter().any(|l| l == &point.stack.label) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A declarative experiment grid: the cartesian product of applications ×
+/// size parameters × GPU models × GPU counts × stacks × enhancement flags,
+/// narrowed by a [`PointFilter`].
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Name of the sweep, echoed in the report.
+    pub name: String,
+    /// The application axis, each with its own N values.
+    pub apps: Vec<AppSweep>,
+    /// The GPU-model axis.
+    pub gpu_models: Vec<GpuModel>,
+    /// The GPU-count axis (values must lie in 1–4).
+    pub gpu_counts: Vec<usize>,
+    /// The stack axis (correlated partitioner/mapper/transfer triples).
+    pub stacks: Vec<StackConfig>,
+    /// The Chapter-V enhancement axis.
+    pub enhanced: Vec<bool>,
+    /// Per-axis filters applied during expansion.
+    pub filter: PointFilter,
+    /// ILP budget shared by every point. The default uses a node budget with
+    /// an effectively unlimited wall-clock budget so results do not depend on
+    /// machine load or worker-thread count.
+    pub mapping_options: MappingOptions,
+    /// Plan-generation options shared by every point.
+    pub plan: PlanOptions,
+}
+
+/// One expanded grid point, ready to run.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Position in the deterministic work list (also the report order).
+    pub index: usize,
+    /// The application.
+    pub app: App,
+    /// The size parameter.
+    pub n: u32,
+    /// The GPU model.
+    pub gpu_model: GpuModel,
+    /// The number of GPUs.
+    pub gpu_count: usize,
+    /// The stack to run.
+    pub stack: StackConfig,
+    /// Whether the Chapter-V enhancement is applied.
+    pub enhanced: bool,
+}
+
+impl SweepSpec {
+    /// Names accepted by [`SweepSpec::preset`], in display order.
+    pub const PRESETS: [&'static str; 5] = ["quick", "scaling", "compare", "enhancement", "paper"];
+
+    /// A sweep with the given name and axes, deterministic ILP budget and
+    /// default plan options; the enhancement axis defaults to `[false]`.
+    pub fn new(
+        name: impl Into<String>,
+        apps: Vec<AppSweep>,
+        gpu_models: Vec<GpuModel>,
+        gpu_counts: Vec<usize>,
+        stacks: Vec<StackConfig>,
+    ) -> Self {
+        SweepSpec {
+            name: name.into(),
+            apps,
+            gpu_models,
+            gpu_counts,
+            stacks,
+            enhanced: vec![false],
+            filter: PointFilter::default(),
+            mapping_options: Self::deterministic_mapping_options(),
+            plan: PlanOptions::default(),
+        }
+    }
+
+    /// The ILP budget used by sweeps: bounded by the node count alone, so a
+    /// loaded machine (or more worker threads) cannot change the mapping the
+    /// solver returns. This is what makes multi-threaded sweep reports
+    /// byte-identical to single-threaded ones. The default node budget is
+    /// smaller than the interactive default because sweeps solve hundreds of
+    /// warm-started instances and the greedy warm start already matches the
+    /// ILP on most grid points; the figure-fidelity presets raise it to the
+    /// historical 300 via [`SweepSpec::with_figure_fidelity_ilp_budget`].
+    pub fn deterministic_mapping_options() -> MappingOptions {
+        MappingOptions {
+            time_limit: Duration::from_secs(86_400),
+            max_nodes: 80,
+            comm_aware: true,
+        }
+    }
+
+    /// Raises the ILP node budget to the 300 nodes the figure harness has
+    /// always used, so the sweeps backing the paper's figures keep their
+    /// historical mapping quality (still wall-clock-unbounded, hence still
+    /// deterministic). Costs roughly 3x the solve time of the default
+    /// budget.
+    pub fn with_figure_fidelity_ilp_budget(mut self) -> Self {
+        self.mapping_options.max_nodes = 300;
+        self
+    }
+
+    /// Looks up a named preset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::UnknownPreset`] for names not in
+    /// [`SweepSpec::PRESETS`].
+    pub fn preset(name: &str) -> Result<Self, SweepError> {
+        match name {
+            "quick" => Ok(Self::quick()),
+            "scaling" => Ok(Self::scaling(false)),
+            "compare" => Ok(Self::compare(false)),
+            "enhancement" => Ok(Self::enhancement()),
+            "paper" => Ok(Self::scaling(true).with_name("paper")),
+            other => Err(SweepError::UnknownPreset(other.to_string())),
+        }
+    }
+
+    /// A small smoke-test grid: all eight applications at their two smallest
+    /// quick N values, 1/2/4 GPUs, the paper's stack (48 points).
+    pub fn quick() -> Self {
+        let apps = App::all()
+            .into_iter()
+            .map(|app| {
+                let mut ns = app.quick_n_values();
+                ns.truncate(2);
+                AppSweep::explicit(app, ns)
+            })
+            .collect();
+        SweepSpec::new(
+            "quick",
+            apps,
+            vec![GpuModel::M2090],
+            vec![1, 2, 4],
+            vec![StackConfig::ours()],
+        )
+    }
+
+    /// The Figure 4.2 grid: every application, quick (or paper, with `full`)
+    /// N values, 1–4 GPUs, the paper's stack.
+    pub fn scaling(full: bool) -> Self {
+        let apps = App::all()
+            .into_iter()
+            .map(if full {
+                AppSweep::paper
+            } else {
+                AppSweep::quick
+            })
+            .collect();
+        SweepSpec::new(
+            "scaling",
+            apps,
+            vec![GpuModel::M2090],
+            vec![1, 2, 3, 4],
+            vec![StackConfig::ours()],
+        )
+        .with_figure_fidelity_ilp_budget()
+    }
+
+    /// The Figure 4.3 grid: the prior work's five applications, ours vs
+    /// previous on 1–4 GPUs, plus the 1-GPU SPSG reference.
+    pub fn compare(full: bool) -> Self {
+        let apps = App::figure_4_3_subset()
+            .into_iter()
+            .map(if full {
+                AppSweep::paper
+            } else {
+                AppSweep::quick
+            })
+            .collect();
+        SweepSpec::new(
+            "compare",
+            apps,
+            vec![GpuModel::M2090],
+            vec![1, 2, 3, 4],
+            vec![
+                StackConfig::ours(),
+                StackConfig::previous(),
+                StackConfig::spsg(),
+            ],
+        )
+        .with_figure_fidelity_ilp_budget()
+    }
+
+    /// The Table 5.1 grid: FFT and Bitonic at their largest sizes, SPSG on
+    /// one GPU, with and without the Chapter-V enhancement.
+    pub fn enhancement() -> Self {
+        let mut spec = SweepSpec::new(
+            "enhancement",
+            vec![
+                AppSweep::explicit(App::Fft, vec![512, 256, 128]),
+                AppSweep::explicit(App::Bitonic, vec![64, 32, 16]),
+            ],
+            vec![GpuModel::M2090],
+            vec![1],
+            vec![StackConfig::spsg()],
+        );
+        spec.enhanced = vec![false, true];
+        spec
+    }
+
+    /// Replaces the sweep's name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the per-axis filter.
+    pub fn with_filter(mut self, filter: PointFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Validates the axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty axes and degenerate axis values (zero `N`,
+    /// GPU counts outside the reference switch tree's 1–4, stacks pinned to
+    /// invalid GPU counts, duplicate stack labels).
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.apps.is_empty() {
+            return Err(SweepError::EmptyAxis("apps"));
+        }
+        if self.gpu_models.is_empty() {
+            return Err(SweepError::EmptyAxis("gpu_models"));
+        }
+        if self.gpu_counts.is_empty() {
+            return Err(SweepError::EmptyAxis("gpu_counts"));
+        }
+        if self.stacks.is_empty() {
+            return Err(SweepError::EmptyAxis("stacks"));
+        }
+        if self.enhanced.is_empty() {
+            return Err(SweepError::EmptyAxis("enhanced"));
+        }
+        for sweep in &self.apps {
+            if sweep.n_values.is_empty() {
+                return Err(SweepError::InvalidAxisValue(format!(
+                    "application {} has no N values",
+                    sweep.app
+                )));
+            }
+            if let Some(&n) = sweep.n_values.iter().find(|&&n| n == 0) {
+                return Err(SweepError::InvalidAxisValue(format!(
+                    "application {} has degenerate N value {n}",
+                    sweep.app
+                )));
+            }
+        }
+        let check_counts =
+            |counts: &[usize], what: &str| match counts.iter().find(|&&g| !(1..=4).contains(&g)) {
+                Some(&g) => Err(SweepError::InvalidAxisValue(format!(
+                    "{what} contains GPU count {g}, outside the reference switch tree's 1-4"
+                ))),
+                None => Ok(()),
+            };
+        check_counts(&self.gpu_counts, "gpu_counts")?;
+        let mut labels: Vec<&str> = Vec::new();
+        for stack in &self.stacks {
+            if let Some(counts) = &stack.gpu_counts {
+                check_counts(counts, &format!("stack '{}'", stack.label))?;
+            }
+            if labels.contains(&stack.label.as_str()) {
+                return Err(SweepError::InvalidAxisValue(format!(
+                    "duplicate stack label '{}'",
+                    stack.label
+                )));
+            }
+            labels.push(&stack.label);
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into its deterministic work list. The order is fixed
+    /// by the axis order (apps, then N, then GPU model, then GPU count, then
+    /// stack, then enhancement) and is independent of how the points are
+    /// later scheduled across worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if [`SweepSpec::validate`] fails.
+    pub fn expand(&self) -> Result<Vec<SweepPoint>, SweepError> {
+        self.validate()?;
+        let mut points = Vec::new();
+        for app_sweep in &self.apps {
+            for &n in &app_sweep.n_values {
+                for &gpu_model in &self.gpu_models {
+                    for &gpu_count in &self.gpu_counts {
+                        for stack in &self.stacks {
+                            if let Some(counts) = &stack.gpu_counts {
+                                if !counts.contains(&gpu_count) {
+                                    continue;
+                                }
+                            }
+                            for &enhanced in &self.enhanced {
+                                let point = SweepPoint {
+                                    index: points.len(),
+                                    app: app_sweep.app,
+                                    n,
+                                    gpu_model,
+                                    gpu_count,
+                                    stack: stack.clone(),
+                                    enhanced,
+                                };
+                                if self.filter.accepts(&point) {
+                                    points.push(point);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(max) = self.filter.max_points {
+            points.truncate(max);
+        }
+        for (index, point) in points.iter_mut().enumerate() {
+            point.index = index;
+        }
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preset_expands_to_a_stable_grid() {
+        let points = SweepSpec::quick().expand().unwrap();
+        assert_eq!(points.len(), 8 * 2 * 3);
+        assert!(points.iter().enumerate().all(|(i, p)| p.index == i));
+        // Expansion is deterministic.
+        let again = SweepSpec::quick().expand().unwrap();
+        assert_eq!(points.len(), again.len());
+        assert!(points
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| (a.app, a.n, a.gpu_count) == (b.app, b.n, b.gpu_count)));
+    }
+
+    #[test]
+    fn degenerate_axis_values_are_rejected() {
+        let mut spec = SweepSpec::quick();
+        spec.gpu_counts = vec![1, 0];
+        assert!(matches!(
+            spec.expand(),
+            Err(SweepError::InvalidAxisValue(_))
+        ));
+        let mut spec = SweepSpec::quick();
+        spec.gpu_counts = vec![5];
+        assert!(spec.expand().is_err());
+        let mut spec = SweepSpec::quick();
+        spec.apps[0].n_values = vec![0];
+        assert!(spec.expand().is_err());
+        let mut spec = SweepSpec::quick();
+        spec.stacks.clear();
+        assert!(matches!(
+            spec.expand(),
+            Err(SweepError::EmptyAxis("stacks"))
+        ));
+        let mut spec = SweepSpec::quick();
+        spec.stacks = vec![StackConfig::ours(), StackConfig::ours()];
+        assert!(spec.expand().is_err());
+    }
+
+    #[test]
+    fn stack_gpu_count_pins_and_filters_narrow_the_grid() {
+        let spec = SweepSpec::compare(false);
+        let points = spec.expand().unwrap();
+        // SPSG only runs at 1 GPU; ours/previous run at 1-4.
+        assert!(points
+            .iter()
+            .filter(|p| p.stack.label == "spsg")
+            .all(|p| p.gpu_count == 1));
+        assert!(points
+            .iter()
+            .any(|p| p.stack.label == "ours" && p.gpu_count == 4));
+
+        let filtered = spec
+            .clone()
+            .with_filter(PointFilter {
+                apps: Some(vec![App::Des]),
+                gpu_counts: Some(vec![1, 2]),
+                stack_labels: Some(vec!["ours".to_string()]),
+                max_points: Some(3),
+                ..PointFilter::default()
+            })
+            .expand()
+            .unwrap();
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered
+            .iter()
+            .all(|p| p.app == App::Des && p.gpu_count <= 2 && p.stack.label == "ours"));
+        assert!(filtered.iter().enumerate().all(|(i, p)| p.index == i));
+    }
+
+    #[test]
+    fn every_preset_name_resolves() {
+        for name in SweepSpec::PRESETS {
+            let spec = SweepSpec::preset(name).unwrap();
+            assert!(!spec.expand().unwrap().is_empty(), "{name}");
+        }
+        assert!(matches!(
+            SweepSpec::preset("nope"),
+            Err(SweepError::UnknownPreset(_))
+        ));
+    }
+}

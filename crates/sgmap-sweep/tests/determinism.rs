@@ -1,0 +1,46 @@
+//! Sweep determinism: the canonical JSON report must not depend on the
+//! number of worker threads or on repeated execution.
+
+use sgmap_apps::App;
+use sgmap_sweep::{run_sweep, AppSweep, GpuModel, StackConfig, SweepSpec};
+
+/// A grid small enough for a debug-profile test but wide enough to exercise
+/// real thread contention: 2 apps x 2 N x 3 GPU counts x 2 stacks = 24
+/// points, matching the acceptance bar for the quick preset.
+fn contention_spec() -> SweepSpec {
+    SweepSpec::new(
+        "determinism",
+        vec![
+            AppSweep::explicit(App::FmRadio, vec![4, 8]),
+            AppSweep::explicit(App::MatMul2, vec![2, 3]),
+        ],
+        vec![GpuModel::M2090],
+        vec![1, 2, 4],
+        vec![StackConfig::ours(), StackConfig::previous()],
+    )
+}
+
+#[test]
+fn multithreaded_reports_are_byte_identical_to_single_threaded() {
+    let spec = contention_spec();
+    let single = run_sweep(&spec, 1).unwrap();
+    let multi = run_sweep(&spec, 4).unwrap();
+    let again = run_sweep(&spec, 4).unwrap();
+
+    assert_eq!(single.records.len(), 24);
+    assert!(single.records.iter().all(|r| r.is_ok()));
+
+    // Byte-identical canonical JSON across thread counts and repetitions:
+    // per-point results, their order, and even the cache counters (the
+    // single-flight cache misses once per distinct key regardless of
+    // scheduling).
+    let a = single.canonical_json();
+    let b = multi.canonical_json();
+    let c = again.canonical_json();
+    assert_eq!(a, b, "1-thread vs 4-thread reports differ");
+    assert_eq!(b, c, "two 4-thread runs differ");
+
+    // The sweep exercises the shared cache for real.
+    assert!(multi.cache.hits > 0, "expected shared-cache hits");
+    assert_eq!(multi.cache.misses, multi.cache.entries);
+}

@@ -1,1 +1,10 @@
+//! The `sgmap` facade: the end-to-end compile-map-simulate flow plus the
+//! batch experiment-sweep engine.
+
 pub use sgmap_core::*;
+
+/// Batch sweeps over (application, N, GPU count, mapper, ...) grids; see
+/// [`sweep::run_sweep`] and the `sgmap-sweep` crate.
+pub mod sweep {
+    pub use sgmap_sweep::*;
+}
