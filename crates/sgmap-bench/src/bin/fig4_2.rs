@@ -10,7 +10,7 @@
 //! `sgmap-sweep` engine in parallel with a shared estimator cache; this
 //! binary only formats the report.
 
-use sgmap_bench::{exit_on_failed_points, full_sweep_requested, mean};
+use sgmap_bench::{eprintln_sweep_summary, exit_on_failed_points, full_sweep_requested, mean};
 use sgmap_sweep::{run_sweep, SweepSpec};
 
 fn main() {
@@ -18,6 +18,7 @@ fn main() {
     let spec = SweepSpec::scaling(full);
     let report = run_sweep(&spec, 0).expect("the scaling grid is valid");
     exit_on_failed_points(&report);
+    eprintln_sweep_summary(&report);
 
     println!("# Figure 4.2: speedup over the 1-GPU multi-partition mapping");
     println!(

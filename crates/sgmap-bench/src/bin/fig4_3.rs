@@ -12,7 +12,7 @@
 //! plus the pinned 1-GPU SPSG reference), executed by the `sgmap-sweep`
 //! engine; this binary only derives the SOSP ratios from the report.
 
-use sgmap_bench::{exit_on_failed_points, full_sweep_requested, mean};
+use sgmap_bench::{eprintln_sweep_summary, exit_on_failed_points, full_sweep_requested, mean};
 use sgmap_sweep::{run_sweep, SweepSpec};
 
 fn main() {
@@ -20,6 +20,7 @@ fn main() {
     let spec = SweepSpec::compare(full);
     let report = run_sweep(&spec, 0).expect("the compare grid is valid");
     exit_on_failed_points(&report);
+    eprintln_sweep_summary(&report);
 
     println!("# Figure 4.3: SOSP, ours vs previous work, 1-4 GPUs");
     println!(

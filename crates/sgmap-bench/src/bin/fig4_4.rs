@@ -11,7 +11,7 @@
 //! this binary only derives the cross-device ratios from the report.
 
 use sgmap_apps::App;
-use sgmap_bench::exit_on_failed_points;
+use sgmap_bench::{eprintln_sweep_summary, exit_on_failed_points};
 use sgmap_sweep::{run_sweep, AppSweep, GpuModel, StackConfig, SweepSpec};
 
 fn main() {
@@ -31,6 +31,7 @@ fn main() {
     .with_figure_fidelity_ilp_budget();
     let report = run_sweep(&spec, 0).expect("the fig4_4 grid is valid");
     exit_on_failed_points(&report);
+    eprintln_sweep_summary(&report);
 
     println!("# Figure 4.4: SPSG / MPMG on C2070 (G1) vs M2090 (G2)");
     println!(

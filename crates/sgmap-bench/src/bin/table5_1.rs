@@ -10,13 +10,14 @@
 //! this binary only formats the report.
 
 use sgmap_apps::App;
-use sgmap_bench::exit_on_failed_points;
+use sgmap_bench::{eprintln_sweep_summary, exit_on_failed_points};
 use sgmap_sweep::{run_sweep, SweepSpec};
 
 fn main() {
     let spec = SweepSpec::enhancement();
     let report = run_sweep(&spec, 0).expect("the enhancement grid is valid");
     exit_on_failed_points(&report);
+    eprintln_sweep_summary(&report);
 
     println!("# Table 5.1: runtime (ms per 16384 iterations) original vs enhanced, 1 GPU");
     println!(

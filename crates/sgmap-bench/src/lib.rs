@@ -189,6 +189,22 @@ pub fn full_sweep_requested() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Prints the engine-level summary of a sweep — compile-group dedup and
+/// estimator-cache counters — to stderr, keeping stdout clean for the
+/// figure's table.
+pub fn eprintln_sweep_summary(report: &sgmap_sweep::SweepReport) {
+    eprintln!(
+        "sweep '{}': {} points in {} compile groups ({} compiles saved); cache {} hits / {} misses ({:.0}% hit rate)",
+        report.spec_name,
+        report.records.len(),
+        report.dedup.compile_groups,
+        report.dedup.compiles_saved(),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate() * 100.0,
+    );
+}
+
 /// Geometric mean of a slice (1.0 for an empty slice).
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {

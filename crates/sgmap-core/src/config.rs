@@ -3,7 +3,7 @@
 use sgmap_codegen::PlanOptions;
 use sgmap_gpusim::{GpuSpec, Platform, TransferMode};
 use sgmap_mapping::{MappingMethod, MappingOptions};
-use sgmap_partition::PartitionerKind;
+use sgmap_partition::{PartitionSearchOptions, PartitionerKind};
 
 /// Everything the flow needs to know besides the stream graph itself.
 #[derive(Debug, Clone)]
@@ -14,6 +14,10 @@ pub struct FlowConfig {
     pub gpu_count: usize,
     /// Which partitioner to run.
     pub partitioner: PartitionerKind,
+    /// Thread count and batch size of the proposed partitioner's candidate
+    /// search. Any value yields the identical partitioning; threads only
+    /// change how fast one compile finishes.
+    pub partition_search: PartitionSearchOptions,
     /// Which mapper to run.
     pub mapper: MappingMethod,
     /// Budget and modelling options for the ILP mapper.
@@ -32,6 +36,10 @@ impl FlowConfig {
             gpu: GpuSpec::m2090(),
             gpu_count: 4,
             partitioner: PartitionerKind::Proposed,
+            // Serial early-exit search: a single interactive compile should
+            // not pay for speculative batches. Batch drivers (the sweep
+            // runner) override this with `with_partition_search`.
+            partition_search: PartitionSearchOptions::serial(),
             mapper: MappingMethod::Ilp,
             mapping_options: MappingOptions::default(),
             enhanced: false,
@@ -60,6 +68,20 @@ impl FlowConfig {
     /// Selects the mapper.
     pub fn with_mapper(mut self, mapper: MappingMethod) -> Self {
         self.mapper = mapper;
+        self
+    }
+
+    /// Replaces the partition-search options (candidate-search threads and
+    /// speculative batch size).
+    pub fn with_partition_search(mut self, options: PartitionSearchOptions) -> Self {
+        self.partition_search = options;
+        self
+    }
+
+    /// Sets the number of partition-search worker threads (`0` = auto),
+    /// keeping the default speculative batch size.
+    pub fn with_partition_search_threads(mut self, threads: usize) -> Self {
+        self.partition_search = PartitionSearchOptions::new().with_threads(threads);
         self
     }
 

@@ -7,7 +7,7 @@ use sgmap_gpusim::{simulate_plan, ExecutionPlan, KernelSpec, Platform};
 use sgmap_graph::{GraphError, StreamGraph};
 use sgmap_ilp::IlpError;
 use sgmap_mapping::{map_with, Mapping};
-use sgmap_partition::{build_pdg, partition_with, PartitionError, Partitioning, Pdg};
+use sgmap_partition::{build_pdg, partition_with_options, PartitionError, Partitioning, Pdg};
 use sgmap_pee::Estimator;
 
 use crate::config::FlowConfig;
@@ -114,7 +114,53 @@ pub fn compile_with_estimator(
     config: &FlowConfig,
     estimator: &Estimator<'_>,
 ) -> Result<CompileResult, FlowError> {
-    config.validate().map_err(FlowError::InvalidConfig)?;
+    // partition_graph already validated the config and the estimator
+    // agreement; finish by value so the freshly built stage is moved into
+    // the result instead of cloned.
+    let stage = partition_graph(graph, config, estimator)?;
+    finish_compile(config, estimator, stage)
+}
+
+/// Maps, plans and generates kernels from an owned stage (no validation —
+/// the callers have already checked the config and estimator agreement).
+fn finish_compile(
+    config: &FlowConfig,
+    estimator: &Estimator<'_>,
+    stage: PartitionStage,
+) -> Result<CompileResult, FlowError> {
+    let platform = config.platform();
+    let mapping = map_with(
+        &stage.pdg,
+        &platform,
+        config.mapper,
+        &config.mapping_options,
+    )?;
+    let (plan, kernels) = build_execution_plan(
+        estimator,
+        &stage.partitioning,
+        &stage.pdg,
+        &mapping,
+        &platform,
+        &config.plan,
+    );
+    Ok(CompileResult {
+        platform,
+        partitioning: stage.partitioning,
+        pdg: stage.pdg,
+        mapping,
+        plan,
+        kernels,
+    })
+}
+
+/// Verifies that a caller-supplied estimator agrees with the configuration:
+/// same graph (checked cheaply by identity, falling back to name and filter
+/// count), same GPU model, same enhancement flag.
+fn check_estimator_agreement(
+    graph: &StreamGraph,
+    config: &FlowConfig,
+    estimator: &Estimator<'_>,
+) -> Result<(), FlowError> {
     if !std::ptr::eq(estimator.graph(), graph)
         && (estimator.graph().name() != graph.name()
             || estimator.graph().filter_count() != graph.filter_count())
@@ -141,27 +187,68 @@ pub fn compile_with_estimator(
             config.enhanced
         )));
     }
-    let platform = config.platform();
+    Ok(())
+}
+
+/// The GPU-count-independent front half of a compile: the partitioning and
+/// the partition dependence graph.
+///
+/// Both depend only on (graph, GPU model, partitioner, enhancement) — never
+/// on the GPU count, the mapper or the transfer mode — so one stage can be
+/// fanned out to every platform size via [`compile_from_stage`]. The sweep
+/// runner uses this to run the expensive partition search once per compile
+/// group instead of once per grid point.
+#[derive(Debug, Clone)]
+pub struct PartitionStage {
+    /// The partitioning of the stream graph.
+    pub partitioning: Partitioning,
+    /// The partition dependence graph.
+    pub pdg: Pdg,
+}
+
+/// Runs the flow up to (and including) the partition dependence graph — the
+/// part that does not depend on the GPU count.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is degenerate, disagrees with the
+/// estimator, or if graph analysis or partitioning fails.
+pub fn partition_graph(
+    graph: &StreamGraph,
+    config: &FlowConfig,
+    estimator: &Estimator<'_>,
+) -> Result<PartitionStage, FlowError> {
+    config.validate().map_err(FlowError::InvalidConfig)?;
+    check_estimator_agreement(graph, config, estimator)?;
     let reps = graph.repetition_vector()?;
-    let partitioning = partition_with(estimator, config.partitioner)?;
+    let partitioning =
+        partition_with_options(estimator, config.partitioner, &config.partition_search)?;
     let pdg = build_pdg(graph, &reps, &partitioning);
-    let mapping = map_with(&pdg, &platform, config.mapper, &config.mapping_options)?;
-    let (plan, kernels) = build_execution_plan(
-        estimator,
-        &partitioning,
-        &pdg,
-        &mapping,
-        &platform,
-        &config.plan,
-    );
-    Ok(CompileResult {
-        platform,
-        partitioning,
-        pdg,
-        mapping,
-        plan,
-        kernels,
-    })
+    Ok(PartitionStage { partitioning, pdg })
+}
+
+/// Finishes a compile from an existing [`PartitionStage`]: maps the
+/// partitions onto the platform and generates the kernels and execution
+/// plan.
+///
+/// The stage must come from [`partition_graph`] on the same graph and
+/// estimator with a configuration that differs from `config` at most in its
+/// GPU count, mapper, mapping options and plan options — the axes the
+/// partitioning does not depend on.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is degenerate, disagrees with the
+/// estimator, or if mapping fails.
+pub fn compile_from_stage(
+    graph: &StreamGraph,
+    config: &FlowConfig,
+    estimator: &Estimator<'_>,
+    stage: &PartitionStage,
+) -> Result<CompileResult, FlowError> {
+    config.validate().map_err(FlowError::InvalidConfig)?;
+    check_estimator_agreement(graph, config, estimator)?;
+    finish_compile(config, estimator, stage.clone())
 }
 
 /// Executes a compiled result on the platform simulator.
@@ -269,6 +356,34 @@ mod tests {
             .unwrap()
             .with_enhancement(true);
         let err = compile_with_estimator(&graph, &config, &wrong).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn one_partition_stage_fans_out_to_every_gpu_count() {
+        use sgmap_partition::PartitionSearchOptions;
+
+        let graph = App::FmRadio.build(8).unwrap();
+        let estimator = Estimator::new(&graph, FlowConfig::default().gpu.clone()).unwrap();
+        let base = FlowConfig::default()
+            .with_partition_search(PartitionSearchOptions::new().with_threads(2));
+        let stage = partition_graph(&graph, &base, &estimator).unwrap();
+        for g in 1..=4 {
+            let config = base.clone().with_gpu_count(g);
+            let staged = compile_from_stage(&graph, &config, &estimator, &stage).unwrap();
+            let monolithic = compile(&graph, &config).unwrap();
+            assert_eq!(staged.partitioning, monolithic.partitioning, "G={g}");
+            let a = execute(&staged, &config);
+            let b = execute(&monolithic, &config);
+            assert_eq!(
+                a.time_per_iteration_us.to_bits(),
+                b.time_per_iteration_us.to_bits(),
+                "G={g}"
+            );
+        }
+        // A degenerate GPU count is still rejected at the fan-out stage.
+        let err = compile_from_stage(&graph, &base.clone().with_gpu_count(0), &estimator, &stage)
+            .unwrap_err();
         assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
     }
 

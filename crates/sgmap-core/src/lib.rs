@@ -27,6 +27,8 @@ mod report;
 
 pub use config::FlowConfig;
 pub use flow::{
-    compile, compile_and_run, compile_with_estimator, execute, CompileResult, FlowError,
+    compile, compile_and_run, compile_from_stage, compile_with_estimator, execute, partition_graph,
+    CompileResult, FlowError, PartitionStage,
 };
 pub use report::{speedup, RunReport};
+pub use sgmap_partition::PartitionSearchOptions;

@@ -7,7 +7,10 @@
 //!   carrying the PEE's [`Estimate`](sgmap_pee::Estimate) for it,
 //! * [`partition_stream_graph`] — the paper's four-phase heuristic
 //!   (Algorithm 1), which merges filters only when the performance model
-//!   predicts the merge reduces total runtime,
+//!   predicts the merge reduces total runtime; its candidate search can run
+//!   on worker threads via [`partition_stream_graph_with`] and
+//!   [`PartitionSearchOptions`] while producing the identical result at any
+//!   thread count,
 //! * [`partition_baseline`] — the prior work's heuristic, which merges while
 //!   the shared-memory requirement is satisfied and ignores time,
 //! * [`single_partition`] — the single-partition (SPSG) mapping of the whole
@@ -24,13 +27,15 @@ mod error;
 mod partitioning;
 mod pdg;
 mod proposed;
+mod search;
 mod spsg;
 
 pub use baseline::partition_baseline;
 pub use error::PartitionError;
 pub use partitioning::{Partition, Partitioning};
 pub use pdg::{build_pdg, Pdg, PdgEdge};
-pub use proposed::partition_stream_graph;
+pub use proposed::{partition_stream_graph, partition_stream_graph_with};
+pub use search::PartitionSearchOptions;
 pub use spsg::single_partition;
 
 use sgmap_pee::Estimator;
@@ -46,7 +51,7 @@ pub enum PartitionerKind {
     Single,
 }
 
-/// Runs the selected partitioner.
+/// Runs the selected partitioner with the serial candidate search.
 ///
 /// # Errors
 ///
@@ -56,8 +61,24 @@ pub fn partition_with(
     estimator: &Estimator<'_>,
     kind: PartitionerKind,
 ) -> Result<Partitioning, PartitionError> {
+    partition_with_options(estimator, kind, &PartitionSearchOptions::serial())
+}
+
+/// Runs the selected partitioner with a configurable candidate search. The
+/// options only apply to the proposed partitioner — the baseline and SPSG
+/// partitioners have no candidate enumeration worth parallelising.
+///
+/// # Errors
+///
+/// Returns an error if some filter cannot fit into shared memory even on its
+/// own, or if the graph's rates are inconsistent.
+pub fn partition_with_options(
+    estimator: &Estimator<'_>,
+    kind: PartitionerKind,
+    options: &PartitionSearchOptions,
+) -> Result<Partitioning, PartitionError> {
     match kind {
-        PartitionerKind::Proposed => partition_stream_graph(estimator),
+        PartitionerKind::Proposed => partition_stream_graph_with(estimator, options),
         PartitionerKind::Baseline => partition_baseline(estimator),
         PartitionerKind::Single => Ok(Partitioning::new(vec![single_partition(estimator)])),
     }

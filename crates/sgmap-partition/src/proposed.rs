@@ -7,12 +7,21 @@
 //! into one partition when that is predicted to be fastest. Every merge goes
 //! through `Try-Merge`, which requires connectivity, convexity, shared-memory
 //! feasibility and a strict improvement of the estimated total runtime.
+//!
+//! The search is parallel-capable: phase 1 farms out independent pipeline
+//! chains and phases 3/4 evaluate their merge candidates in deterministic
+//! fixed-size batches (see [`PartitionSearchOptions`]), so any thread count
+//! produces the identical [`Partitioning`] the serial search produces.
+//! Phase 2 grows partitions along a frontier whose shape depends on each
+//! accepted merge, so it stays serial; its singleton estimates are prewarmed
+//! in parallel instead.
 
 use sgmap_graph::{FilterId, NodeSet, StreamGraph};
 use sgmap_pee::{Estimate, Estimator};
 
 use crate::error::PartitionError;
 use crate::partitioning::{Partition, Partitioning};
+use crate::search::{first_accepted, par_map, PartitionSearchOptions};
 
 /// A partition under construction.
 type Part = (NodeSet, Estimate);
@@ -26,21 +35,49 @@ type Part = (NodeSet, Estimate);
 /// data-transfer time substantially, keep merging.
 pub const MERGE_GAIN_FACTOR: f64 = 0.98;
 
-/// Runs Algorithm 1 on the estimator's graph.
+/// Runs Algorithm 1 on the estimator's graph with the exact serial search
+/// (the historical behaviour; equivalent to
+/// [`partition_stream_graph_with`] under [`PartitionSearchOptions::serial`]).
 ///
 /// # Errors
 ///
 /// Returns [`PartitionError::FilterTooLarge`] if a filter does not fit in
 /// shared memory on its own, or a graph error if the rates are inconsistent.
 pub fn partition_stream_graph(est: &Estimator<'_>) -> Result<Partitioning, PartitionError> {
+    partition_stream_graph_with(est, &PartitionSearchOptions::serial())
+}
+
+/// Runs Algorithm 1 with a configurable candidate search.
+///
+/// The result is identical — same partitions, same order, bit-equal
+/// estimates — for every `options` value: candidate batches are evaluated
+/// speculatively but the accepted merge is always the first one in serial
+/// order, so threads only change how fast the answer arrives, never the
+/// answer. With equal batch sizes, even the estimator-cache counters are
+/// independent of the thread count.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::FilterTooLarge`] if a filter does not fit in
+/// shared memory on its own, or a graph error if the rates are inconsistent.
+pub fn partition_stream_graph_with(
+    est: &Estimator<'_>,
+    options: &PartitionSearchOptions,
+) -> Result<Partitioning, PartitionError> {
+    let threads = options.resolved_threads();
+    let batch = options.batch.max(1);
     let graph = est.graph();
     let mut parts: Vec<Part> = Vec::new();
     let mut assigned = vec![false; graph.filter_count()];
 
-    phase1_pipelines(est, graph, &mut parts, &mut assigned)?;
+    // Unconditional, even on one thread: it pins the evaluated singleton set
+    // to "every filter" regardless of thread count, so cache counters stay
+    // thread-independent even when a later phase stops early on an error.
+    prewarm_singletons(est, graph, threads);
+    phase1_pipelines(est, graph, threads, &mut parts, &mut assigned)?;
     phase2_remaining(est, graph, &mut parts, &mut assigned)?;
-    phase3_partition_merging(est, graph, &mut parts);
-    phase4_simultaneous(est, graph, &mut parts);
+    phase3_partition_merging(est, graph, threads, batch, &mut parts);
+    phase4_simultaneous(est, graph, threads, batch, &mut parts);
 
     let partitioning: Partitioning = parts
         .into_iter()
@@ -48,6 +85,20 @@ pub fn partition_stream_graph(est: &Estimator<'_>) -> Result<Partitioning, Parti
         .collect();
     partitioning.validate_cover(graph)?;
     Ok(partitioning)
+}
+
+/// Evaluates every filter's singleton estimate up front (in parallel when
+/// threads are available). The phases query all of these anyway on the
+/// success path (phase 1 walks every chain filter, phase 2 every remaining
+/// filter), so prewarming changes neither the evaluated key set nor any
+/// error the phases later report — it moves the dominant parameter-search
+/// cost onto the worker threads and keeps the evaluated set fixed even when
+/// a phase aborts early on a too-large filter.
+fn prewarm_singletons(est: &Estimator<'_>, graph: &StreamGraph, threads: usize) {
+    let ids: Vec<FilterId> = graph.filter_ids().collect();
+    par_map(threads, &ids, |&id| {
+        est.estimate(&NodeSet::singleton(id));
+    });
 }
 
 /// Creates the singleton partition of a filter, failing if it cannot fit in
@@ -124,33 +175,53 @@ fn pipeline_chains(graph: &StreamGraph) -> Vec<Vec<FilterId>> {
     chains
 }
 
-/// Phase 1 (lines 2–10): merge within innermost pipelines.
+/// Greedily merges one pipeline chain, returning each resulting partition
+/// with the chain-index range it covers. Chains are disjoint, so this runs
+/// on worker threads with no shared state beyond the estimator.
+fn merge_chain(
+    est: &Estimator<'_>,
+    chain: &[FilterId],
+) -> Result<Vec<(Part, std::ops::Range<usize>)>, PartitionError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chain.len() {
+        let mut current = singleton(est, chain[i])?;
+        let mut j = i + 1;
+        while j < chain.len() {
+            let next = singleton(est, chain[j])?;
+            match try_merge(est, &current, &next) {
+                Some(m) => {
+                    current = m;
+                    j += 1;
+                }
+                None => break,
+            }
+        }
+        out.push((current, i..j));
+        i = j;
+    }
+    Ok(out)
+}
+
+/// Phase 1 (lines 2–10): merge within innermost pipelines. Chains are
+/// independent, so they are farmed out whole; results are applied in chain
+/// order, which keeps both the partition order and the first reported error
+/// identical to the serial walk.
 fn phase1_pipelines(
     est: &Estimator<'_>,
     graph: &StreamGraph,
+    threads: usize,
     parts: &mut Vec<Part>,
     assigned: &mut [bool],
 ) -> Result<(), PartitionError> {
-    for chain in pipeline_chains(graph) {
-        let mut i = 0;
-        while i < chain.len() {
-            let mut current = singleton(est, chain[i])?;
-            let mut j = i + 1;
-            while j < chain.len() {
-                let next = singleton(est, chain[j])?;
-                match try_merge(est, &current, &next) {
-                    Some(m) => {
-                        current = m;
-                        j += 1;
-                    }
-                    None => break,
-                }
-            }
-            for k in i..j {
+    let chains = pipeline_chains(graph);
+    let merged = par_map(threads, &chains, |chain| merge_chain(est, chain));
+    for (chain, result) in chains.iter().zip(merged) {
+        for (part, range) in result? {
+            for k in range {
                 assigned[chain[k].index()] = true;
             }
-            parts.push(current);
-            i = j;
+            parts.push(part);
         }
     }
     Ok(())
@@ -207,8 +278,16 @@ fn adjacent(graph: &StreamGraph, a: &NodeSet, b: &NodeSet) -> bool {
 }
 
 /// Phase 3 (lines 23–31): merge partitions, prioritising IO-bound ones, in
-/// three rounds of increasing scope.
-fn phase3_partition_merging(est: &Estimator<'_>, graph: &StreamGraph, parts: &mut Vec<Part>) {
+/// three rounds of increasing scope. Candidate pairs are enumerated in the
+/// serial scan order and evaluated in deterministic batches, so the accepted
+/// merge is always the one the serial scan would accept first.
+fn phase3_partition_merging(
+    est: &Estimator<'_>,
+    graph: &StreamGraph,
+    threads: usize,
+    batch: usize,
+    parts: &mut Vec<Part>,
+) {
     // Round 1: IO-bound with IO-bound; round 2: IO-bound with anyone;
     // round 3: anyone with anyone.
     for round in 0..3 {
@@ -226,27 +305,25 @@ fn phase3_partition_merging(est: &Estimator<'_>, graph: &StreamGraph, parts: &mu
                     .normalized_us
                     .total_cmp(&parts[b].1.normalized_us)
             });
-            let mut merged_pair: Option<(usize, usize, Part)> = None;
-            'outer: for &i in &order {
-                for j in 0..parts.len() {
-                    if i == j {
-                        continue;
-                    }
-                    let partner_ok = match round {
-                        0 => parts[j].1.is_io_bound(),
-                        _ => true,
-                    };
-                    if !partner_ok || !adjacent(graph, &parts[i].0, &parts[j].0) {
-                        continue;
-                    }
-                    if let Some(m) = try_merge(est, &parts[i], &parts[j]) {
-                        merged_pair = Some((i, j, m));
-                        break 'outer;
-                    }
+            // Candidate pairs in the serial scan order, generated lazily —
+            // only the batches up to the first accepted merge materialise.
+            let parts_ref: &[Part] = parts;
+            let candidates = order
+                .iter()
+                .flat_map(|&i| (0..parts_ref.len()).map(move |j| (i, j)))
+                .filter(|&(i, j)| i != j);
+            let found = first_accepted(threads, batch, candidates, |&(i, j)| {
+                let partner_ok = match round {
+                    0 => parts_ref[j].1.is_io_bound(),
+                    _ => true,
+                };
+                if !partner_ok || !adjacent(graph, &parts_ref[i].0, &parts_ref[j].0) {
+                    return None;
                 }
-            }
-            match merged_pair {
-                Some((i, j, m)) => {
+                try_merge(est, &parts_ref[i], &parts_ref[j])
+            });
+            match found {
+                Some(((i, j), m)) => {
                     let (lo, hi) = if i < j { (i, j) } else { (j, i) };
                     parts.swap_remove(hi);
                     // After swap_remove(hi), index lo is still valid because
@@ -260,37 +337,47 @@ fn phase3_partition_merging(est: &Estimator<'_>, graph: &StreamGraph, parts: &mu
 }
 
 /// Phase 4 (lines 34–35): simultaneous merges of partition triples around a
-/// common neighbour, then the all-nodes merge.
-fn phase4_simultaneous(est: &Estimator<'_>, graph: &StreamGraph, parts: &mut Vec<Part>) {
+/// common neighbour, then the all-nodes merge. Triples are enumerated in the
+/// serial scan order and evaluated in deterministic batches.
+fn phase4_simultaneous(
+    est: &Estimator<'_>,
+    graph: &StreamGraph,
+    threads: usize,
+    batch: usize,
+    parts: &mut Vec<Part>,
+) {
     // (1) Merge two neighbouring partitions of a common partition together
     // with it, which can pay off even when no pairwise merge does.
     if parts.len() <= 200 {
         loop {
-            let mut best: Option<(usize, usize, usize, Part)> = None;
-            'search: for p in 0..parts.len() {
-                let neighbours: Vec<usize> = (0..parts.len())
-                    .filter(|&q| q != p && adjacent(graph, &parts[p].0, &parts[q].0))
+            // Triples in the serial scan order, generated lazily: for each
+            // common partition p (neighbour list computed when p is first
+            // drawn), every unordered pair of its neighbours.
+            let parts_ref: &[Part] = parts;
+            let triples = (0..parts_ref.len()).flat_map(|p| {
+                let neighbours: Vec<usize> = (0..parts_ref.len())
+                    .filter(|&q| q != p && adjacent(graph, &parts_ref[p].0, &parts_ref[q].0))
                     .collect();
-                for (x, &a) in neighbours.iter().enumerate() {
-                    for &b in neighbours.iter().skip(x + 1) {
-                        let union = parts[p].0.union(&parts[a].0).union(&parts[b].0);
-                        if !union.is_connected(graph) || !union.is_convex(graph) {
-                            continue;
-                        }
-                        if let Some(e) = est.estimate(&union) {
-                            let combined = parts[p].1.normalized_us
-                                + parts[a].1.normalized_us
-                                + parts[b].1.normalized_us;
-                            if e.normalized_us < MERGE_GAIN_FACTOR * combined {
-                                best = Some((p, a, b, (union, e)));
-                                break 'search;
-                            }
-                        }
-                    }
+                let pairs: Vec<(usize, usize, usize)> = neighbours
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(x, &a)| neighbours.iter().skip(x + 1).map(move |&b| (p, a, b)))
+                    .collect();
+                pairs
+            });
+            let found = first_accepted(threads, batch, triples, |&(p, a, b)| {
+                let union = parts_ref[p].0.union(&parts_ref[a].0).union(&parts_ref[b].0);
+                if !union.is_connected(graph) || !union.is_convex(graph) {
+                    return None;
                 }
-            }
-            match best {
-                Some((p, a, b, m)) => {
+                let e = est.estimate(&union)?;
+                let combined = parts_ref[p].1.normalized_us
+                    + parts_ref[a].1.normalized_us
+                    + parts_ref[b].1.normalized_us;
+                (e.normalized_us < MERGE_GAIN_FACTOR * combined).then_some((union, e))
+            });
+            match found {
+                Some(((p, a, b), m)) => {
                     let mut remove = [p, a, b];
                     remove.sort_unstable();
                     // Remove from the highest index down so indices stay valid.
@@ -376,6 +463,35 @@ mod tests {
             .filter(|&id| graph.predecessors(id).len() <= 1 && graph.successors(id).len() <= 1)
             .count();
         assert_eq!(covered, eligible);
+    }
+
+    #[test]
+    fn batched_parallel_search_matches_serial_bit_for_bit() {
+        for app in [App::Des, App::FmRadio, App::Fft] {
+            let n = if app == App::Fft { 64 } else { 8 };
+            let graph = app.build(n).unwrap();
+            let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+            let serial = partition_stream_graph(&est).unwrap();
+            for (threads, batch) in [(1, 32), (2, 32), (4, 7), (4, 1)] {
+                let opts = PartitionSearchOptions::new()
+                    .with_threads(threads)
+                    .with_batch(batch);
+                let parallel = partition_stream_graph_with(&est, &opts).unwrap();
+                assert_eq!(
+                    serial.len(),
+                    parallel.len(),
+                    "{app:?} t={threads} b={batch}"
+                );
+                for (a, b) in serial.iter().zip(parallel.iter()) {
+                    assert_eq!(a.nodes, b.nodes, "{app:?} t={threads} b={batch}");
+                    assert_eq!(
+                        a.estimate.normalized_us.to_bits(),
+                        b.estimate.normalized_us.to_bits(),
+                        "{app:?} t={threads} b={batch}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The estimator façade: per-partition time estimates with caching.
 
-use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use sgmap_gpusim::profile::{profile_graph, ProfileTable};
 use sgmap_gpusim::{GpuSpec, KernelParams};
@@ -49,9 +49,19 @@ impl Estimate {
     }
 }
 
+/// The local cache: single-flight cells keyed by (node set, enhancement).
+type LocalCache = HashMap<(NodeSet, bool), Arc<OnceLock<Option<Estimate>>>>;
+
 /// The Performance Estimation Engine: profiles a stream graph once, then
 /// produces [`Estimate`]s for arbitrary sub-graphs, caching results because
 /// the partitioning heuristic queries the same candidate sets repeatedly.
+///
+/// The estimator is `Sync`: the parallel partition search shares one
+/// estimator across its scoped worker threads. The local cache uses per-key
+/// single-flight entries (like [`EstimateCache`]), so each distinct node set
+/// is computed — and forwarded to the shared cache — exactly once no matter
+/// how concurrent queries interleave, which keeps cache counters
+/// deterministic across thread counts.
 pub struct Estimator<'g> {
     graph: &'g StreamGraph,
     reps: RepetitionVector,
@@ -60,7 +70,7 @@ pub struct Estimator<'g> {
     model: PerfModel,
     space: ParamSearchSpace,
     enhanced: bool,
-    cache: RefCell<HashMap<(NodeSet, bool), Option<Estimate>>>,
+    cache: RwLock<LocalCache>,
     shared: Option<Arc<EstimateCache>>,
 }
 
@@ -82,7 +92,7 @@ impl<'g> Estimator<'g> {
             model,
             space: ParamSearchSpace::default(),
             enhanced: false,
-            cache: RefCell::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
             shared: None,
         })
     }
@@ -90,7 +100,10 @@ impl<'g> Estimator<'g> {
     /// Replaces the performance-model constants (e.g. after calibration).
     pub fn with_model(mut self, model: PerfModel) -> Self {
         self.model = model;
-        self.cache.borrow_mut().clear();
+        self.cache
+            .get_mut()
+            .expect("estimator cache lock poisoned")
+            .clear();
         self
     }
 
@@ -158,19 +171,35 @@ impl<'g> Estimator<'g> {
     /// choice (i.e. it must not be formed).
     pub fn estimate(&self, set: &NodeSet) -> Option<Estimate> {
         let key = (set.clone(), self.enhanced);
-        if let Some(cached) = self.cache.borrow().get(&key) {
-            return *cached;
-        }
-        let est = match &self.shared {
+        let existing = {
+            let map = self.cache.read().expect("estimator cache lock poisoned");
+            map.get(&key).cloned()
+        };
+        let cell = match existing {
+            Some(cell) => cell,
+            None => {
+                let mut map = self.cache.write().expect("estimator cache lock poisoned");
+                match map.entry(key) {
+                    Entry::Occupied(e) => e.get().clone(),
+                    Entry::Vacant(v) => {
+                        let cell = Arc::new(OnceLock::new());
+                        v.insert(cell.clone());
+                        cell
+                    }
+                }
+            }
+        };
+        // Single-flight: the computation (and any query it forwards to the
+        // shared cache) runs exactly once per distinct key, outside the map
+        // lock so concurrent queries for other sets proceed.
+        *cell.get_or_init(|| match &self.shared {
             Some(shared) => {
                 let chars = self.characteristics(set);
                 let shared_key = EstimateKey::new(&chars, &self.model, &self.gpu, &self.space);
                 shared.get_or_compute(shared_key, || self.estimate_from_chars(&chars))
             }
             None => self.estimate_uncached(set),
-        };
-        self.cache.borrow_mut().insert(key, est);
-        est
+        })
     }
 
     fn estimate_uncached(&self, set: &NodeSet) -> Option<Estimate> {
@@ -204,7 +233,14 @@ impl std::fmt::Debug for Estimator<'_> {
             .field("graph", &self.graph.name())
             .field("gpu", &self.gpu.name)
             .field("enhanced", &self.enhanced)
-            .field("cached", &self.cache.borrow().len())
+            .field(
+                "cached",
+                &self
+                    .cache
+                    .read()
+                    .expect("estimator cache lock poisoned")
+                    .len(),
+            )
             .finish()
     }
 }
@@ -281,6 +317,36 @@ mod tests {
         let est = Estimator::new(&g, GpuSpec::m2090()).unwrap();
         let e = est.estimate(&NodeSet::all(&g)).unwrap();
         assert!(e.is_io_bound());
+    }
+
+    #[test]
+    fn one_estimator_shared_across_threads_queries_the_shared_cache_once_per_key() {
+        use crate::EstimateCache;
+
+        let g = chain(&[3.0, 40.0, 80.0, 120.0, 7.0]);
+        let cache = EstimateCache::shared();
+        let est = Estimator::new(&g, GpuSpec::m2090())
+            .unwrap()
+            .with_shared_cache(cache.clone());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let est = &est;
+                s.spawn(move || {
+                    for round in 0..25 {
+                        for i in 0..5 {
+                            let idx = (i + t + round) % 5;
+                            est.estimate(&NodeSet::singleton(FilterId::from_index(idx)));
+                        }
+                    }
+                });
+            }
+        });
+        // The single-flight local cache forwards each of the 5 distinct keys
+        // to the shared cache exactly once, however the threads interleaved.
+        let stats = cache.stats();
+        assert_eq!(stats.queries(), 5);
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 0);
     }
 
     #[test]

@@ -1,25 +1,31 @@
-//! The `sweep` CLI: run a named sweep preset and emit a JSON report.
+//! The `sweep` CLI: run a named sweep preset and emit a JSON report, or
+//! validate an existing report.
 //!
 //! ```text
 //! sweep [--preset NAME] [--threads N] [--out FILE] [--canonical] [--list]
+//! sweep --check REPORT.json
 //! ```
 //!
 //! * `--preset NAME` — which grid to run (default `quick`); see `--list`.
 //! * `--threads N` — worker threads (default: available parallelism, max 8).
+//!   The same count drives the sweep workers *and* the partition search
+//!   inside each compile; any value produces byte-identical canonical JSON.
 //! * `--out FILE` — write the JSON report to `FILE` instead of stdout.
 //! * `--canonical` — emit only the deterministic report body (no wall-clock
 //!   metadata), for byte-for-byte comparisons between runs.
 //! * `--list` — print the available presets and exit.
+//! * `--check FILE` — validate a previously written report (non-empty, no
+//!   failed points, nonzero cache hits, nonzero compile-dedup groups) and
+//!   exit 0/1. This is exactly the validator CI runs.
 //!
 //! A human-readable summary always goes to stderr, so stdout stays valid
 //! JSON for piping.
 
 use std::process::ExitCode;
 
-use sgmap_sweep::{default_threads, run_sweep, SweepSpec};
+use sgmap_sweep::{check_report, default_threads, run_sweep, SweepSpec};
 
-const USAGE: &str =
-    "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--canonical] [--list]";
+const USAGE: &str = "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--canonical] [--list]\n       sweep --check REPORT.json";
 
 struct Args {
     preset: String,
@@ -27,6 +33,7 @@ struct Args {
     out: Option<String>,
     canonical: bool,
     list: bool,
+    check: Option<String>,
     help: bool,
 }
 
@@ -37,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         canonical: false,
         list: false,
+        check: None,
         help: false,
     };
     let mut it = std::env::args().skip(1);
@@ -56,11 +64,35 @@ fn parse_args() -> Result<Args, String> {
             }
             "--canonical" => args.canonical = true,
             "--list" => args.list = true,
+            "--check" => {
+                args.check = Some(it.next().ok_or("--check needs a report file")?);
+            }
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
     Ok(args)
+}
+
+/// Runs the `--check` subcommand: read, validate, report, exit.
+fn run_check(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_report(&src) {
+        Ok(summary) => {
+            eprintln!("{path}: OK — {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: FAILED — {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -74,6 +106,9 @@ fn main() -> ExitCode {
     if args.help {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.check {
+        return run_check(path);
     }
     if args.list {
         for name in SweepSpec::PRESETS {
@@ -110,11 +145,13 @@ fn main() -> ExitCode {
     let ok = report.ok_records().count();
     let failed = report.records.len() - ok;
     eprintln!(
-        "{} points ({} ok, {} failed) in {:.2}s; cache: {} hits / {} misses ({:.0}% hit rate)",
+        "{} points ({} ok, {} failed) in {:.2}s; {} compile groups ({} compiles saved); cache: {} hits / {} misses ({:.0}% hit rate)",
         report.records.len(),
         ok,
         failed,
         report.wall_clock.as_secs_f64(),
+        report.dedup.compile_groups,
+        report.dedup.compiles_saved(),
         report.cache.hits,
         report.cache.misses,
         report.cache.hit_rate() * 100.0,

@@ -1,0 +1,283 @@
+//! Self-checking of sweep reports: the pure-Rust validator behind
+//! `sweep --check`.
+//!
+//! CI used to smoke-check the quick preset with an inline Python script;
+//! this module replaces it so the pipeline has no Python dependency and the
+//! exact validator CI runs is available to users locally.
+
+use std::fmt;
+
+use crate::json::Value;
+
+/// What a passing report looked like, for the one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Number of points in the report.
+    pub points: usize,
+    /// Shared-cache hits recorded by the sweep.
+    pub cache_hits: u64,
+    /// Number of expanded grid points according to the dedup counters.
+    pub expanded_points: u64,
+    /// Number of compile groups that actually ran.
+    pub compile_groups: u64,
+}
+
+impl fmt::Display for CheckSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} points ok; cache hits {}; {} compiles for {} points ({} saved)",
+            self.points,
+            self.cache_hits,
+            self.compile_groups,
+            self.expanded_points,
+            self.expanded_points.saturating_sub(self.compile_groups)
+        )
+    }
+}
+
+/// A reason the report failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// The file is not valid JSON.
+    Parse(String),
+    /// A required field is missing or has the wrong shape.
+    Shape(String),
+    /// The report has no points at all.
+    NoPoints,
+    /// At least one point carries an error.
+    FailedPoints {
+        /// Total number of failed points in the report.
+        count: usize,
+        /// Descriptions of the first few failures.
+        sample: Vec<String>,
+    },
+    /// The shared estimator cache recorded no hits.
+    NoCacheHits,
+    /// The dedup counters are missing, zero or inconsistent.
+    BadDedup(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Parse(msg) => write!(f, "report is not valid JSON: {msg}"),
+            CheckError::Shape(msg) => write!(f, "report has unexpected shape: {msg}"),
+            CheckError::NoPoints => write!(f, "report contains no points"),
+            CheckError::FailedPoints { count, sample } => {
+                write!(f, "{count} point(s) failed: {}", sample.join("; "))?;
+                if *count > sample.len() {
+                    write!(f, "; ...")?;
+                }
+                Ok(())
+            }
+            CheckError::NoCacheHits => write!(f, "estimator cache recorded no hits"),
+            CheckError::BadDedup(msg) => write!(f, "dedup counters invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn require_u64(report: &Value, object: &str, field: &str) -> Result<u64, CheckError> {
+    report
+        .get(object)
+        .and_then(|o| o.get(field))
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CheckError::Shape(format!("missing counter {object}.{field}")))
+}
+
+/// Validates the JSON text of a sweep report: it must parse, contain at
+/// least one point, contain no failed points, record at least one shared-
+/// cache hit and report consistent, nonzero compile-dedup counters.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered, in the order listed above.
+pub fn check_report(src: &str) -> Result<CheckSummary, CheckError> {
+    let report = Value::parse(src).map_err(CheckError::Parse)?;
+    let points = report
+        .get("points")
+        .and_then(Value::as_array)
+        .ok_or_else(|| CheckError::Shape("missing points array".to_string()))?;
+    if points.is_empty() {
+        return Err(CheckError::NoPoints);
+    }
+    let mut failed = 0usize;
+    let mut sample = Vec::new();
+    for point in points {
+        let error = point
+            .get("error")
+            .ok_or_else(|| CheckError::Shape("point without error field".to_string()))?;
+        if !error.is_null() {
+            failed += 1;
+            if sample.len() < 5 {
+                let describe = |field: &str| {
+                    point
+                        .get(field)
+                        .map(|v| v.render())
+                        .unwrap_or_else(|| "?".to_string())
+                };
+                sample.push(format!(
+                    "{} N={} G={} {}: {}",
+                    describe("app"),
+                    describe("n"),
+                    describe("gpus"),
+                    describe("stack"),
+                    error.as_str().unwrap_or("non-string error")
+                ));
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(CheckError::FailedPoints {
+            count: failed,
+            sample,
+        });
+    }
+    let cache_hits = require_u64(&report, "cache", "hits")?;
+    if cache_hits == 0 {
+        return Err(CheckError::NoCacheHits);
+    }
+    let expanded_points = require_u64(&report, "dedup", "expanded_points")?;
+    let compile_groups = require_u64(&report, "dedup", "compile_groups")?;
+    if compile_groups == 0 {
+        return Err(CheckError::BadDedup("zero compile groups".to_string()));
+    }
+    if compile_groups > expanded_points {
+        return Err(CheckError::BadDedup(format!(
+            "{compile_groups} compile groups exceed {expanded_points} expanded points"
+        )));
+    }
+    if expanded_points != points.len() as u64 {
+        return Err(CheckError::BadDedup(format!(
+            "dedup says {expanded_points} expanded points but the report has {}",
+            points.len()
+        )));
+    }
+    Ok(CheckSummary {
+        points: points.len(),
+        cache_hits,
+        expanded_points,
+        compile_groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{DedupStats, SweepRecord, SweepReport};
+    use crate::spec::{GpuModel, StackConfig, SweepPoint};
+    use sgmap_apps::App;
+    use sgmap_pee::CacheStats;
+    use std::time::Duration;
+
+    fn report(records: Vec<SweepRecord>, hits: u64, groups: u64) -> SweepReport {
+        let points = records.len() as u64;
+        SweepReport {
+            spec_name: "t".to_string(),
+            records,
+            cache: CacheStats {
+                hits,
+                misses: 2,
+                entries: 2,
+            },
+            dedup: DedupStats {
+                expanded_points: points,
+                compile_groups: groups,
+            },
+            threads: 1,
+            wall_clock: Duration::from_millis(1),
+        }
+    }
+
+    fn point(index: usize) -> SweepPoint {
+        SweepPoint {
+            index,
+            app: App::Des,
+            n: 4,
+            gpu_model: GpuModel::M2090,
+            gpu_count: index + 1,
+            stack: StackConfig::ours(),
+            enhanced: false,
+        }
+    }
+
+    fn ok_record(index: usize) -> SweepRecord {
+        let mut r = SweepRecord::from_error(&point(index), "placeholder");
+        r.error = None;
+        r
+    }
+
+    #[test]
+    fn a_healthy_report_passes_both_renderings() {
+        let rep = report(vec![ok_record(0), ok_record(1)], 10, 1);
+        for json in [rep.canonical_json(), rep.to_json()] {
+            let summary = check_report(&json).unwrap();
+            assert_eq!(summary.points, 2);
+            assert_eq!(summary.cache_hits, 10);
+            assert_eq!(summary.compile_groups, 1);
+            assert!(summary.to_string().contains("2 points ok"));
+        }
+    }
+
+    #[test]
+    fn each_failure_mode_is_detected() {
+        assert!(matches!(
+            check_report("not json"),
+            Err(CheckError::Parse(_))
+        ));
+        assert!(matches!(
+            check_report("{\"cache\":{}}"),
+            Err(CheckError::Shape(_))
+        ));
+        assert_eq!(
+            check_report(&report(vec![], 10, 1).canonical_json()),
+            Err(CheckError::NoPoints)
+        );
+        let failed = report(
+            vec![ok_record(0), SweepRecord::from_error(&point(1), "boom")],
+            10,
+            1,
+        );
+        match check_report(&failed.canonical_json()) {
+            Err(CheckError::FailedPoints { count, sample }) => {
+                assert_eq!(count, 1);
+                assert_eq!(sample.len(), 1);
+                assert!(sample[0].contains("boom"), "{sample:?}");
+            }
+            other => panic!("expected FailedPoints, got {other:?}"),
+        }
+        // The count reports every failure, not just the sampled ones.
+        let many = report(
+            (0..9)
+                .map(|i| SweepRecord::from_error(&point(i % 4), "boom"))
+                .collect(),
+            10,
+            1,
+        );
+        match check_report(&many.canonical_json()) {
+            Err(CheckError::FailedPoints { count, sample }) => {
+                assert_eq!(count, 9);
+                assert_eq!(sample.len(), 5);
+                let shown = CheckError::FailedPoints { count, sample }.to_string();
+                assert!(shown.starts_with("9 point(s) failed"), "{shown}");
+                assert!(shown.ends_with("; ..."), "{shown}");
+            }
+            other => panic!("expected FailedPoints, got {other:?}"),
+        }
+        assert_eq!(
+            check_report(&report(vec![ok_record(0)], 0, 1).canonical_json()),
+            Err(CheckError::NoCacheHits)
+        );
+        assert!(matches!(
+            check_report(&report(vec![ok_record(0)], 5, 0).canonical_json()),
+            Err(CheckError::BadDedup(_))
+        ));
+        assert!(matches!(
+            check_report(&report(vec![ok_record(0)], 5, 3).canonical_json()),
+            Err(CheckError::BadDedup(_))
+        ));
+    }
+}

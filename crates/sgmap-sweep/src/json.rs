@@ -1,10 +1,12 @@
-//! A minimal, deterministic JSON writer.
+//! A minimal, deterministic JSON writer and reader.
 //!
 //! The vendored `serde` shim has no serializer back-end, so the sweep report
 //! formats itself with this tiny builder instead. Output is deterministic by
 //! construction: object keys appear in insertion order and `f64` values use
 //! Rust's shortest-round-trip formatting, so equal reports serialise to equal
-//! bytes.
+//! bytes. [`Value::parse`] is the matching recursive-descent reader; the
+//! `sweep --check` validator uses it so report checking needs no Python (or
+//! any other external tooling).
 
 use std::fmt::Write;
 
@@ -49,6 +51,82 @@ pub enum Value {
 }
 
 impl Value {
+    /// Parses a JSON document (one value, optionally surrounded by
+    /// whitespace).
+    ///
+    /// Integral numbers without sign become [`Value::Uint`], with a sign
+    /// [`Value::Int`]; anything with a fraction or exponent becomes
+    /// [`Value::Float`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description (with byte offset) of the first
+    /// syntax error.
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_whitespace();
+        let value = p.value()?;
+        p.skip_whitespace();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key of an object (`None` for other variants or missing
+    /// keys; the first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` for other variants).
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (`None` for other variants and
+    /// negative integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert; `None` for non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Uint(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice (`None` for other variants).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` exactly for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     /// Convenience constructor for string values.
     pub fn str(s: impl Into<String>) -> Self {
         Value::Str(s.into())
@@ -127,9 +205,300 @@ impl Value {
     }
 }
 
+/// A recursive-descent JSON parser over raw bytes.
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Maximum container nesting [`Value::parse`] accepts. Sweep reports nest
+/// three levels deep; the cap exists so a corrupt or adversarial file fed to
+/// `sweep --check` produces a parse error instead of exhausting the stack.
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte '{}' at byte {}",
+                char::from(b),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest escape-free run in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| {
+                                    format!("truncated \\u escape at byte {}", self.pos)
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates (the writer never emits them) decode
+                            // to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!(
+                                "invalid escape '\\{}' at byte {}",
+                                char::from(other),
+                                self.pos - 1
+                            ))
+                        }
+                    }
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        } else if let Some(digits) = text.strip_prefix('-') {
+            digits
+                .parse::<u64>()
+                .ok()
+                .and_then(|_| text.parse::<i64>().ok())
+                .map(Value::Int)
+                .ok_or_else(|| format!("invalid number '{text}' at byte {start}"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::Uint)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = Value::object(vec![
+            ("name", Value::str("a \"b\"\n\u{1}")),
+            ("count", Value::Uint(3)),
+            ("neg", Value::Int(-7)),
+            ("ratio", Value::Float(1.5)),
+            ("flag", Value::Bool(true)),
+            ("none", Value::Null),
+            (
+                "list",
+                Value::Array(vec![Value::Uint(2), Value::Float(0.25)]),
+            ),
+            ("empty", Value::Array(vec![])),
+            ("nested", Value::object(vec![])),
+        ]);
+        let rendered = v.render();
+        let parsed = Value::parse(&rendered).unwrap();
+        assert_eq!(parsed.render(), rendered);
+        assert_eq!(parsed.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("neg").unwrap().as_u64(), None);
+        assert_eq!(parsed.get("ratio").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("a \"b\"\n\u{1}"));
+        assert!(parsed.get("none").unwrap().is_null());
+        assert_eq!(parsed.get("list").unwrap().as_array().unwrap().len(), 2);
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        let err = Value::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // Nesting at the limit still parses.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(Value::parse(&ok).is_ok());
+        let over = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert!(Value::parse(&over).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_rejects_garbage() {
+        assert!(Value::parse(" { \"a\" : [ 1 , 2.0e1 , null ] } \n").is_ok());
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "nan",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
 
     #[test]
     fn values_render_compact_deterministic_json() {

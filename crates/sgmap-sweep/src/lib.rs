@@ -9,12 +9,18 @@
 //!   "stacks" and per-axis [`PointFilter`]s,
 //! * [`SweepSpec::expand`] — deterministic expansion into an indexed work
 //!   list of [`SweepPoint`]s,
-//! * [`run_sweep`] — execution on a scoped worker pool where all points
-//!   share one thread-safe [`EstimateCache`](sgmap_pee::EstimateCache), so
-//!   repeated estimator queries across points are answered once,
+//! * [`run_sweep`] — execution on a scoped worker pool. Points are grouped
+//!   by compile key (app, N, GPU model, stack, enhancement); each group
+//!   builds its graph and runs the partition search exactly once and fans
+//!   the result out to every GPU count, while all groups share one
+//!   thread-safe [`EstimateCache`](sgmap_pee::EstimateCache) and the
+//!   partition search inside each compile runs on the same worker-thread
+//!   budget,
 //! * [`SweepReport`] — per-point [`SweepRecord`]s (throughput, bottleneck
-//!   kind, speedup over the 1-GPU baseline) plus cache statistics, rendered
-//!   as stable JSON.
+//!   kind, speedup over the 1-GPU baseline) plus cache and compile-dedup
+//!   statistics, rendered as stable JSON,
+//! * [`check_report`] — the pure-Rust report validator behind
+//!   `sweep --check`, used verbatim by CI.
 //!
 //! Reports are deterministic by construction: points are reassembled in
 //! work-list order, the ILP budget is node-bound rather than wall-clock
@@ -45,13 +51,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 mod json;
 mod report;
 mod runner;
 mod spec;
 
+pub use check::{check_report, CheckError, CheckSummary};
 pub use json::Value as JsonValue;
-pub use report::{Bottleneck, SweepRecord, SweepReport};
+pub use report::{Bottleneck, DedupStats, SweepRecord, SweepReport};
 pub use runner::{default_threads, run_sweep};
 pub use spec::{
     mapper_name, partitioner_name, transfer_name, AppSweep, GpuModel, PointFilter, StackConfig,

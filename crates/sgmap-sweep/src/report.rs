@@ -140,17 +140,6 @@ impl SweepRecord {
         self.error.is_none()
     }
 
-    /// The grouping key used to match records across the GPU-count axis.
-    pub(crate) fn scaling_group(&self) -> (App, u32, &str, &str, bool) {
-        (
-            self.app,
-            self.n,
-            &self.gpu_model,
-            &self.stack,
-            self.enhanced,
-        )
-    }
-
     fn to_value(&self) -> Value {
         Value::object(vec![
             ("index", Value::Uint(self.index as u64)),
@@ -196,6 +185,25 @@ impl SweepRecord {
     }
 }
 
+/// Compile-deduplication counters: how many grid points the sweep expanded
+/// to versus how many compiles (graph build + profile + partition search)
+/// actually ran after grouping points by their compile key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DedupStats {
+    /// Number of expanded grid points.
+    pub expanded_points: u64,
+    /// Number of distinct (app, N, GPU model, stack, enhancement) compile
+    /// groups — the number of partition searches that ran.
+    pub compile_groups: u64,
+}
+
+impl DedupStats {
+    /// Compiles avoided by grouping (`expanded_points - compile_groups`).
+    pub fn compiles_saved(&self) -> u64 {
+        self.expanded_points.saturating_sub(self.compile_groups)
+    }
+}
+
 /// The result of running a sweep: the per-point records in work-list order
 /// plus shared-cache statistics and (non-deterministic) execution metadata.
 #[derive(Debug, Clone)]
@@ -208,6 +216,9 @@ pub struct SweepReport {
     /// deterministic for a given spec (single-flight caching makes the miss
     /// count equal the number of distinct keys, independent of scheduling).
     pub cache: CacheStats,
+    /// Compile-group deduplication counters (deterministic: a function of
+    /// the expansion alone).
+    pub dedup: DedupStats,
     /// Number of worker threads used (metadata; excluded from canonical
     /// JSON).
     pub threads: usize,
@@ -257,6 +268,14 @@ impl SweepReport {
                     ("hits", Value::Uint(self.cache.hits)),
                     ("misses", Value::Uint(self.cache.misses)),
                     ("entries", Value::Uint(self.cache.entries)),
+                ]),
+            ),
+            (
+                "dedup",
+                Value::object(vec![
+                    ("expanded_points", Value::Uint(self.dedup.expanded_points)),
+                    ("compile_groups", Value::Uint(self.dedup.compile_groups)),
+                    ("compiles_saved", Value::Uint(self.dedup.compiles_saved())),
                 ]),
             ),
         ])
@@ -316,12 +335,19 @@ mod tests {
             spec_name: "t".to_string(),
             records: vec![rec],
             cache: CacheStats::default(),
+            dedup: DedupStats {
+                expanded_points: 1,
+                compile_groups: 1,
+            },
             threads: 1,
             wall_clock: Duration::from_millis(1),
         };
         let json = report.canonical_json();
         assert!(json.contains(r#""error":"boom""#));
         assert!(json.contains(r#""bottleneck":null"#));
+        assert!(
+            json.contains(r#""dedup":{"expanded_points":1,"compile_groups":1,"compiles_saved":0}"#)
+        );
         assert!(!json.contains("meta"));
         assert!(report.to_json().contains(r#""meta":{"threads":1"#));
     }

@@ -1,36 +1,82 @@
-//! Parallel execution of an expanded sweep.
+//! Parallel execution of an expanded sweep, deduplicated by compile group.
+//!
+//! Partitioning depends only on (application, N, GPU model, stack,
+//! enhancement) — never on the GPU count — so the runner groups expanded
+//! points by that key, compiles each group exactly once (graph construction,
+//! profiling and the partition search all happen once per group) and fans
+//! the compiled [`PartitionStage`](sgmap_core::PartitionStage) out to every
+//! GPU count in the group. On the quick preset this cuts the number of
+//! partition searches to a third of the point count.
 
-use std::num::NonZeroUsize;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use sgmap_core::{compile_with_estimator, execute, FlowConfig};
+use sgmap_apps::App;
+use sgmap_core::{
+    compile_from_stage, execute, partition_graph, FlowConfig, PartitionSearchOptions,
+};
 use sgmap_pee::{EstimateCache, Estimator};
 
-use crate::report::{SweepRecord, SweepReport};
-use crate::spec::{SweepError, SweepPoint, SweepSpec};
+use crate::report::{DedupStats, SweepRecord, SweepReport};
+use crate::spec::{GpuModel, SweepError, SweepPoint, SweepSpec};
 
 /// The number of worker threads `run_sweep` uses when the caller passes 0:
 /// the machine's available parallelism, capped at 8 (points are coarse
-/// enough that more workers only add scheduling noise).
+/// enough that more workers only add scheduling noise). This is the same
+/// auto-resolution the partition search applies, so "both levels share one
+/// thread budget" also holds for the auto case.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8)
+    PartitionSearchOptions::new()
+        .with_threads(0)
+        .resolved_threads()
+}
+
+/// The key everything GPU-count-independent hangs off: two points with equal
+/// keys share one graph, one estimator, one partition search.
+type CompileKey<'p> = (App, u32, GpuModel, &'p str, bool);
+
+fn compile_key(point: &SweepPoint) -> CompileKey<'_> {
+    (
+        point.app,
+        point.n,
+        point.gpu_model,
+        point.stack.label.as_str(),
+        point.enhanced,
+    )
+}
+
+/// Groups point indices by compile key, in first-appearance (work-list)
+/// order. Within a group the indices stay in work-list order too, so the
+/// grouping is deterministic for a given expansion.
+fn group_points(points: &[SweepPoint]) -> Vec<Vec<usize>> {
+    let mut by_key: HashMap<CompileKey<'_>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, point) in points.iter().enumerate() {
+        let g = *by_key.entry(compile_key(point)).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(i);
+    }
+    groups
 }
 
 /// Expands `spec` and executes every point on `threads` worker threads
-/// (0 = [`default_threads`]). Workers pull points from a shared queue, so a
-/// slow point never stalls the rest of the grid; results are reassembled in
-/// work-list order, which makes the report independent of scheduling.
+/// (0 = [`default_threads`]). Workers pull *compile groups* from a shared
+/// queue: each group builds its graph, profiles it and runs the partition
+/// search once, then maps and executes every GPU count in the group against
+/// that shared artefact. The same thread count is handed to the partition
+/// search inside each compile, so one large compile also scales.
 ///
-/// All points share one [`EstimateCache`], so estimation work done for one
-/// point (say, DES at N=8 on 1 GPU) is reused by every other point that asks
-/// the same physical question (DES at N=8 on 4 GPUs, or with a different
-/// mapper). Points that fail to build or compile become error records rather
-/// than aborting the sweep.
+/// All groups share one [`EstimateCache`], so estimation work done for one
+/// group (say, DES at N=8 with the proposed partitioner) is reused by every
+/// other group that asks the same physical question (another mapper, another
+/// GPU model with equal relevant limits). Points that fail to build or
+/// compile become error records rather than aborting the sweep; results are
+/// reassembled in work-list order, which makes the report independent of
+/// scheduling.
 ///
 /// # Errors
 ///
@@ -42,26 +88,40 @@ pub fn default_threads() -> usize {
 /// recoverable per-point failure).
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
     let points = spec.expand()?;
+    let groups = group_points(&points);
     let threads = if threads == 0 {
         default_threads()
     } else {
         threads
-    }
-    .min(points.len().max(1));
+    };
+    let workers = threads.min(groups.len().max(1));
+    // When there are fewer groups than threads (e.g. one combination swept
+    // over the GPU-count axis), the spare threads go to the per-point
+    // mapping/execution inside each group, so a thin grid still uses the
+    // whole budget.
+    let point_threads = (threads / workers.max(1)).max(1);
+    // The partition search inside each compile uses the same thread count as
+    // the sweep itself; the batch size is a fixed constant, so the report —
+    // including every cache counter — is byte-identical for any `threads`.
+    let search = PartitionSearchOptions::new().with_threads(threads);
     let cache = EstimateCache::shared();
     let started = Instant::now();
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<SweepRecord>>> = Mutex::new(vec![None; points.len()]);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points.len() {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                if g >= groups.len() {
                     break;
                 }
-                let record = run_point(spec, &points[i], &cache);
-                results.lock().expect("sweep results lock poisoned")[i] = Some(record);
+                let group_records =
+                    run_group(spec, &points, &groups[g], &cache, &search, point_threads);
+                let mut results = results.lock().expect("sweep results lock poisoned");
+                for (i, record) in group_records {
+                    results[i] = Some(record);
+                }
             });
         }
     });
@@ -78,67 +138,136 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepE
         spec_name: spec.name.clone(),
         records,
         cache: cache.stats(),
+        dedup: DedupStats {
+            expanded_points: points.len() as u64,
+            compile_groups: groups.len() as u64,
+        },
         threads,
         wall_clock: started.elapsed(),
     })
 }
 
-/// Runs a single expanded point against the shared cache.
-fn run_point(spec: &SweepSpec, point: &SweepPoint, cache: &Arc<EstimateCache>) -> SweepRecord {
-    let graph = match point.app.build(point.n) {
-        Ok(graph) => graph,
-        Err(e) => return SweepRecord::from_error(point, e),
-    };
+/// The per-point flow configuration (the GPU count and the stack's routing
+/// knobs vary inside a group; everything else is shared).
+fn point_config(
+    spec: &SweepSpec,
+    point: &SweepPoint,
+    search: &PartitionSearchOptions,
+) -> FlowConfig {
     let mut config = FlowConfig::new()
         .with_gpu(point.gpu_model.spec())
         .with_gpu_count(point.gpu_count)
         .with_partitioner(point.stack.partitioner)
         .with_mapper(point.stack.mapper)
-        .with_enhancement(point.enhanced);
+        .with_enhancement(point.enhanced)
+        .with_partition_search(search.clone());
     config.mapping_options = spec.mapping_options.clone();
     config.plan = spec.plan.clone();
     // The stack axis is authoritative for routing; the spec-level plan only
     // contributes the fragment/iteration shape.
     config.plan.transfer_mode = point.stack.transfer_mode;
+    config
+}
 
-    let estimator = match Estimator::new(&graph, config.gpu.clone()) {
-        Ok(est) => est
-            .with_enhancement(point.enhanced)
-            .with_shared_cache(cache.clone()),
-        Err(e) => return SweepRecord::from_error(point, e),
-    };
-    match compile_with_estimator(&graph, &config, &estimator) {
-        Ok(compiled) => SweepRecord::from_run(point, &execute(&compiled, &config)),
-        Err(e) => SweepRecord::from_error(point, e),
+/// Maps `f` over `0..n` on `threads` scoped worker threads, returning the
+/// results in index order (inline for a single thread or item).
+fn par_collect<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
     }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                results.lock().expect("point results lock poisoned")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("point results lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("every index is mapped"))
+        .collect()
+}
+
+/// Compiles one group (graph, estimator, partition stage — all built once)
+/// and executes every point in it on `point_threads` threads, returning
+/// `(point index, record)` pairs.
+fn run_group(
+    spec: &SweepSpec,
+    points: &[SweepPoint],
+    group: &[usize],
+    cache: &Arc<EstimateCache>,
+    search: &PartitionSearchOptions,
+    point_threads: usize,
+) -> Vec<(usize, SweepRecord)> {
+    let fail_all = |message: String| -> Vec<(usize, SweepRecord)> {
+        group
+            .iter()
+            .map(|&i| (i, SweepRecord::from_error(&points[i], &message)))
+            .collect()
+    };
+    let first = &points[group[0]];
+    let graph = match first.app.build(first.n) {
+        Ok(graph) => graph,
+        Err(e) => return fail_all(e.to_string()),
+    };
+    let estimator = match Estimator::new(&graph, first.gpu_model.spec()) {
+        Ok(est) => est
+            .with_enhancement(first.enhanced)
+            .with_shared_cache(cache.clone()),
+        Err(e) => return fail_all(e.to_string()),
+    };
+    let stage = match partition_graph(&graph, &point_config(spec, first, search), &estimator) {
+        Ok(stage) => stage,
+        Err(e) => return fail_all(e.to_string()),
+    };
+    par_collect(point_threads, group.len(), |k| {
+        let i = group[k];
+        let point = &points[i];
+        let config = point_config(spec, point, search);
+        let record = match compile_from_stage(&graph, &config, &estimator, &stage) {
+            Ok(compiled) => SweepRecord::from_run(point, &execute(&compiled, &config)),
+            Err(e) => SweepRecord::from_error(point, e),
+        };
+        (i, record)
+    })
 }
 
 /// Fills `speedup_vs_1gpu` for every record whose (app, N, model, stack,
-/// enhancement) group also contains a successful 1-GPU record.
+/// enhancement) group also contains a successful 1-GPU record. Baselines are
+/// indexed by scaling-group key, so this is one pass over the records
+/// instead of a rescan per baseline.
 fn attach_speedups(records: &mut [SweepRecord]) {
-    let baselines: Vec<(usize, f64)> = records
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.is_ok() && r.gpus == 1 && r.time_per_iteration_us > 0.0)
-        .map(|(i, r)| (i, r.time_per_iteration_us))
-        .collect();
-    for (baseline_idx, baseline_time) in baselines {
-        let group = {
-            let r = &records[baseline_idx];
-            (r.app, r.n, r.gpu_model.clone(), r.stack.clone(), r.enhanced)
-        };
-        for record in records.iter_mut() {
-            let same_group = record.scaling_group()
-                == (
-                    group.0,
-                    group.1,
-                    group.2.as_str(),
-                    group.3.as_str(),
-                    group.4,
-                );
-            if same_group && record.is_ok() && record.time_per_iteration_us > 0.0 {
-                record.speedup_vs_1gpu = Some(baseline_time / record.time_per_iteration_us);
-            }
+    type GroupKey = (App, u32, String, String, bool);
+    let mut baselines: HashMap<GroupKey, f64> = HashMap::new();
+    for r in records.iter() {
+        if r.is_ok() && r.gpus == 1 && r.time_per_iteration_us > 0.0 {
+            baselines
+                .entry((r.app, r.n, r.gpu_model.clone(), r.stack.clone(), r.enhanced))
+                .or_insert(r.time_per_iteration_us);
+        }
+    }
+    for record in records.iter_mut() {
+        if !record.is_ok() || record.time_per_iteration_us <= 0.0 {
+            continue;
+        }
+        let key = (
+            record.app,
+            record.n,
+            record.gpu_model.clone(),
+            record.stack.clone(),
+            record.enhanced,
+        );
+        if let Some(&baseline_time) = baselines.get(&key) {
+            record.speedup_vs_1gpu = Some(baseline_time / record.time_per_iteration_us);
         }
     }
 }
@@ -172,6 +301,36 @@ mod tests {
     }
 
     #[test]
+    fn points_that_differ_only_in_gpu_count_share_one_compile_group() {
+        let report = run_sweep(&tiny_spec(), 1).unwrap();
+        // One (app, N, model, stack, enhancement) combination swept over two
+        // GPU counts: two points, one compile.
+        assert_eq!(report.dedup.expanded_points, 2);
+        assert_eq!(report.dedup.compile_groups, 1);
+        assert_eq!(report.dedup.compiles_saved(), 1);
+    }
+
+    #[test]
+    fn grouping_preserves_work_list_order() {
+        let mut spec = tiny_spec();
+        spec.apps = vec![
+            AppSweep::explicit(App::FmRadio, vec![4]),
+            AppSweep::explicit(App::MatMul2, vec![2]),
+        ];
+        spec.stacks = vec![StackConfig::ours(), StackConfig::previous()];
+        let points = spec.expand().unwrap();
+        let groups = group_points(&points);
+        // 2 apps x 2 stacks = 4 groups of 2 GPU counts each.
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 2));
+        // Groups appear in work-list order of their first point, and indices
+        // inside each group ascend.
+        let firsts: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+        assert!(groups.iter().all(|g| g.windows(2).all(|w| w[0] < w[1])));
+    }
+
+    #[test]
     fn unbuildable_points_become_error_records() {
         // FFT requires a power-of-two N; 7 cannot build.
         let mut spec = tiny_spec();
@@ -181,5 +340,7 @@ mod tests {
         assert_eq!(report.records.len(), 1);
         assert!(report.records[0].error.is_some());
         assert_eq!(report.records[0].time_per_iteration_us, 0.0);
+        // A failed group still counts as a group.
+        assert_eq!(report.dedup.compile_groups, 1);
     }
 }

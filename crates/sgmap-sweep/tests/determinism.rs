@@ -43,4 +43,16 @@ fn multithreaded_reports_are_byte_identical_to_single_threaded() {
     // The sweep exercises the shared cache for real.
     assert!(multi.cache.hits > 0, "expected shared-cache hits");
     assert_eq!(multi.cache.misses, multi.cache.entries);
+
+    // Compile-group dedup: 2 apps x 2 N x 2 stacks = 8 groups cover the 24
+    // points (the 3 GPU counts of a group share one partition search).
+    assert_eq!(multi.dedup.expanded_points, 24);
+    assert_eq!(multi.dedup.compile_groups, 8);
+    assert!(multi.dedup.compile_groups < multi.dedup.expanded_points);
+
+    // The report passes its own validator — the same one CI runs via
+    // `sweep --check`.
+    let summary = sgmap_sweep::check_report(&b).unwrap();
+    assert_eq!(summary.points, 24);
+    assert_eq!(summary.compile_groups, 8);
 }

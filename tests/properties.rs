@@ -7,7 +7,9 @@ use sgmap_gpusim::{sm_layout, GpuSpec, Platform};
 use sgmap_graph::{GraphBuilder, JoinKind, NodeSet, SplitKind, StreamGraph, StreamSpec};
 use sgmap_ilp::{Model, ObjectiveSense, Solver};
 use sgmap_mapping::evaluate_assignment;
-use sgmap_partition::{build_pdg, partition_stream_graph};
+use sgmap_partition::{
+    build_pdg, partition_stream_graph, partition_stream_graph_with, PartitionSearchOptions,
+};
 use sgmap_pee::Estimator;
 
 /// Strategy producing random but well-formed StreamIt-style specifications.
@@ -104,6 +106,43 @@ proptest! {
         prop_assert!(
             partitioning.total_estimated_time_us() <= singleton_total.unwrap() + 1e-6
         );
+    }
+
+    /// The batched parallel partition search is indistinguishable from the
+    /// serial search on random graphs: same partitions in the same order
+    /// with bit-equal estimates, a valid cover included — for any thread
+    /// count and any speculative batch size.
+    #[test]
+    fn parallel_partition_search_matches_serial(
+        spec in spec_strategy(2, false),
+        threads in 1usize..5,
+        batch in 1usize..48,
+    ) {
+        let graph = random_graph(spec);
+        let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
+        prop_assume!(graph
+            .filter_ids()
+            .all(|id| est.estimate(&NodeSet::singleton(id)).is_some()));
+        let serial = partition_stream_graph(&est).unwrap();
+        let options = PartitionSearchOptions::new()
+            .with_threads(threads)
+            .with_batch(batch);
+        let parallel = partition_stream_graph_with(&est, &options).unwrap();
+        parallel.validate_cover(&graph).unwrap();
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            prop_assert_eq!(&a.nodes, &b.nodes);
+            prop_assert_eq!(a.estimate.params, b.estimate.params);
+            prop_assert_eq!(
+                a.estimate.normalized_us.to_bits(),
+                b.estimate.normalized_us.to_bits()
+            );
+            prop_assert_eq!(
+                a.estimate.t_exec_us.to_bits(),
+                b.estimate.t_exec_us.to_bits()
+            );
+            prop_assert_eq!(a.estimate.sm_bytes, b.estimate.sm_bytes);
+        }
     }
 
     /// The shared-memory footprint never shrinks when the enhancement is
