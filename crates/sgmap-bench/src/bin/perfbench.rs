@@ -1,0 +1,328 @@
+//! `perfbench`: the repository's performance harness.
+//!
+//! Times the phases of single compiles (graph build, estimator/profile
+//! construction, the partition search, mapping + code generation) on a fixed
+//! set of compile targets, then times a full sweep preset, and emits the
+//! results as `BENCH.json` — the canonical perf artefact CI uploads so the
+//! project accumulates a wall-clock trajectory to optimise against.
+//!
+//! ```text
+//! perfbench [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]
+//! perfbench --check BENCH.json
+//! ```
+//!
+//! * `--preset NAME` — which sweep preset to time (default `quick`).
+//! * `--threads N` — worker threads for the sweep phase (default 1: phase
+//!   timings are single-core numbers, comparable across machines).
+//! * `--out FILE` — write `BENCH.json` to `FILE` instead of stdout.
+//! * `--cache-file FILE` — persist the shared estimator cache: load it
+//!   before the sweep (if the file exists), save it afterwards, and report
+//!   the warm-start sweep separately. A second run with the same file should
+//!   report zero shared-cache misses.
+//! * `--check FILE` — validate a previously written `BENCH.json` (pure-Rust
+//!   schema check, the exact validator CI runs) and exit 0/1.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgmap_apps::App;
+use sgmap_core::{
+    compile_from_stage, execute, partition_graph, FlowConfig, PartitionSearchOptions,
+};
+use sgmap_pee::{EstimateCache, Estimator};
+use sgmap_sweep::{
+    check_bench_report, load_cache_file_if_exists, run_sweep_with_cache, save_cache_file,
+    JsonValue, SweepSpec,
+};
+
+const USAGE: &str = "usage: perfbench [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]\n       perfbench --check BENCH.json";
+
+/// Schema version of the emitted `BENCH.json`.
+const BENCH_FORMAT_VERSION: u64 = 1;
+
+/// The fixed single-compile targets: one representative (app, N) per
+/// application family, sized so one compile takes long enough to time
+/// reliably but the whole suite stays in CI-smoke territory.
+const COMPILE_TARGETS: &[(App, u32)] = &[
+    (App::Des, 8),
+    (App::FmRadio, 16),
+    (App::Fft, 64),
+    (App::Bitonic, 16),
+    (App::MatMul2, 4),
+];
+
+struct Args {
+    preset: String,
+    threads: usize,
+    out: Option<String>,
+    cache_file: Option<String>,
+    check: Option<String>,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        preset: "quick".to_string(),
+        threads: 1,
+        out: None,
+        cache_file: None,
+        check: None,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => args.preset = it.next().ok_or("--preset needs a value")?,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a number: {v}"))?;
+            }
+            "--out" => args.out = Some(it.next().ok_or("--out needs a value")?),
+            "--cache-file" => {
+                args.cache_file = Some(it.next().ok_or("--cache-file needs a value")?);
+            }
+            "--check" => args.check = Some(it.next().ok_or("--check needs a report file")?),
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Times every phase of one compile (single-threaded, serial search — the
+/// interactive-compile configuration) and returns the JSON record.
+fn bench_compile(app: App, n: u32) -> JsonValue {
+    let config = FlowConfig::new()
+        .with_gpu_count(2)
+        .with_partition_search(PartitionSearchOptions::serial());
+    let cache = EstimateCache::shared();
+
+    let t0 = Instant::now();
+    let graph = app.build(n).expect("compile targets build");
+    let build_ms = ms(t0);
+
+    let t1 = Instant::now();
+    let estimator = Estimator::new(&graph, config.gpu.clone())
+        .expect("compile targets have consistent rates")
+        .with_shared_cache(cache.clone());
+    let estimator_ms = ms(t1);
+
+    let t2 = Instant::now();
+    let stage = partition_graph(&graph, &config, &estimator).expect("partitioning succeeds");
+    let partition_ms = ms(t2);
+
+    let t3 = Instant::now();
+    let compiled =
+        compile_from_stage(&graph, &config, &estimator, &stage).expect("mapping succeeds");
+    let finish_ms = ms(t3);
+
+    let t4 = Instant::now();
+    let report = execute(&compiled, &config);
+    let execute_ms = ms(t4);
+
+    let stats = cache.stats();
+    let total_ms = build_ms + estimator_ms + partition_ms + finish_ms;
+    let estimates_per_sec = if partition_ms > 0.0 {
+        stats.queries() as f64 / (partition_ms / 1000.0)
+    } else {
+        0.0
+    };
+    eprintln!(
+        "compile {:>8} N={:<4} {:7.1} ms (build {:.1}, estimator {:.1}, partition {:.1}, map+plan {:.1}) — {} partitions, {} estimates ({:.0}/s)",
+        app.name(), n, total_ms, build_ms, estimator_ms, partition_ms, finish_ms,
+        compiled.partition_count(), stats.queries(), estimates_per_sec,
+    );
+    JsonValue::object(vec![
+        ("app", JsonValue::str(app.name())),
+        ("n", JsonValue::Uint(u64::from(n))),
+        ("filters", JsonValue::Uint(graph.filter_count() as u64)),
+        (
+            "partitions",
+            JsonValue::Uint(compiled.partition_count() as u64),
+        ),
+        ("build_ms", JsonValue::Float(build_ms)),
+        ("estimator_ms", JsonValue::Float(estimator_ms)),
+        ("partition_ms", JsonValue::Float(partition_ms)),
+        ("finish_ms", JsonValue::Float(finish_ms)),
+        ("execute_ms", JsonValue::Float(execute_ms)),
+        ("total_ms", JsonValue::Float(total_ms)),
+        ("estimate_queries", JsonValue::Uint(stats.queries())),
+        ("estimate_misses", JsonValue::Uint(stats.misses)),
+        ("estimates_per_sec", JsonValue::Float(estimates_per_sec)),
+        (
+            "time_per_iteration_us",
+            JsonValue::Float(report.time_per_iteration_us),
+        ),
+    ])
+}
+
+/// Runs the sweep preset against `cache` and returns its JSON record.
+fn bench_sweep(spec: &SweepSpec, threads: usize, cache: &Arc<EstimateCache>) -> JsonValue {
+    let before = cache.stats();
+    let t = Instant::now();
+    let report = run_sweep_with_cache(spec, threads, cache.clone()).expect("preset specs expand");
+    let wall_ms = ms(t);
+    let after = cache.stats();
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    let failed = report.records.iter().filter(|r| !r.is_ok()).count() as u64;
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "sweep '{}': {} points in {:.0} ms; cache {} hits / {} misses ({:.0}% hit rate)",
+        spec.name,
+        report.records.len(),
+        wall_ms,
+        hits,
+        misses,
+        hit_rate * 100.0,
+    );
+    JsonValue::object(vec![
+        ("preset", JsonValue::str(&*spec.name)),
+        ("points", JsonValue::Uint(report.records.len() as u64)),
+        ("failed_points", JsonValue::Uint(failed)),
+        ("wall_ms", JsonValue::Float(wall_ms)),
+        (
+            "cache",
+            JsonValue::object(vec![
+                ("hits", JsonValue::Uint(hits)),
+                ("misses", JsonValue::Uint(misses)),
+                ("entries", JsonValue::Uint(after.entries)),
+                ("hit_rate", JsonValue::Float(hit_rate)),
+            ]),
+        ),
+        (
+            "dedup",
+            JsonValue::object(vec![
+                (
+                    "expanded_points",
+                    JsonValue::Uint(report.dedup.expanded_points),
+                ),
+                (
+                    "compile_groups",
+                    JsonValue::Uint(report.dedup.compile_groups),
+                ),
+                (
+                    "compiles_saved",
+                    JsonValue::Uint(report.dedup.compiles_saved()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn run_check(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_bench_report(&src) {
+        Ok(summary) => {
+            eprintln!("{path}: OK — {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: FAILED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.check {
+        return run_check(path);
+    }
+
+    let spec = match SweepSpec::preset(&args.preset) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Load (and thereby validate) the cache file up front, before the timed
+    // compile suite runs — a corrupt or stale file should fail in
+    // milliseconds, not after minutes of benchmarking.
+    let cache = EstimateCache::shared();
+    let mut preloaded = 0u64;
+    if let Some(path) = &args.cache_file {
+        match load_cache_file_if_exists(path, &cache) {
+            Ok(n) => preloaded = n,
+            Err(e) => {
+                eprintln!("cannot load cache file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if preloaded > 0 {
+            eprintln!("warm start: {preloaded} cache entries loaded from {path}");
+        }
+    }
+
+    let compiles: Vec<JsonValue> = COMPILE_TARGETS
+        .iter()
+        .map(|&(app, n)| bench_compile(app, n))
+        .collect();
+
+    // The sweep phase: cold against a fresh cache, or warm-started from (and
+    // saved back to) --cache-file.
+    let sweep = bench_sweep(&spec, args.threads, &cache);
+    if let Some(path) = &args.cache_file {
+        // The cache save speeds up the *next* run; a write failure must not
+        // discard the measurements this run just produced.
+        match save_cache_file(path, &cache) {
+            Ok(n) => eprintln!("{n} cache entries saved to {path}"),
+            Err(e) => eprintln!("warning: estimate cache not persisted: {e}"),
+        }
+    }
+
+    let mut fields = vec![
+        ("version", JsonValue::Uint(BENCH_FORMAT_VERSION)),
+        ("preset", JsonValue::str(&*spec.name)),
+        ("compiles", JsonValue::Array(compiles)),
+        ("sweep", sweep),
+    ];
+    if args.cache_file.is_some() {
+        fields.push(("cache_preloaded_entries", JsonValue::Uint(preloaded)));
+    }
+    fields.push((
+        "meta",
+        JsonValue::object(vec![("threads", JsonValue::Uint(args.threads as u64))]),
+    ));
+    let json = JsonValue::object(fields).render();
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("BENCH.json written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -88,7 +88,11 @@ impl CompileResult {
 /// partitioning or mapping fails.
 pub fn compile(graph: &StreamGraph, config: &FlowConfig) -> Result<CompileResult, FlowError> {
     config.validate().map_err(FlowError::InvalidConfig)?;
-    let estimator = Estimator::new(graph, config.gpu.clone())?.with_enhancement(config.enhanced);
+    let mut estimator =
+        Estimator::new(graph, config.gpu.clone())?.with_enhancement(config.enhanced);
+    if let Some(cache) = &config.estimate_cache {
+        estimator = estimator.with_shared_cache(cache.clone());
+    }
     compile_with_estimator(graph, config, &estimator)
 }
 

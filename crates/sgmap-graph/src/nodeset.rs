@@ -8,6 +8,8 @@
 //! channel queries needed to compute workloads, IO volumes and inter-partition
 //! traffic.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::algo;
@@ -18,27 +20,52 @@ use crate::rates::RepetitionVector;
 use crate::Result;
 
 /// A set of filters of a stream graph, kept sorted by filter id.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+///
+/// The members are stored behind an [`Arc`], so cloning a node set — which
+/// the partition search and the estimator caches do constantly — is a
+/// reference-count bump rather than a vector copy, and the hash of the
+/// member list is precomputed at construction so hash-map lookups keyed by
+/// node sets do not re-walk the members.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeSet {
-    members: Vec<FilterId>,
+    members: Arc<Vec<FilterId>>,
+    /// FNV-1a over the member ids; maintained on every mutation.
+    hash: u64,
+}
+
+/// FNV-1a over the member ids. Deterministic across runs and platforms, so
+/// anything derived from the hash (bucket order never is) stays stable.
+fn members_hash(members: &[FilterId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in members {
+        h ^= id.index() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl NodeSet {
+    fn from_sorted(members: Vec<FilterId>) -> Self {
+        let hash = members_hash(&members);
+        NodeSet {
+            members: Arc::new(members),
+            hash,
+        }
+    }
+
     /// Creates an empty node set.
     pub fn new() -> Self {
-        NodeSet::default()
+        NodeSet::from_sorted(Vec::new())
     }
 
     /// Creates a node set containing a single filter.
     pub fn singleton(id: FilterId) -> Self {
-        NodeSet { members: vec![id] }
+        NodeSet::from_sorted(vec![id])
     }
 
     /// Creates a node set containing every filter of `graph`.
     pub fn all(graph: &StreamGraph) -> Self {
-        NodeSet {
-            members: graph.filter_ids().collect(),
-        }
+        NodeSet::from_sorted(graph.filter_ids().collect())
     }
 
     /// Creates a node set from an iterator of filter ids (duplicates are
@@ -47,7 +74,7 @@ impl NodeSet {
         let mut members: Vec<FilterId> = ids.into_iter().collect();
         members.sort_unstable();
         members.dedup();
-        NodeSet { members }
+        NodeSet::from_sorted(members)
     }
 
     /// Number of filters in the set.
@@ -70,7 +97,8 @@ impl NodeSet {
         match self.members.binary_search(&id) {
             Ok(_) => false,
             Err(pos) => {
-                self.members.insert(pos, id);
+                Arc::make_mut(&mut self.members).insert(pos, id);
+                self.hash = members_hash(&self.members);
                 true
             }
         }
@@ -109,7 +137,7 @@ impl NodeSet {
         }
         members.extend_from_slice(&self.members[i..]);
         members.extend_from_slice(&other.members[j..]);
-        NodeSet { members }
+        NodeSet::from_sorted(members)
     }
 
     /// Returns `true` if the two sets share at least one filter.
@@ -270,6 +298,29 @@ impl NodeSet {
     }
 }
 
+impl Default for NodeSet {
+    fn default() -> Self {
+        NodeSet::new()
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Shared storage (the common case after a cheap clone) and the
+        // precomputed hash both short-circuit the member comparison.
+        Arc::ptr_eq(&self.members, &other.members)
+            || (self.hash == other.hash && self.members == other.members)
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl std::hash::Hash for NodeSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
 impl FromIterator<FilterId> for NodeSet {
     fn from_iter<T: IntoIterator<Item = FilterId>>(iter: T) -> Self {
         NodeSet::from_ids(iter)
@@ -367,6 +418,36 @@ mod tests {
             all.iteration_io_bytes(&g, &reps),
             g.primary_input_bytes(&reps) + g.primary_output_bytes(&reps)
         );
+    }
+
+    #[test]
+    fn clones_share_storage_and_mutation_keeps_hash_consistent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let hash_of = |s: &NodeSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        let a = NodeSet::from_ids([FilterId::from_index(3), FilterId::from_index(1)]);
+        let clone = a.clone();
+        assert!(Arc::ptr_eq(&a.members, &clone.members));
+        assert_eq!(a, clone);
+        assert_eq!(hash_of(&a), hash_of(&clone));
+        // Mutating the clone must not disturb the original (copy-on-write)
+        // and must keep hash consistent with an equal set built from scratch.
+        let mut grown = clone;
+        assert!(grown.insert(FilterId::from_index(2)));
+        assert_eq!(a.len(), 2);
+        assert_eq!(grown.len(), 3);
+        let rebuilt = NodeSet::from_ids((1..4).map(FilterId::from_index));
+        assert_eq!(grown, rebuilt);
+        assert_eq!(hash_of(&grown), hash_of(&rebuilt));
+        assert_ne!(hash_of(&a), hash_of(&grown));
+        // Empty sets built any way agree too.
+        assert_eq!(hash_of(&NodeSet::new()), hash_of(&NodeSet::default()));
+        assert_eq!(hash_of(&NodeSet::new()), hash_of(&NodeSet::from_ids([])));
     }
 
     #[test]

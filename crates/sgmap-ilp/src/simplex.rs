@@ -53,12 +53,14 @@ pub fn solve_lp(model: &Model, bounds: &[VarBound]) -> Result<LpSolution> {
     model.validate()?;
     let n = model.num_vars();
 
-    // Assemble the full row set: model constraints, binary upper bounds and
-    // branch bounds.
-    let mut rows: Vec<Constraint> = model.constraints.clone();
+    // Single-variable rows appended after the model's own constraints:
+    // binary upper bounds and branch bounds. The model constraints are read
+    // in place — branch-and-bound calls this once per node, and cloning the
+    // whole constraint set per node was pure overhead.
+    let mut extra: Vec<Constraint> = Vec::with_capacity(model.vars.len() + 2 * bounds.len());
     for (i, v) in model.vars.iter().enumerate() {
         if v.kind == VarKind::Binary {
-            rows.push(Constraint {
+            extra.push(Constraint {
                 terms: vec![(crate::model::VarId(i), 1.0)],
                 sense: ConstraintSense::Le,
                 rhs: 1.0,
@@ -67,14 +69,14 @@ pub fn solve_lp(model: &Model, bounds: &[VarBound]) -> Result<LpSolution> {
     }
     for b in bounds {
         if b.lo > TOL {
-            rows.push(Constraint {
+            extra.push(Constraint {
                 terms: vec![(crate::model::VarId(b.var), 1.0)],
                 sense: ConstraintSense::Ge,
                 rhs: b.lo,
             });
         }
         if b.hi.is_finite() {
-            rows.push(Constraint {
+            extra.push(Constraint {
                 terms: vec![(crate::model::VarId(b.var), 1.0)],
                 sense: ConstraintSense::Le,
                 rhs: b.hi,
@@ -91,7 +93,7 @@ pub fn solve_lp(model: &Model, bounds: &[VarBound]) -> Result<LpSolution> {
         }
     }
 
-    let mut tableau = Tableau::build(n, &rows);
+    let mut tableau = Tableau::build(n, &model.constraints, &extra);
     tableau.phase1()?;
     let objective = tableau.phase2(&cost)?;
     let values = tableau.extract(n);
@@ -115,15 +117,19 @@ struct Tableau {
     m: usize,
     /// Basic column of each row.
     basis: Vec<usize>,
+    /// Scratch: the non-zero entries of the current pivot row, reused across
+    /// pivots to keep the row updates O(nnz) without re-allocating.
+    pivot_nz: Vec<(u32, f64)>,
 }
 
 impl Tableau {
-    fn build(n_struct: usize, rows: &[Constraint]) -> Tableau {
-        let m = rows.len();
+    fn build(n_struct: usize, base: &[Constraint], extra: &[Constraint]) -> Tableau {
+        let rows = || base.iter().chain(extra);
+        let m = base.len() + extra.len();
         // Count slack/surplus and artificial columns.
         let mut n_slack = 0usize;
         let mut n_art = 0usize;
-        for r in rows {
+        for r in rows() {
             // Determine the effective sense after RHS normalisation.
             let flip = r.rhs < 0.0;
             let sense = effective_sense(r.sense, flip);
@@ -144,7 +150,7 @@ impl Tableau {
 
         let mut slack_col = n_struct;
         let mut art_col = first_artificial;
-        for (i, r) in rows.iter().enumerate() {
+        for (i, r) in rows().enumerate() {
             let flip = r.rhs < 0.0;
             let sgn = if flip { -1.0 } else { 1.0 };
             for &(v, coef) in &r.terms {
@@ -180,6 +186,7 @@ impl Tableau {
             a,
             m,
             basis,
+            pivot_nz: Vec::new(),
         }
     }
 
@@ -325,14 +332,12 @@ impl Tableau {
             };
 
             self.pivot(leaving, entering);
-            // Update the reduced-cost row.
+            // Update the reduced-cost row from the pivot row's non-zeros
+            // (same sign-of-zero-only argument as in `pivot`).
             let factor = red[entering];
             if factor != 0.0 {
-                for (r, a) in red
-                    .iter_mut()
-                    .zip(&self.a[leaving * width..(leaving + 1) * width])
-                {
-                    *r -= factor * a;
+                for &(c, v) in &self.pivot_nz {
+                    red[c as usize] -= factor * v;
                 }
             }
         }
@@ -340,13 +345,26 @@ impl Tableau {
     }
 
     /// Gauss-Jordan pivot on (row, col).
+    ///
+    /// The row updates skip the pivot row's exact zeros: subtracting
+    /// `factor · 0.0` can only change the sign of a zero entry, and no
+    /// comparison anywhere in the solver distinguishes `-0.0` from `0.0`,
+    /// so the pivot sequence — and hence the returned vertex — is identical
+    /// to the dense update. Mapping tableaus are mostly zeros (assignment
+    /// rows touch two columns, crossing rows a handful), which makes this
+    /// the difference between an O(m·width) and an O(m·nnz) pivot.
     fn pivot(&mut self, row: usize, col: usize) {
         let width = self.width();
         let pivot = self.a[row * width + col];
         debug_assert!(pivot.abs() > TOL, "pivot on a vanishing element");
         let inv = 1.0 / pivot;
+        self.pivot_nz.clear();
         for c in 0..width {
-            self.a[row * width + c] *= inv;
+            let v = self.a[row * width + c] * inv;
+            self.a[row * width + c] = v;
+            if v != 0.0 {
+                self.pivot_nz.push((c as u32, v));
+            }
         }
         for r in 0..self.m {
             if r == row {
@@ -354,8 +372,9 @@ impl Tableau {
             }
             let factor = self.a[r * width + col];
             if factor != 0.0 {
-                for c in 0..width {
-                    self.a[r * width + c] -= factor * self.a[row * width + c];
+                let dst = &mut self.a[r * width..(r + 1) * width];
+                for &(c, v) in &self.pivot_nz {
+                    dst[c as usize] -= factor * v;
                 }
             }
         }

@@ -1,0 +1,236 @@
+//! An incremental partition-adjacency index.
+//!
+//! Phases 3 and 4 of the proposed partitioner repeatedly ask "does any
+//! channel connect partitions *i* and *j*?". Answering that with a scan over
+//! every channel of the graph costs O(|channels|) per candidate pair, and
+//! the candidate enumeration visits O(|parts|²) pairs per accepted merge.
+//! This index answers the question in O(log degree): it keeps a filter→part
+//! map plus, for every part, an ordered map from neighbouring part to the
+//! number of channels crossing between the two. Merges maintain the index
+//! incrementally, mirroring the partitioner's `swap_remove` bookkeeping.
+
+use std::collections::BTreeMap;
+
+use sgmap_graph::{FilterId, NodeSet, StreamGraph};
+
+/// Partition adjacency, indexed by the partitioner's part positions.
+///
+/// The index is a pure acceleration structure: its answers are equal to
+/// scanning the graph's channels against the current node sets (the property
+/// suite enforces this on random graphs and merge sequences), so swapping it
+/// in changes no partitioning decision.
+#[derive(Debug, Clone)]
+pub struct AdjacencyIndex {
+    /// Filter index → part index (`usize::MAX` for unassigned filters).
+    part_of: Vec<usize>,
+    /// Per part: neighbouring part → number of crossing channels (in either
+    /// direction, feedback included — the same channels a full scan counts).
+    rows: Vec<BTreeMap<usize, u32>>,
+}
+
+impl AdjacencyIndex {
+    /// Builds the index for the given parts over `graph`. Filters not
+    /// covered by any part are ignored; each filter may appear in at most
+    /// one part.
+    pub fn build<'p>(graph: &StreamGraph, parts: impl IntoIterator<Item = &'p NodeSet>) -> Self {
+        let mut part_of = vec![usize::MAX; graph.filter_count()];
+        let mut rows = Vec::new();
+        for (p, nodes) in parts.into_iter().enumerate() {
+            for id in nodes.iter() {
+                debug_assert_eq!(part_of[id.index()], usize::MAX, "overlapping parts");
+                part_of[id.index()] = p;
+            }
+            rows.push(BTreeMap::new());
+        }
+        let mut index = AdjacencyIndex { part_of, rows };
+        for (_, ch) in graph.channels() {
+            index.record_channel(ch.src, ch.dst);
+        }
+        index
+    }
+
+    fn record_channel(&mut self, src: FilterId, dst: FilterId) {
+        let (a, b) = (self.part_of[src.index()], self.part_of[dst.index()]);
+        if a == usize::MAX || b == usize::MAX || a == b {
+            return;
+        }
+        *self.rows[a].entry(b).or_insert(0) += 1;
+        *self.rows[b].entry(a).or_insert(0) += 1;
+    }
+
+    /// Number of parts currently indexed.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no part is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The part a filter belongs to, if any.
+    pub fn part_of(&self, id: FilterId) -> Option<usize> {
+        match self.part_of[id.index()] {
+            usize::MAX => None,
+            p => Some(p),
+        }
+    }
+
+    /// `true` if some channel connects parts `i` and `j` (in either
+    /// direction).
+    pub fn adjacent(&self, i: usize, j: usize) -> bool {
+        self.rows[i].contains_key(&j)
+    }
+
+    /// The parts adjacent to `p`, in ascending part order — the same order a
+    /// serial scan over part positions produces.
+    pub fn neighbors(&self, p: usize) -> impl Iterator<Item = usize> + '_ {
+        self.rows[p].keys().copied()
+    }
+
+    /// Applies the partitioner's merge bookkeeping to the index: part `hi`
+    /// is merged into part `lo` (`lo < hi`), then the part list is compacted
+    /// with `swap_remove(hi)` — the last part moves into position `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `hi` is out of bounds.
+    pub fn merge_swap_remove(&mut self, lo: usize, hi: usize) {
+        assert!(lo < hi && hi < self.rows.len(), "bad merge {lo} <- {hi}");
+        // Filters of `hi` now belong to `lo`.
+        for p in &mut self.part_of {
+            if *p == hi {
+                *p = lo;
+            }
+        }
+        // Fold hi's adjacency row into lo's; channels between the two become
+        // internal and disappear from the index.
+        let row_hi = std::mem::take(&mut self.rows[hi]);
+        for (q, c) in row_hi {
+            if q == lo {
+                self.rows[lo].remove(&hi);
+                continue;
+            }
+            let q_row = &mut self.rows[q];
+            q_row.remove(&hi);
+            *q_row.entry(lo).or_insert(0) += c;
+            *self.rows[lo].entry(q).or_insert(0) += c;
+        }
+        // Mirror `swap_remove`: the last part takes position hi. Its row can
+        // no longer mention hi (folded away above), so re-keying is safe.
+        let last = self.rows.len() - 1;
+        if hi != last {
+            let row_last = std::mem::take(&mut self.rows[last]);
+            for &q in row_last.keys() {
+                let q_row = &mut self.rows[q];
+                if let Some(c) = q_row.remove(&last) {
+                    q_row.insert(hi, c);
+                }
+            }
+            self.rows[hi] = row_last;
+            for p in &mut self.part_of {
+                if *p == last {
+                    *p = hi;
+                }
+            }
+        }
+        self.rows.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgmap_graph::Filter;
+
+    /// Scan-based reference the index must agree with.
+    fn naive_adjacent(graph: &StreamGraph, a: &NodeSet, b: &NodeSet) -> bool {
+        graph.channels().any(|(_, ch)| {
+            (a.contains(ch.src) && b.contains(ch.dst)) || (b.contains(ch.src) && a.contains(ch.dst))
+        })
+    }
+
+    fn assert_matches_naive(graph: &StreamGraph, parts: &[NodeSet], index: &AdjacencyIndex) {
+        assert_eq!(index.len(), parts.len());
+        for i in 0..parts.len() {
+            for j in 0..parts.len() {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    index.adjacent(i, j),
+                    naive_adjacent(graph, &parts[i], &parts[j]),
+                    "parts {i} and {j}"
+                );
+            }
+            let from_index: Vec<usize> = index.neighbors(i).collect();
+            let from_scan: Vec<usize> = (0..parts.len())
+                .filter(|&q| q != i && naive_adjacent(graph, &parts[i], &parts[q]))
+                .collect();
+            assert_eq!(from_index, from_scan, "neighbour order of part {i}");
+        }
+    }
+
+    /// a -> b -> c -> d plus a -> e -> d and a feedback d -> a.
+    fn fixture() -> (StreamGraph, Vec<FilterId>) {
+        let mut g = StreamGraph::new("adjacency");
+        let a = g.add_filter(Filter::new("a", 0, 2, 1.0));
+        let b = g.add_filter(Filter::new("b", 1, 1, 2.0));
+        let c = g.add_filter(Filter::new("c", 1, 1, 3.0));
+        let d = g.add_filter(Filter::new("d", 2, 1, 4.0));
+        let e = g.add_filter(Filter::new("e", 1, 1, 5.0));
+        g.add_channel(a, b, 1, 1).unwrap();
+        g.add_channel(b, c, 1, 1).unwrap();
+        g.add_channel(c, d, 1, 1).unwrap();
+        g.add_channel(a, e, 1, 1).unwrap();
+        g.add_channel(e, d, 1, 1).unwrap();
+        g.add_feedback_channel(d, a, 1, 1, 1).unwrap();
+        (g, vec![a, b, c, d, e])
+    }
+
+    #[test]
+    fn build_matches_the_channel_scan_including_feedback() {
+        let (g, ids) = fixture();
+        let parts = vec![
+            NodeSet::from_ids([ids[0]]),
+            NodeSet::from_ids([ids[1], ids[2]]),
+            NodeSet::from_ids([ids[3]]),
+            NodeSet::from_ids([ids[4]]),
+        ];
+        let index = AdjacencyIndex::build(&g, &parts);
+        assert_matches_naive(&g, &parts, &index);
+        // The feedback channel d -> a makes parts 0 and 2 adjacent even
+        // though no forward channel connects them.
+        assert!(index.adjacent(0, 2));
+        assert_eq!(index.part_of(ids[2]), Some(1));
+    }
+
+    #[test]
+    fn merge_swap_remove_tracks_the_partitioner_bookkeeping() {
+        let (g, ids) = fixture();
+        let mut parts = vec![
+            NodeSet::from_ids([ids[0]]),
+            NodeSet::from_ids([ids[1]]),
+            NodeSet::from_ids([ids[2]]),
+            NodeSet::from_ids([ids[3]]),
+            NodeSet::from_ids([ids[4]]),
+        ];
+        let mut index = AdjacencyIndex::build(&g, &parts);
+        assert_matches_naive(&g, &parts, &index);
+        // Merge part 3 (d) into part 1 (b): parts[1] = b ∪ d, last part (e)
+        // moves into position 3.
+        let union = parts[1].union(&parts[3]);
+        index.merge_swap_remove(1, 3);
+        parts.swap_remove(3);
+        parts[1] = union;
+        assert_matches_naive(&g, &parts, &index);
+        // Merge the last pair too (a into position 0 stays, c at 2 merges
+        // into 0? — exercise hi == last as well).
+        let hi = parts.len() - 1;
+        let union = parts[0].union(&parts[hi]);
+        index.merge_swap_remove(0, hi);
+        parts.swap_remove(hi);
+        parts[0] = union;
+        assert_matches_naive(&g, &parts, &index);
+    }
+}

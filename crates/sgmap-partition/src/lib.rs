@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adjacency;
 mod baseline;
 mod error;
 mod partitioning;
@@ -30,6 +31,7 @@ mod proposed;
 mod search;
 mod spsg;
 
+pub use adjacency::AdjacencyIndex;
 pub use baseline::partition_baseline;
 pub use error::PartitionError;
 pub use partitioning::{Partition, Partitioning};

@@ -16,15 +16,59 @@
 //! accepted merge, so it stays serial; its singleton estimates are prewarmed
 //! in parallel instead.
 
-use sgmap_graph::{FilterId, NodeSet, StreamGraph};
-use sgmap_pee::{Estimate, Estimator};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
+use sgmap_graph::{FilterId, NodeSet, StreamGraph};
+use sgmap_pee::{Estimate, Estimator, SetChars};
+
+use crate::adjacency::AdjacencyIndex;
 use crate::error::PartitionError;
 use crate::partitioning::{Partition, Partitioning};
 use crate::search::{first_accepted, par_map, PartitionSearchOptions};
 
-/// A partition under construction.
-type Part = (NodeSet, Estimate);
+/// A partition under construction: its node set, the PEE's estimate, and the
+/// characteristics bundle the estimator uses to derive union characteristics
+/// incrementally when this part is a merge operand.
+#[derive(Debug, Clone)]
+struct Part {
+    nodes: NodeSet,
+    estimate: Estimate,
+    chars: Arc<SetChars>,
+}
+
+/// Memoised structural-feasibility answers (weak connectivity over forward
+/// channels, then convexity — the exact guard every merge has always run),
+/// shared across the whole search. The candidate enumeration re-visits the
+/// same union sets on every merge iteration, and both predicates walk the
+/// whole graph; for a fixed set they never change, so one answer per
+/// distinct set suffices. The connectivity check matters even though merge
+/// operands are always adjacent: adjacency counts feedback channels (as the
+/// historical channel scan did), while connectivity deliberately ignores
+/// them, so parts joined *only* by a feedback channel must stay rejected.
+/// Benign racing (two threads computing the same pure predicate) cannot
+/// change any decision.
+#[derive(Debug, Default)]
+struct FeasibilityCache(RwLock<HashMap<NodeSet, bool>>);
+
+impl FeasibilityCache {
+    fn is_mergeable(&self, graph: &StreamGraph, set: &NodeSet) -> bool {
+        if let Some(&known) = self
+            .0
+            .read()
+            .expect("feasibility cache lock poisoned")
+            .get(set)
+        {
+            return known;
+        }
+        let feasible = set.is_connected(graph) && set.is_convex(graph);
+        self.0
+            .write()
+            .expect("feasibility cache lock poisoned")
+            .insert(set.clone(), feasible);
+        feasible
+    }
+}
 
 /// Required relative improvement for a merge to be accepted: the merged
 /// partition's estimated time must be below this fraction of the sum of the
@@ -69,19 +113,32 @@ pub fn partition_stream_graph_with(
     let graph = est.graph();
     let mut parts: Vec<Part> = Vec::new();
     let mut assigned = vec![false; graph.filter_count()];
+    let feasible = FeasibilityCache::default();
 
     // Unconditional, even on one thread: it pins the evaluated singleton set
     // to "every filter" regardless of thread count, so cache counters stay
     // thread-independent even when a later phase stops early on an error.
     prewarm_singletons(est, graph, threads);
-    phase1_pipelines(est, graph, threads, &mut parts, &mut assigned)?;
-    phase2_remaining(est, graph, &mut parts, &mut assigned)?;
-    phase3_partition_merging(est, graph, threads, batch, &mut parts);
-    phase4_simultaneous(est, graph, threads, batch, &mut parts);
+    phase1_pipelines(est, graph, &feasible, threads, &mut parts, &mut assigned)?;
+    phase2_remaining(est, graph, &feasible, &mut parts, &mut assigned)?;
+    // From here on every filter is assigned, so the part-adjacency index
+    // covers the graph; it replaces the per-candidate channel scans of
+    // phases 3 and 4 and is maintained incrementally across merges.
+    let mut adjacency = AdjacencyIndex::build(graph, parts.iter().map(|p| &p.nodes));
+    phase3_partition_merging(est, &feasible, threads, batch, &mut parts, &mut adjacency);
+    phase4_simultaneous(
+        est,
+        graph,
+        &feasible,
+        threads,
+        batch,
+        &mut parts,
+        &mut adjacency,
+    );
 
     let partitioning: Partitioning = parts
         .into_iter()
-        .map(|(nodes, estimate)| Partition::new(nodes, estimate))
+        .map(|p| Partition::new(p.nodes, p.estimate))
         .collect();
     partitioning.validate_cover(graph)?;
     Ok(partitioning)
@@ -105,25 +162,33 @@ fn prewarm_singletons(est: &Estimator<'_>, graph: &StreamGraph, threads: usize) 
 /// shared memory on its own.
 fn singleton(est: &Estimator<'_>, id: FilterId) -> Result<Part, PartitionError> {
     let set = NodeSet::singleton(id);
-    match est.estimate(&set) {
-        Some(e) => Ok((set, e)),
-        None => Err(PartitionError::FilterTooLarge(id)),
+    match est.estimate_with_chars(&set) {
+        (Some(estimate), chars) => Ok(Part {
+            nodes: set,
+            estimate,
+            chars,
+        }),
+        (None, _) => Err(PartitionError::FilterTooLarge(id)),
     }
 }
 
 /// The conditional merge of Algorithm 1: the merge happens only if the two
 /// sets are connected once unified, the union is convex, it fits in shared
 /// memory, and its estimated time strictly improves on the sum of the parts.
-fn try_merge(est: &Estimator<'_>, a: &Part, b: &Part) -> Option<Part> {
-    let union = a.0.union(&b.0);
-    let graph = est.graph();
-    if !union.is_connected(graph) || !union.is_convex(graph) {
+fn try_merge(est: &Estimator<'_>, feasible: &FeasibilityCache, a: &Part, b: &Part) -> Option<Part> {
+    let union = a.nodes.union(&b.nodes);
+    if !feasible.is_mergeable(est.graph(), &union) {
         return None;
     }
-    let merged = est.estimate(&union)?;
-    let combined = a.1.normalized_us + b.1.normalized_us;
+    let (merged, chars) = est.estimate_union(&a.nodes, &a.chars, &b.nodes, &b.chars, &union);
+    let merged = merged?;
+    let combined = a.estimate.normalized_us + b.estimate.normalized_us;
     if merged.normalized_us < MERGE_GAIN_FACTOR * combined {
-        Some((union, merged))
+        Some(Part {
+            nodes: union,
+            estimate: merged,
+            chars,
+        })
     } else {
         None
     }
@@ -180,6 +245,7 @@ fn pipeline_chains(graph: &StreamGraph) -> Vec<Vec<FilterId>> {
 /// on worker threads with no shared state beyond the estimator.
 fn merge_chain(
     est: &Estimator<'_>,
+    feasible: &FeasibilityCache,
     chain: &[FilterId],
 ) -> Result<Vec<(Part, std::ops::Range<usize>)>, PartitionError> {
     let mut out = Vec::new();
@@ -189,7 +255,7 @@ fn merge_chain(
         let mut j = i + 1;
         while j < chain.len() {
             let next = singleton(est, chain[j])?;
-            match try_merge(est, &current, &next) {
+            match try_merge(est, feasible, &current, &next) {
                 Some(m) => {
                     current = m;
                     j += 1;
@@ -210,12 +276,13 @@ fn merge_chain(
 fn phase1_pipelines(
     est: &Estimator<'_>,
     graph: &StreamGraph,
+    feasible: &FeasibilityCache,
     threads: usize,
     parts: &mut Vec<Part>,
     assigned: &mut [bool],
 ) -> Result<(), PartitionError> {
     let chains = pipeline_chains(graph);
-    let merged = par_map(threads, &chains, |chain| merge_chain(est, chain));
+    let merged = par_map(threads, &chains, |chain| merge_chain(est, feasible, chain));
     for (chain, result) in chains.iter().zip(merged) {
         for (part, range) in result? {
             for k in range {
@@ -227,13 +294,19 @@ fn phase1_pipelines(
     Ok(())
 }
 
-/// Phase 2 (lines 13–20): merge the filters outside the pipelines.
+/// Phase 2 (lines 13–20): merge the filters outside the pipelines. The
+/// frontier buffer is allocated once and reused across every growth pass and
+/// every seed filter; candidates that an earlier merge of the same pass
+/// already assigned are skipped at use time, exactly as the serial reference
+/// did.
 fn phase2_remaining(
     est: &Estimator<'_>,
     graph: &StreamGraph,
+    feasible: &FeasibilityCache,
     parts: &mut Vec<Part>,
     assigned: &mut [bool],
 ) -> Result<(), PartitionError> {
+    let mut frontier: Vec<FilterId> = Vec::new();
     for id in graph.filter_ids() {
         if assigned[id.index()] {
             continue;
@@ -243,18 +316,20 @@ fn phase2_remaining(
         loop {
             let mut merged_any = false;
             // Neighbours of the partition that belong to no partition yet.
-            let frontier: Vec<FilterId> = current
-                .0
-                .iter()
-                .flat_map(|m| graph.neighbors(m))
-                .filter(|k| !assigned[k.index()] && !current.0.contains(*k))
-                .collect();
-            for k in frontier {
+            frontier.clear();
+            frontier.extend(
+                current
+                    .nodes
+                    .iter()
+                    .flat_map(|m| graph.neighbors(m))
+                    .filter(|k| !assigned[k.index()] && !current.nodes.contains(*k)),
+            );
+            for &k in &frontier {
                 if assigned[k.index()] {
                     continue;
                 }
                 let next = singleton(est, k)?;
-                if let Some(m) = try_merge(est, &current, &next) {
+                if let Some(m) = try_merge(est, feasible, &current, &next) {
                     current = m;
                     assigned[k.index()] = true;
                     merged_any = true;
@@ -269,24 +344,19 @@ fn phase2_remaining(
     Ok(())
 }
 
-/// Returns `true` if some channel connects the two partitions (in either
-/// direction).
-fn adjacent(graph: &StreamGraph, a: &NodeSet, b: &NodeSet) -> bool {
-    graph.channels().any(|(_, ch)| {
-        (a.contains(ch.src) && b.contains(ch.dst)) || (b.contains(ch.src) && a.contains(ch.dst))
-    })
-}
-
 /// Phase 3 (lines 23–31): merge partitions, prioritising IO-bound ones, in
 /// three rounds of increasing scope. Candidate pairs are enumerated in the
 /// serial scan order and evaluated in deterministic batches, so the accepted
-/// merge is always the one the serial scan would accept first.
+/// merge is always the one the serial scan would accept first. Adjacency is
+/// answered by the incrementally maintained index instead of a channel scan
+/// per candidate pair.
 fn phase3_partition_merging(
     est: &Estimator<'_>,
-    graph: &StreamGraph,
+    feasible: &FeasibilityCache,
     threads: usize,
     batch: usize,
     parts: &mut Vec<Part>,
+    adjacency: &mut AdjacencyIndex,
 ) {
     // Round 1: IO-bound with IO-bound; round 2: IO-bound with anyone;
     // round 3: anyone with anyone.
@@ -295,36 +365,38 @@ fn phase3_partition_merging(
             // Candidate sources in ascending order of execution time.
             let mut order: Vec<usize> = (0..parts.len())
                 .filter(|&i| match round {
-                    0 | 1 => parts[i].1.is_io_bound(),
+                    0 | 1 => parts[i].estimate.is_io_bound(),
                     _ => true,
                 })
                 .collect();
             order.sort_by(|&a, &b| {
                 parts[a]
-                    .1
+                    .estimate
                     .normalized_us
-                    .total_cmp(&parts[b].1.normalized_us)
+                    .total_cmp(&parts[b].estimate.normalized_us)
             });
             // Candidate pairs in the serial scan order, generated lazily —
             // only the batches up to the first accepted merge materialise.
             let parts_ref: &[Part] = parts;
+            let adjacency_ref: &AdjacencyIndex = adjacency;
             let candidates = order
                 .iter()
                 .flat_map(|&i| (0..parts_ref.len()).map(move |j| (i, j)))
                 .filter(|&(i, j)| i != j);
             let found = first_accepted(threads, batch, candidates, |&(i, j)| {
                 let partner_ok = match round {
-                    0 => parts_ref[j].1.is_io_bound(),
+                    0 => parts_ref[j].estimate.is_io_bound(),
                     _ => true,
                 };
-                if !partner_ok || !adjacent(graph, &parts_ref[i].0, &parts_ref[j].0) {
+                if !partner_ok || !adjacency_ref.adjacent(i, j) {
                     return None;
                 }
-                try_merge(est, &parts_ref[i], &parts_ref[j])
+                try_merge(est, feasible, &parts_ref[i], &parts_ref[j])
             });
             match found {
                 Some(((i, j), m)) => {
                     let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    adjacency.merge_swap_remove(lo, hi);
                     parts.swap_remove(hi);
                     // After swap_remove(hi), index lo is still valid because
                     // lo < hi.
@@ -338,26 +410,32 @@ fn phase3_partition_merging(
 
 /// Phase 4 (lines 34–35): simultaneous merges of partition triples around a
 /// common neighbour, then the all-nodes merge. Triples are enumerated in the
-/// serial scan order and evaluated in deterministic batches.
+/// serial scan order and evaluated in deterministic batches. Neighbour lists
+/// come from the adjacency index (whose iteration order is the ascending
+/// part order the serial scan used); accepted triple merges compact the part
+/// list with `Vec::remove`, which shifts later indices, so the index is
+/// rebuilt rather than patched — triple merges are rare, candidate checks
+/// are not.
 fn phase4_simultaneous(
     est: &Estimator<'_>,
     graph: &StreamGraph,
+    feasible: &FeasibilityCache,
     threads: usize,
     batch: usize,
     parts: &mut Vec<Part>,
+    adjacency: &mut AdjacencyIndex,
 ) {
     // (1) Merge two neighbouring partitions of a common partition together
     // with it, which can pay off even when no pairwise merge does.
     if parts.len() <= 200 {
         loop {
             // Triples in the serial scan order, generated lazily: for each
-            // common partition p (neighbour list computed when p is first
-            // drawn), every unordered pair of its neighbours.
+            // common partition p (neighbour list read off the index when p
+            // is first drawn), every unordered pair of its neighbours.
             let parts_ref: &[Part] = parts;
+            let adjacency_ref: &AdjacencyIndex = adjacency;
             let triples = (0..parts_ref.len()).flat_map(|p| {
-                let neighbours: Vec<usize> = (0..parts_ref.len())
-                    .filter(|&q| q != p && adjacent(graph, &parts_ref[p].0, &parts_ref[q].0))
-                    .collect();
+                let neighbours: Vec<usize> = adjacency_ref.neighbors(p).collect();
                 let pairs: Vec<(usize, usize, usize)> = neighbours
                     .iter()
                     .enumerate()
@@ -366,15 +444,38 @@ fn phase4_simultaneous(
                 pairs
             });
             let found = first_accepted(threads, batch, triples, |&(p, a, b)| {
-                let union = parts_ref[p].0.union(&parts_ref[a].0).union(&parts_ref[b].0);
-                if !union.is_connected(graph) || !union.is_convex(graph) {
+                let pa = parts_ref[p].nodes.union(&parts_ref[a].nodes);
+                let union = pa.union(&parts_ref[b].nodes);
+                if !feasible.is_mergeable(graph, &union) {
                     return None;
                 }
-                let e = est.estimate(&union)?;
-                let combined = parts_ref[p].1.normalized_us
-                    + parts_ref[a].1.normalized_us
-                    + parts_ref[b].1.normalized_us;
-                (e.normalized_us < MERGE_GAIN_FACTOR * combined).then_some((union, e))
+                // Characteristics of the intermediate p ∪ a are derived
+                // without estimating it (that would disturb the shared-cache
+                // counters); the final union then goes through the caches as
+                // a single query, exactly like the full-rescan path did.
+                let pa_chars = est.merge_chars(
+                    &parts_ref[p].nodes,
+                    &parts_ref[p].chars,
+                    &parts_ref[a].nodes,
+                    &parts_ref[a].chars,
+                    &pa,
+                );
+                let (e, chars) = est.estimate_union(
+                    &pa,
+                    &pa_chars,
+                    &parts_ref[b].nodes,
+                    &parts_ref[b].chars,
+                    &union,
+                );
+                let e = e?;
+                let combined = parts_ref[p].estimate.normalized_us
+                    + parts_ref[a].estimate.normalized_us
+                    + parts_ref[b].estimate.normalized_us;
+                (e.normalized_us < MERGE_GAIN_FACTOR * combined).then_some(Part {
+                    nodes: union,
+                    estimate: e,
+                    chars,
+                })
             });
             match found {
                 Some(((p, a, b), m)) => {
@@ -385,6 +486,7 @@ fn phase4_simultaneous(
                     parts.remove(remove[1]);
                     parts.remove(remove[0]);
                     parts.push(m);
+                    *adjacency = AdjacencyIndex::build(graph, parts.iter().map(|p| &p.nodes));
                 }
                 None => break,
             }
@@ -395,11 +497,15 @@ fn phase4_simultaneous(
     // worse than the single-partition solution.
     if parts.len() > 1 {
         let all = NodeSet::all(graph);
-        if let Some(e) = est.estimate(&all) {
-            let total: f64 = parts.iter().map(|p| p.1.normalized_us).sum();
+        if let (Some(e), chars) = est.estimate_with_chars(&all) {
+            let total: f64 = parts.iter().map(|p| p.estimate.normalized_us).sum();
             if e.normalized_us < MERGE_GAIN_FACTOR * total {
                 parts.clear();
-                parts.push((all, e));
+                parts.push(Part {
+                    nodes: all,
+                    estimate: e,
+                    chars,
+                });
             }
         }
     }

@@ -8,7 +8,7 @@ use sgmap_gpusim::profile::{profile_graph, ProfileTable};
 use sgmap_gpusim::{GpuSpec, KernelParams};
 use sgmap_graph::{GraphError, NodeSet, RepetitionVector, StreamGraph};
 
-use crate::chars::PartitionCharacteristics;
+use crate::chars::{merge_characteristics, CharsIndex, PartitionCharacteristics, SetChars};
 use crate::model::PerfModel;
 use crate::params::{select_parameters, ParamSearchSpace};
 use crate::shared_cache::{EstimateCache, EstimateKey};
@@ -49,8 +49,21 @@ impl Estimate {
     }
 }
 
-/// The local cache: single-flight cells keyed by (node set, enhancement).
-type LocalCache = HashMap<(NodeSet, bool), Arc<OnceLock<Option<Estimate>>>>;
+/// What the local cache remembers per node set: the estimate plus the
+/// characteristics bundle, so later merges involving this set derive their
+/// union characteristics incrementally instead of re-walking the graph.
+#[derive(Debug, Clone)]
+struct CachedEstimate {
+    estimate: Option<Estimate>,
+    chars: Arc<SetChars>,
+}
+
+/// The local cache: single-flight cells keyed by node set. (The enhancement
+/// flag is no longer part of the key; flipping it clears the cache instead.)
+/// Lookups borrow the caller's set — the key is cloned only when a fresh
+/// entry is inserted, so cache hits pay neither a clone nor a rehash beyond
+/// the set's precomputed hash.
+type LocalCache = HashMap<NodeSet, Arc<OnceLock<CachedEstimate>>>;
 
 /// The Performance Estimation Engine: profiles a stream graph once, then
 /// produces [`Estimate`]s for arbitrary sub-graphs, caching results because
@@ -66,6 +79,7 @@ pub struct Estimator<'g> {
     graph: &'g StreamGraph,
     reps: RepetitionVector,
     profile: ProfileTable,
+    index: CharsIndex,
     gpu: GpuSpec,
     model: PerfModel,
     space: ParamSearchSpace,
@@ -83,11 +97,13 @@ impl<'g> Estimator<'g> {
     pub fn new(graph: &'g StreamGraph, gpu: GpuSpec) -> Result<Self, GraphError> {
         let reps = graph.repetition_vector()?;
         let profile = profile_graph(graph, &gpu);
+        let index = CharsIndex::new(graph, &reps, &profile);
         let model = PerfModel::for_gpu(&gpu);
         Ok(Estimator {
             graph,
             reps,
             profile,
+            index,
             gpu,
             model,
             space: ParamSearchSpace::default(),
@@ -110,6 +126,14 @@ impl<'g> Estimator<'g> {
     /// Enables or disables the splitter/joiner elimination of Chapter V for
     /// all subsequent estimates.
     pub fn with_enhancement(mut self, enhanced: bool) -> Self {
+        if self.enhanced != enhanced {
+            // The local cache is keyed by node set alone; entries computed
+            // under the other flag would be stale.
+            self.cache
+                .get_mut()
+                .expect("estimator cache lock poisoned")
+                .clear();
+        }
         self.enhanced = enhanced;
         self
     }
@@ -155,31 +179,96 @@ impl<'g> Estimator<'g> {
     }
 
     /// Characteristics of a partition (uncached helper, mostly for tests and
-    /// the code generator).
+    /// the code generator). Computed through the per-graph [`CharsIndex`],
+    /// bit-identical to [`PartitionCharacteristics::from_set`].
     pub fn characteristics(&self, set: &NodeSet) -> PartitionCharacteristics {
-        PartitionCharacteristics::from_set(
-            self.graph,
-            set,
-            &self.reps,
-            &self.profile,
-            self.enhanced,
-        )
+        self.index.for_set(self.graph, set, self.enhanced).chars
     }
 
     /// Estimates the execution time of partition `set`, or returns `None`
     /// when the partition cannot fit in shared memory with any parameter
     /// choice (i.e. it must not be formed).
     pub fn estimate(&self, set: &NodeSet) -> Option<Estimate> {
-        let key = (set.clone(), self.enhanced);
+        self.estimate_with_chars(set).0
+    }
+
+    /// Like [`Estimator::estimate`], but also returns the partition's
+    /// characteristics bundle so the caller can later derive union
+    /// characteristics incrementally via [`Estimator::estimate_union`].
+    pub fn estimate_with_chars(&self, set: &NodeSet) -> (Option<Estimate>, Arc<SetChars>) {
+        self.estimate_impl(set, || {
+            Arc::new(self.index.for_set(self.graph, set, self.enhanced))
+        })
+    }
+
+    /// Estimates the union of two disjoint, already-characterised sets.
+    ///
+    /// `union` must equal `a_set ∪ b_set` and the bundles must come from
+    /// this estimator (under its current enhancement flag). When the union
+    /// is not already cached, its characteristics are derived from the
+    /// operands via [`merge_characteristics`] instead of re-walking the
+    /// graph; the result — estimate, cache key, counters — is bit-identical
+    /// to [`Estimator::estimate`] on `union` either way.
+    pub fn estimate_union(
+        &self,
+        a_set: &NodeSet,
+        a_chars: &SetChars,
+        b_set: &NodeSet,
+        b_chars: &SetChars,
+        union: &NodeSet,
+    ) -> (Option<Estimate>, Arc<SetChars>) {
+        self.estimate_impl(union, || {
+            Arc::new(merge_characteristics(
+                &self.index,
+                self.graph,
+                self.enhanced,
+                a_chars,
+                a_set,
+                b_chars,
+                b_set,
+                union,
+            ))
+        })
+    }
+
+    /// Derives union characteristics without touching any cache; used by
+    /// callers that need characteristics of an intermediate union they do
+    /// not want estimated (estimating it would disturb the shared-cache
+    /// counters the sweep reports).
+    pub fn merge_chars(
+        &self,
+        a_set: &NodeSet,
+        a_chars: &SetChars,
+        b_set: &NodeSet,
+        b_chars: &SetChars,
+        union: &NodeSet,
+    ) -> SetChars {
+        merge_characteristics(
+            &self.index,
+            self.graph,
+            self.enhanced,
+            a_chars,
+            a_set,
+            b_chars,
+            b_set,
+            union,
+        )
+    }
+
+    fn estimate_impl(
+        &self,
+        set: &NodeSet,
+        make_chars: impl FnOnce() -> Arc<SetChars>,
+    ) -> (Option<Estimate>, Arc<SetChars>) {
         let existing = {
             let map = self.cache.read().expect("estimator cache lock poisoned");
-            map.get(&key).cloned()
+            map.get(set).cloned()
         };
         let cell = match existing {
             Some(cell) => cell,
             None => {
                 let mut map = self.cache.write().expect("estimator cache lock poisoned");
-                match map.entry(key) {
+                match map.entry(set.clone()) {
                     Entry::Occupied(e) => e.get().clone(),
                     Entry::Vacant(v) => {
                         let cell = Arc::new(OnceLock::new());
@@ -192,19 +281,19 @@ impl<'g> Estimator<'g> {
         // Single-flight: the computation (and any query it forwards to the
         // shared cache) runs exactly once per distinct key, outside the map
         // lock so concurrent queries for other sets proceed.
-        *cell.get_or_init(|| match &self.shared {
-            Some(shared) => {
-                let chars = self.characteristics(set);
-                let shared_key = EstimateKey::new(&chars, &self.model, &self.gpu, &self.space);
-                shared.get_or_compute(shared_key, || self.estimate_from_chars(&chars))
-            }
-            None => self.estimate_uncached(set),
-        })
-    }
-
-    fn estimate_uncached(&self, set: &NodeSet) -> Option<Estimate> {
-        let chars = self.characteristics(set);
-        self.estimate_from_chars(&chars)
+        let cached = cell.get_or_init(|| {
+            let chars = make_chars();
+            let estimate = match &self.shared {
+                Some(shared) => {
+                    let shared_key =
+                        EstimateKey::new(&chars.chars, &self.model, &self.gpu, &self.space);
+                    shared.get_or_compute(shared_key, || self.estimate_from_chars(&chars.chars))
+                }
+                None => self.estimate_from_chars(&chars.chars),
+            };
+            CachedEstimate { estimate, chars }
+        });
+        (cached.estimate, cached.chars.clone())
     }
 
     fn estimate_from_chars(&self, chars: &PartitionCharacteristics) -> Option<Estimate> {

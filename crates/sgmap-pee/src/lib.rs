@@ -41,8 +41,8 @@ mod model;
 mod params;
 mod shared_cache;
 
-pub use chars::PartitionCharacteristics;
+pub use chars::{merge_characteristics, CharsIndex, PartitionCharacteristics, SetChars};
 pub use estimator::{Estimate, Estimator};
 pub use model::{PerfModel, PAPER_C1, PAPER_C2};
 pub use params::{select_parameters, ParamSearchSpace};
-pub use shared_cache::{CacheStats, EstimateCache, EstimateKey};
+pub use shared_cache::{CacheStats, EstimateCache, EstimateKey, ESTIMATOR_ALGORITHM_VERSION};

@@ -37,19 +37,22 @@ use crate::params::ParamSearchSpace;
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EstimateKey {
     /// Per member filter `(t_i bits, f_i)` of the partition characteristics.
-    filters: Vec<(u64, u64)>,
+    pub filters: Vec<(u64, u64)>,
     /// Primary IO bytes per execution.
-    io_bytes_per_exec: u64,
+    pub io_bytes_per_exec: u64,
     /// Shared-memory bytes per execution.
-    sm_bytes_per_exec: u64,
+    pub sm_bytes_per_exec: u64,
     /// Highest firing rate among member filters.
-    max_firing_rate: u64,
-    /// Performance-model constants (bit patterns) and flags.
-    model: (u64, u64, u32, bool),
-    /// Device limits that constrain the parameter search.
-    device: (u32, u32),
-    /// The enumerated parameter search space.
-    space: (Vec<u32>, Vec<u32>, u32),
+    pub max_firing_rate: u64,
+    /// Performance-model constants `(c1 bits, c2 bits, warp size,
+    /// issue-throughput correction)`.
+    pub model: (u64, u64, u32, bool),
+    /// Device limits that constrain the parameter search: `(shared-memory
+    /// bytes, max threads per block)`.
+    pub device: (u32, u32),
+    /// The enumerated parameter search space: `(S candidates, F candidates,
+    /// max W)`.
+    pub space: (Vec<u32>, Vec<u32>, u32),
 }
 
 impl EstimateKey {
@@ -85,6 +88,14 @@ impl EstimateKey {
         }
     }
 }
+
+/// Version of the estimation *algorithm* (model equations, parameter-search
+/// procedure) whose answers an [`EstimateCache`] holds. [`EstimateKey`]
+/// captures every numeric input, but not the code that consumes them: bump
+/// this whenever `estimate_from_chars`/`select_parameters` logic changes, so
+/// persisted caches from older binaries are rejected instead of silently
+/// replaying stale estimates.
+pub const ESTIMATOR_ALGORITHM_VERSION: u32 = 1;
 
 /// Hit/miss/size counters of an [`EstimateCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -172,6 +183,30 @@ impl EstimateCache {
         // The computation itself runs outside the map lock, so slow estimates
         // never serialise unrelated queries.
         *cell.get_or_init(compute)
+    }
+
+    /// A snapshot of every completed entry, for persistence. In-flight
+    /// computations (cells not yet initialised) are skipped.
+    pub fn entries(&self) -> Vec<(EstimateKey, Option<Estimate>)> {
+        self.map
+            .read()
+            .expect("estimate cache lock poisoned")
+            .iter()
+            .filter_map(|(key, cell)| cell.get().map(|value| (key.clone(), *value)))
+            .collect()
+    }
+
+    /// Inserts a completed entry without touching the hit/miss counters, so
+    /// a cache warm-started from disk reports every subsequent first query
+    /// of a preloaded key as a hit. A key that already exists is left
+    /// untouched.
+    pub fn preload(&self, key: EstimateKey, estimate: Option<Estimate>) {
+        let mut map = self.map.write().expect("estimate cache lock poisoned");
+        map.entry(key).or_insert_with(|| {
+            let cell = Arc::new(OnceLock::new());
+            cell.set(estimate).expect("fresh cell is uninitialised");
+            cell
+        });
     }
 
     /// Current counters.
@@ -287,6 +322,41 @@ mod tests {
         assert_eq!(after_second.misses, after_first.misses);
         assert_eq!(after_second.hits, 1);
         assert_eq!(after_second.entries, after_first.entries);
+    }
+
+    #[test]
+    fn preloaded_entries_answer_queries_as_hits_with_zero_misses() {
+        let g = chain(&[2.0, 300.0, 2.0]);
+        let gpu = GpuSpec::m2090();
+        let first_cache = EstimateCache::shared();
+        let first = Estimator::new(&g, gpu.clone())
+            .unwrap()
+            .with_shared_cache(first_cache.clone());
+        let all = NodeSet::all(&g);
+        let expected = first.estimate(&all);
+        let entries = first_cache.entries();
+        assert_eq!(entries.len() as u64, first_cache.stats().entries);
+
+        // Transplant the snapshot into a fresh cache: the same query is now
+        // answered bit-identically with zero misses.
+        let second_cache = EstimateCache::shared();
+        for (key, value) in entries {
+            second_cache.preload(key, value);
+        }
+        assert_eq!(second_cache.stats().queries(), 0);
+        let second = Estimator::new(&g, gpu)
+            .unwrap()
+            .with_shared_cache(second_cache.clone());
+        assert_eq!(second.estimate(&all), expected);
+        let stats = second_cache.stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 1);
+        // Preloading an existing key never clobbers the entry.
+        let again = first_cache.entries();
+        for (key, value) in again {
+            second_cache.preload(key, value);
+        }
+        assert_eq!(second_cache.stats().misses, 0);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! validate an existing report.
 //!
 //! ```text
-//! sweep [--preset NAME] [--threads N] [--out FILE] [--canonical] [--list]
+//! sweep [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]
+//!       [--canonical] [--list]
 //! sweep --check REPORT.json
 //! ```
 //!
@@ -11,6 +12,9 @@
 //!   The same count drives the sweep workers *and* the partition search
 //!   inside each compile; any value produces byte-identical canonical JSON.
 //! * `--out FILE` — write the JSON report to `FILE` instead of stdout.
+//! * `--cache-file FILE` — persist the shared estimate cache across runs:
+//!   load `FILE` (if it exists) before the sweep and save the merged cache
+//!   back afterwards. A repeated sweep then reports zero cache misses.
 //! * `--canonical` — emit only the deterministic report body (no wall-clock
 //!   metadata), for byte-for-byte comparisons between runs.
 //! * `--list` — print the available presets and exit.
@@ -25,12 +29,13 @@ use std::process::ExitCode;
 
 use sgmap_sweep::{check_report, default_threads, run_sweep, SweepSpec};
 
-const USAGE: &str = "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--canonical] [--list]\n       sweep --check REPORT.json";
+const USAGE: &str = "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE] [--canonical] [--list]\n       sweep --check REPORT.json";
 
 struct Args {
     preset: String,
     threads: usize,
     out: Option<String>,
+    cache_file: Option<String>,
     canonical: bool,
     list: bool,
     check: Option<String>,
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         preset: "quick".to_string(),
         threads: 0,
         out: None,
+        cache_file: None,
         canonical: false,
         list: false,
         check: None,
@@ -61,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => {
                 args.out = Some(it.next().ok_or("--out needs a value")?);
+            }
+            "--cache-file" => {
+                args.cache_file = Some(it.next().ok_or("--cache-file needs a value")?);
             }
             "--canonical" => args.canonical = true,
             "--list" => args.list = true,
@@ -127,6 +136,10 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    };
+    let spec = match &args.cache_file {
+        Some(path) => spec.with_cache_file(path),
+        None => spec,
     };
     let threads = if args.threads == 0 {
         default_threads()

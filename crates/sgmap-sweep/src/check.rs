@@ -164,6 +164,152 @@ pub fn check_report(src: &str) -> Result<CheckSummary, CheckError> {
     })
 }
 
+/// What a passing `BENCH.json` looked like, for the one-line summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCheckSummary {
+    /// Number of timed single-compile targets.
+    pub compiles: usize,
+    /// Total wall-clock of the timed compiles, milliseconds.
+    pub compile_total_ms: f64,
+    /// Number of points in the timed sweep.
+    pub sweep_points: u64,
+    /// Wall-clock of the timed sweep, milliseconds.
+    pub sweep_wall_ms: f64,
+}
+
+impl fmt::Display for BenchCheckSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} compiles in {:.1} ms; sweep of {} points in {:.1} ms",
+            self.compiles, self.compile_total_ms, self.sweep_points, self.sweep_wall_ms
+        )
+    }
+}
+
+fn bench_f64(value: &Value, field: &str, at: &str) -> Result<f64, CheckError> {
+    value
+        .get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| CheckError::Shape(format!("{at}: missing number '{field}'")))
+}
+
+fn bench_u64(value: &Value, field: &str, at: &str) -> Result<u64, CheckError> {
+    value
+        .get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CheckError::Shape(format!("{at}: missing counter '{field}'")))
+}
+
+/// Validates the sweep section of a `BENCH.json`.
+fn check_bench_sweep(
+    sweep: &Value,
+    at: &str,
+    expect_no_misses: bool,
+) -> Result<(u64, f64), CheckError> {
+    let points = bench_u64(sweep, "points", at)?;
+    if points == 0 {
+        return Err(CheckError::Shape(format!("{at}: zero points")));
+    }
+    if bench_u64(sweep, "failed_points", at)? != 0 {
+        return Err(CheckError::Shape(format!("{at}: failed points recorded")));
+    }
+    let wall_ms = bench_f64(sweep, "wall_ms", at)?;
+    if !wall_ms.is_finite() || wall_ms <= 0.0 {
+        return Err(CheckError::Shape(format!("{at}: non-positive wall_ms")));
+    }
+    let cache = sweep
+        .get("cache")
+        .ok_or_else(|| CheckError::Shape(format!("{at}: missing cache object")))?;
+    let misses = bench_u64(cache, "misses", at)?;
+    let hits = bench_u64(cache, "hits", at)?;
+    if expect_no_misses && misses != 0 {
+        return Err(CheckError::Shape(format!(
+            "{at}: warm-started sweep reports {misses} misses (expected 0)"
+        )));
+    }
+    if !expect_no_misses && hits + misses == 0 {
+        return Err(CheckError::Shape(format!("{at}: cache saw no queries")));
+    }
+    let dedup = sweep
+        .get("dedup")
+        .ok_or_else(|| CheckError::Shape(format!("{at}: missing dedup object")))?;
+    let expanded = bench_u64(dedup, "expanded_points", at)?;
+    let groups = bench_u64(dedup, "compile_groups", at)?;
+    if groups == 0 || groups > expanded || expanded != points {
+        return Err(CheckError::BadDedup(format!(
+            "{at}: {groups} compile groups for {expanded} expanded points ({points} in report)"
+        )));
+    }
+    Ok((points, wall_ms))
+}
+
+/// Validates the JSON text of a `perfbench` report (`BENCH.json`): format
+/// version 1, a non-empty list of timed compiles with positive wall-clocks
+/// and non-zero estimate counts, and a healthy sweep section. A report
+/// whose sweep was warm-started from a persistent cache file
+/// (`cache_preloaded_entries > 0`) must additionally report zero
+/// shared-cache misses — the contract of cache persistence.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered.
+pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
+    let report = Value::parse(src).map_err(CheckError::Parse)?;
+    match report.get("version").and_then(Value::as_u64) {
+        Some(1) => {}
+        other => {
+            return Err(CheckError::Shape(format!(
+                "unsupported BENCH.json version {other:?}"
+            )))
+        }
+    }
+    let compiles = report
+        .get("compiles")
+        .and_then(Value::as_array)
+        .ok_or_else(|| CheckError::Shape("missing compiles array".to_string()))?;
+    if compiles.is_empty() {
+        return Err(CheckError::Shape("no timed compiles".to_string()));
+    }
+    let mut compile_total_ms = 0.0;
+    for (i, compile) in compiles.iter().enumerate() {
+        let at = format!("compile {i}");
+        for field in ["build_ms", "estimator_ms", "partition_ms", "finish_ms"] {
+            let v = bench_f64(compile, field, &at)?;
+            if v < 0.0 {
+                return Err(CheckError::Shape(format!("{at}: negative {field}")));
+            }
+        }
+        let total = bench_f64(compile, "total_ms", &at)?;
+        if !total.is_finite() || total <= 0.0 {
+            return Err(CheckError::Shape(format!("{at}: non-positive total_ms")));
+        }
+        compile_total_ms += total;
+        if bench_u64(compile, "partitions", &at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero partitions")));
+        }
+        if bench_u64(compile, "estimate_queries", &at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero estimate queries")));
+        }
+    }
+    let sweep = report
+        .get("sweep")
+        .ok_or_else(|| CheckError::Shape("missing sweep section".to_string()))?;
+    let preloaded = report
+        .get("cache_preloaded_entries")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    // A sweep warm-started from a covering cache file must miss nothing; a
+    // cold sweep must at least have queried the cache.
+    let (sweep_points, sweep_wall_ms) = check_bench_sweep(sweep, "sweep", preloaded > 0)?;
+    Ok(BenchCheckSummary {
+        compiles: compiles.len(),
+        compile_total_ms,
+        sweep_points,
+        sweep_wall_ms,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,5 +425,74 @@ mod tests {
             check_report(&report(vec![ok_record(0)], 5, 3).canonical_json()),
             Err(CheckError::BadDedup(_))
         ));
+    }
+
+    /// A structurally healthy BENCH.json, as `perfbench` emits it.
+    fn bench_json(misses: u64, preloaded: Option<u64>) -> String {
+        let preloaded_field = match preloaded {
+            Some(n) => format!("\"cache_preloaded_entries\":{n},"),
+            None => String::new(),
+        };
+        format!(
+            concat!(
+                "{{\"version\":1,\"preset\":\"quick\",\"compiles\":[",
+                "{{\"app\":\"DES\",\"n\":8,\"filters\":34,\"partitions\":8,",
+                "\"build_ms\":0.1,\"estimator_ms\":0.2,\"partition_ms\":1.5,",
+                "\"finish_ms\":30.0,\"execute_ms\":0.1,\"total_ms\":31.8,",
+                "\"estimate_queries\":126,\"estimate_misses\":88,",
+                "\"estimates_per_sec\":84000.0,\"time_per_iteration_us\":12.5}}],",
+                "\"sweep\":{{\"preset\":\"quick\",\"points\":48,\"failed_points\":0,",
+                "\"wall_ms\":26000.0,\"cache\":{{\"hits\":1102,\"misses\":{misses},",
+                "\"entries\":624,\"hit_rate\":0.64}},",
+                "\"dedup\":{{\"expanded_points\":48,\"compile_groups\":16,",
+                "\"compiles_saved\":32}}}},",
+                "{preloaded}\"meta\":{{\"threads\":1}}}}"
+            ),
+            misses = misses,
+            preloaded = preloaded_field,
+        )
+    }
+
+    #[test]
+    fn a_healthy_bench_report_passes() {
+        let summary = check_bench_report(&bench_json(624, None)).unwrap();
+        assert_eq!(summary.compiles, 1);
+        assert_eq!(summary.sweep_points, 48);
+        assert!(summary.to_string().contains("48 points"));
+        // A warm-started report with zero misses passes too.
+        check_bench_report(&bench_json(0, Some(624))).unwrap();
+    }
+
+    #[test]
+    fn bench_failure_modes_are_detected() {
+        assert!(matches!(
+            check_bench_report("nope"),
+            Err(CheckError::Parse(_))
+        ));
+        assert!(matches!(
+            check_bench_report("{\"version\":9}"),
+            Err(CheckError::Shape(_))
+        ));
+        assert!(matches!(
+            check_bench_report("{\"version\":1,\"compiles\":[]}"),
+            Err(CheckError::Shape(_))
+        ));
+        // A warm-started sweep that still misses violates the persistence
+        // contract.
+        let err = check_bench_report(&bench_json(624, Some(624))).unwrap_err();
+        assert!(err.to_string().contains("624 misses"), "{err}");
+        // Broken counters inside otherwise valid shapes.
+        let zero_points = bench_json(624, None).replace("\"points\":48", "\"points\":0");
+        assert!(check_bench_report(&zero_points).is_err());
+        let failed = bench_json(624, None).replace("\"failed_points\":0", "\"failed_points\":2");
+        assert!(check_bench_report(&failed).is_err());
+        let bad_dedup =
+            bench_json(624, None).replace("\"compile_groups\":16", "\"compile_groups\":0");
+        assert!(matches!(
+            check_bench_report(&bad_dedup),
+            Err(CheckError::BadDedup(_))
+        ));
+        let no_partitions = bench_json(624, None).replace("\"partitions\":8", "\"partitions\":0");
+        assert!(check_bench_report(&no_partitions).is_err());
     }
 }

@@ -51,16 +51,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache_io;
 mod check;
 mod json;
 mod report;
 mod runner;
 mod spec;
 
-pub use check::{check_report, CheckError, CheckSummary};
+pub use cache_io::{
+    cache_from_json, cache_to_json, load_cache_file, load_cache_file_if_exists, save_cache_file,
+    CACHE_FORMAT_VERSION,
+};
+pub use check::{check_bench_report, check_report, BenchCheckSummary, CheckError, CheckSummary};
 pub use json::Value as JsonValue;
 pub use report::{Bottleneck, DedupStats, SweepRecord, SweepReport};
-pub use runner::{default_threads, run_sweep};
+pub use runner::{default_threads, run_sweep, run_sweep_with_cache};
 pub use spec::{
     mapper_name, partitioner_name, transfer_name, AppSweep, GpuModel, PointFilter, StackConfig,
     SweepError, SweepPoint, SweepSpec,

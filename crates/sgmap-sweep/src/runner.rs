@@ -78,6 +78,44 @@ fn group_points(points: &[SweepPoint]) -> Vec<Vec<usize>> {
 /// reassembled in work-list order, which makes the report independent of
 /// scheduling.
 ///
+/// When the spec names a [`cache_file`](SweepSpec::cache_file), the shared
+/// cache is warm-started from that file (if it exists) before the sweep and
+/// saved back — merged with the new entries — afterwards, so a repeated
+/// sweep answers every shared-cache query without recomputation.
+///
+/// # Errors
+///
+/// Returns an error if the spec fails validation or its cache file exists
+/// but cannot be read, parsed or written.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (i.e. a bug in the flow itself, not a
+/// recoverable per-point failure).
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
+    let cache = EstimateCache::shared();
+    match &spec.cache_file {
+        None => run_sweep_with_cache(spec, threads, cache),
+        Some(path) => {
+            crate::cache_io::load_cache_file_if_exists(path, &cache)
+                .map_err(SweepError::CacheIo)?;
+            let report = run_sweep_with_cache(spec, threads, cache.clone())?;
+            // Saving is an optimisation for the *next* run; failing to write
+            // it must not throw away the sweep that just completed.
+            if let Err(e) = crate::cache_io::save_cache_file(path, &cache) {
+                eprintln!("warning: estimate cache not persisted: {e}");
+            }
+            Ok(report)
+        }
+    }
+}
+
+/// Like [`run_sweep`], but answers estimation queries from (and records them
+/// into) a caller-supplied shared cache — the hook batch drivers and the
+/// persistent-cache plumbing use. The report's cache counters are the
+/// cache's totals at the end of the sweep, so a warm-started cache reports
+/// fewer misses than a cold one (and zero once fully warmed).
+///
 /// # Errors
 ///
 /// Returns an error if the spec fails validation.
@@ -86,7 +124,11 @@ fn group_points(points: &[SweepPoint]) -> Vec<Vec<usize>> {
 ///
 /// Panics if a worker thread panics (i.e. a bug in the flow itself, not a
 /// recoverable per-point failure).
-pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
+pub fn run_sweep_with_cache(
+    spec: &SweepSpec,
+    threads: usize,
+    cache: Arc<EstimateCache>,
+) -> Result<SweepReport, SweepError> {
     let points = spec.expand()?;
     let groups = group_points(&points);
     let threads = if threads == 0 {
@@ -104,7 +146,6 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepE
     // the sweep itself; the batch size is a fixed constant, so the report —
     // including every cache counter — is byte-identical for any `threads`.
     let search = PartitionSearchOptions::new().with_threads(threads);
-    let cache = EstimateCache::shared();
     let started = Instant::now();
 
     let next = AtomicUsize::new(0);

@@ -20,6 +20,9 @@ pub enum SweepError {
     InvalidAxisValue(String),
     /// No preset with the requested name exists.
     UnknownPreset(String),
+    /// The persistent estimate-cache file could not be read, parsed or
+    /// written.
+    CacheIo(String),
 }
 
 impl fmt::Display for SweepError {
@@ -32,6 +35,7 @@ impl fmt::Display for SweepError {
                 "unknown preset '{name}' (available: {})",
                 SweepSpec::PRESETS.join(", ")
             ),
+            SweepError::CacheIo(msg) => write!(f, "estimate-cache file: {msg}"),
         }
     }
 }
@@ -282,6 +286,11 @@ pub struct SweepSpec {
     pub mapping_options: MappingOptions,
     /// Plan-generation options shared by every point.
     pub plan: PlanOptions,
+    /// Optional path of a persistent estimate-cache file: loaded (if it
+    /// exists) before the sweep runs and saved back afterwards, so repeated
+    /// sweeps warm-start. `None` (the default) keeps the cache in memory
+    /// only.
+    pub cache_file: Option<String>,
 }
 
 /// One expanded grid point, ready to run.
@@ -326,7 +335,17 @@ impl SweepSpec {
             filter: PointFilter::default(),
             mapping_options: Self::deterministic_mapping_options(),
             plan: PlanOptions::default(),
+            cache_file: None,
         }
+    }
+
+    /// Attaches a persistent estimate-cache file: [`run_sweep`] loads it (if
+    /// present) before running and saves the merged cache back afterwards.
+    ///
+    /// [`run_sweep`]: crate::run_sweep
+    pub fn with_cache_file(mut self, path: impl Into<String>) -> Self {
+        self.cache_file = Some(path.into());
+        self
     }
 
     /// The ILP budget used by sweeps: bounded by the node count alone, so a

@@ -1,0 +1,103 @@
+//! Integration tests of the persistent estimate cache: a save → load →
+//! reuse cycle must reproduce the sweep's records byte-for-byte and answer
+//! every shared-cache query without a single miss.
+
+use sgmap_apps::App;
+use sgmap_pee::EstimateCache;
+use sgmap_sweep::{
+    cache_from_json, cache_to_json, load_cache_file, run_sweep, run_sweep_with_cache,
+    save_cache_file, AppSweep, GpuModel, JsonValue, StackConfig, SweepSpec,
+};
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec::new(
+        "persistence",
+        vec![
+            AppSweep::explicit(App::FmRadio, vec![4]),
+            AppSweep::explicit(App::Des, vec![4]),
+        ],
+        vec![GpuModel::M2090],
+        vec![1, 2],
+        vec![StackConfig::ours()],
+    )
+}
+
+/// The deterministic record section of a report (the cache counters are
+/// *expected* to differ between a cold and a warm run).
+fn points_json(report: &sgmap_sweep::SweepReport) -> String {
+    let body = JsonValue::parse(&report.canonical_json()).unwrap();
+    body.get("points").unwrap().render()
+}
+
+#[test]
+fn save_load_reuse_reproduces_the_report_with_zero_misses() {
+    let dir = std::env::temp_dir().join(format!("sgmap-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("estimates.json");
+
+    // Cold run: populate and save.
+    let cold_cache = EstimateCache::shared();
+    let cold = run_sweep_with_cache(&tiny_spec(), 2, cold_cache.clone()).unwrap();
+    assert!(cold.cache.misses > 0, "cold run must compute something");
+    let saved = save_cache_file(&path, &cold_cache).unwrap();
+    assert_eq!(saved, cold.cache.entries);
+
+    // Warm run: load and reuse.
+    let warm_cache = EstimateCache::shared();
+    let loaded = load_cache_file(&path, &warm_cache).unwrap();
+    assert_eq!(loaded, saved);
+    let warm = run_sweep_with_cache(&tiny_spec(), 1, warm_cache.clone()).unwrap();
+
+    // Byte-identical records, zero misses, everything answered by the cache.
+    assert_eq!(points_json(&cold), points_json(&warm));
+    assert_eq!(warm.cache.misses, 0);
+    assert_eq!(warm.cache.hits, cold.cache.hits + cold.cache.misses);
+
+    // A second save must serialise to the identical bytes (nothing new was
+    // computed, and entry order is canonical).
+    assert_eq!(cache_to_json(&cold_cache), cache_to_json(&warm_cache));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spec_cache_file_plumbing_warm_starts_run_sweep() {
+    let dir = std::env::temp_dir().join(format!("sgmap-cache-spec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("estimates.json");
+    let spec = tiny_spec().with_cache_file(path.to_string_lossy());
+
+    let cold = run_sweep(&spec, 1).unwrap();
+    assert!(cold.cache.misses > 0);
+    assert!(path.exists(), "run_sweep saves the cache file");
+
+    let warm = run_sweep(&spec, 1).unwrap();
+    assert_eq!(warm.cache.misses, 0, "second run is fully warm");
+    assert_eq!(points_json(&cold), points_json(&warm));
+
+    // The file still round-trips standalone.
+    let reloaded = EstimateCache::shared();
+    let n = cache_from_json(&std::fs::read_to_string(&path).unwrap(), &reloaded).unwrap();
+    assert_eq!(n, cold.cache.entries);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_corrupt_cache_file_is_a_sweep_error_not_a_silent_cold_start() {
+    let dir = std::env::temp_dir().join(format!("sgmap-cache-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("estimates.json");
+    std::fs::write(
+        &path,
+        "{\"version\":42,\"kind\":\"sgmap-estimate-cache\",\"entries\":[]}",
+    )
+    .unwrap();
+    let spec = tiny_spec().with_cache_file(path.to_string_lossy());
+    let err = run_sweep(&spec, 1).unwrap_err();
+    assert!(
+        err.to_string().contains("unsupported cache format version"),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,14 +3,68 @@
 
 use proptest::prelude::*;
 
+use sgmap_gpusim::profile::profile_graph;
 use sgmap_gpusim::{sm_layout, GpuSpec, Platform};
-use sgmap_graph::{GraphBuilder, JoinKind, NodeSet, SplitKind, StreamGraph, StreamSpec};
+use sgmap_graph::{FilterId, GraphBuilder, JoinKind, NodeSet, SplitKind, StreamGraph, StreamSpec};
 use sgmap_ilp::{Model, ObjectiveSense, Solver};
 use sgmap_mapping::evaluate_assignment;
 use sgmap_partition::{
-    build_pdg, partition_stream_graph, partition_stream_graph_with, PartitionSearchOptions,
+    build_pdg, partition_stream_graph, partition_stream_graph_with, AdjacencyIndex,
+    PartitionSearchOptions,
 };
-use sgmap_pee::Estimator;
+use sgmap_pee::{merge_characteristics, CharsIndex, Estimator, PartitionCharacteristics};
+
+/// Asserts two characteristics are equal down to the bit patterns of their
+/// `f64` components (the contract the incremental path must honour, since
+/// cache keys are built from these bits).
+fn assert_chars_bit_identical(
+    a: &PartitionCharacteristics,
+    b: &PartitionCharacteristics,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.filters.len(), b.filters.len());
+    for ((ta, fa), (tb, fb)) in a.filters.iter().zip(&b.filters) {
+        prop_assert_eq!(ta.to_bits(), tb.to_bits());
+        prop_assert_eq!(fa, fb);
+    }
+    prop_assert_eq!(a.io_bytes_per_exec, b.io_bytes_per_exec);
+    prop_assert_eq!(a.sm_bytes_per_exec, b.sm_bytes_per_exec);
+    prop_assert_eq!(a.max_firing_rate, b.max_firing_rate);
+    Ok(())
+}
+
+/// Scan-based adjacency reference for [`AdjacencyIndex`] comparisons.
+fn channels_cross(graph: &StreamGraph, a: &NodeSet, b: &NodeSet) -> bool {
+    graph.channels().any(|(_, ch)| {
+        (a.contains(ch.src) && b.contains(ch.dst)) || (b.contains(ch.src) && a.contains(ch.dst))
+    })
+}
+
+fn assert_index_matches_scan(
+    graph: &StreamGraph,
+    parts: &[NodeSet],
+    index: &AdjacencyIndex,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(index.len(), parts.len());
+    for i in 0..parts.len() {
+        for j in 0..parts.len() {
+            if i != j {
+                prop_assert_eq!(
+                    index.adjacent(i, j),
+                    channels_cross(graph, &parts[i], &parts[j]),
+                    "pair ({}, {})",
+                    i,
+                    j
+                );
+            }
+        }
+        let from_index: Vec<usize> = index.neighbors(i).collect();
+        let from_scan: Vec<usize> = (0..parts.len())
+            .filter(|&q| q != i && channels_cross(graph, &parts[i], &parts[q]))
+            .collect();
+        prop_assert_eq!(from_index, from_scan, "neighbour order of part {}", i);
+    }
+    Ok(())
+}
 
 /// Strategy producing random but well-formed StreamIt-style specifications.
 ///
@@ -65,6 +119,42 @@ fn random_graph(spec: StreamSpec) -> StreamGraph {
         .expect("builder accepts well-formed specs")
 }
 
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+/// Adds balance-consistent feedback channels to `graph` from the given seed
+/// pairs (rates derived from the repetition vector, so the balance equations
+/// stay solvable). Feedback channels are exactly where the hot-path caches
+/// must be careful: partition adjacency counts them, while connectivity and
+/// the internal-buffer firing scan deliberately ignore them.
+fn add_random_feedback(mut graph: StreamGraph, seeds: &[(u8, u8)]) -> StreamGraph {
+    let n = graph.filter_count();
+    let reps = graph.repetition_vector().unwrap();
+    for &(a, b) in seeds {
+        let src = FilterId::from_index(usize::from(a) % n);
+        let dst = FilterId::from_index(usize::from(b) % n);
+        if src == dst {
+            continue;
+        }
+        let (rs, rd) = (reps[src.index()], reps[dst.index()]);
+        let g = gcd(rs, rd);
+        if rs / g > 1_000 || rd / g > 1_000 {
+            continue; // keep token volumes sane
+        }
+        let (push, pop) = ((rd / g) as u32, (rs / g) as u32);
+        graph
+            .add_feedback_channel(src, dst, push, pop, push.max(pop))
+            .unwrap();
+    }
+    // The feedback rates were chosen to keep the balance equations solvable.
+    graph.repetition_vector().unwrap();
+    graph
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -87,8 +177,11 @@ proptest! {
     /// connected, convex partitions, and never predicts a total time worse
     /// than leaving every filter alone.
     #[test]
-    fn partitioning_is_a_valid_cover(spec in spec_strategy(2, false)) {
-        let graph = random_graph(spec);
+    fn partitioning_is_a_valid_cover(
+        spec in spec_strategy(2, false),
+        feedback in prop::collection::vec((any::<u8>(), any::<u8>()), 0..3),
+    ) {
+        let graph = add_random_feedback(random_graph(spec), &feedback);
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
         // Skip the rare graphs whose single filters overflow shared memory.
         let singleton_total: Option<f64> = graph
@@ -117,8 +210,9 @@ proptest! {
         spec in spec_strategy(2, false),
         threads in 1usize..5,
         batch in 1usize..48,
+        feedback in prop::collection::vec((any::<u8>(), any::<u8>()), 0..3),
     ) {
-        let graph = random_graph(spec);
+        let graph = add_random_feedback(random_graph(spec), &feedback);
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
         prop_assume!(graph
             .filter_ids()
@@ -142,6 +236,98 @@ proptest! {
                 b.estimate.t_exec_us.to_bits()
             );
             prop_assert_eq!(a.estimate.sm_bytes, b.estimate.sm_bytes);
+        }
+        // The partition-adjacency index the search maintains answers exactly
+        // like a full channel scan over the final partitioning — the
+        // invariant that lets phases 3/4 replace their per-candidate scans.
+        let final_sets: Vec<NodeSet> = parallel.iter().map(|p| p.nodes.clone()).collect();
+        let index = AdjacencyIndex::build(&graph, &final_sets);
+        assert_index_matches_scan(&graph, &final_sets, &index)?;
+    }
+
+    /// The incremental characteristics path is bit-identical to the
+    /// reference `from_set` rescan: for arbitrary subsets, and for unions
+    /// derived via `merge_characteristics` from a random disjoint split —
+    /// in both enhancement modes.
+    #[test]
+    fn incremental_characteristics_match_from_set(
+        spec in spec_strategy(2, false),
+        mask in prop::collection::vec(any::<bool>(), 64..65),
+        enhanced in any::<bool>(),
+        feedback in prop::collection::vec((any::<u8>(), any::<u8>()), 0..3),
+    ) {
+        let graph = add_random_feedback(random_graph(spec), &feedback);
+        let reps = graph.repetition_vector().unwrap();
+        let profile = profile_graph(&graph, &GpuSpec::m2090());
+        let index = CharsIndex::new(&graph, &reps, &profile);
+
+        // Split the filters into two disjoint halves by the random mask.
+        let a_ids: Vec<FilterId> = graph.filter_ids().filter(|id| mask[id.index() % mask.len()]).collect();
+        let b_ids: Vec<FilterId> = graph.filter_ids().filter(|id| !mask[id.index() % mask.len()]).collect();
+        prop_assume!(!a_ids.is_empty() && !b_ids.is_empty());
+        let a_set = NodeSet::from_ids(a_ids);
+        let b_set = NodeSet::from_ids(b_ids);
+        let all = NodeSet::all(&graph);
+
+        // Indexed single-set path vs the reference, on every piece.
+        for set in [&a_set, &b_set, &all] {
+            let reference =
+                PartitionCharacteristics::from_set(&graph, set, &reps, &profile, enhanced);
+            assert_chars_bit_identical(&index.for_set(&graph, set, enhanced).chars, &reference)?;
+        }
+
+        // The merged union vs the reference on the union.
+        let merged = merge_characteristics(
+            &index,
+            &graph,
+            enhanced,
+            &index.for_set(&graph, &a_set, enhanced),
+            &a_set,
+            &index.for_set(&graph, &b_set, enhanced),
+            &b_set,
+            &all,
+        );
+        let reference = PartitionCharacteristics::from_set(&graph, &all, &reps, &profile, enhanced);
+        assert_chars_bit_identical(&merged.chars, &reference)?;
+    }
+
+    /// The adjacency index stays exact through arbitrary merge sequences:
+    /// random partitions of a random graph, merged pairwise with the
+    /// partitioner's swap-remove bookkeeping, always answer like a full
+    /// channel scan.
+    #[test]
+    fn adjacency_index_is_exact_across_merge_sequences(
+        spec in spec_strategy(2, false),
+        groups in prop::collection::vec(0usize..5, 64..65),
+        merge_seed in prop::collection::vec(any::<u8>(), 8..9),
+        feedback in prop::collection::vec((any::<u8>(), any::<u8>()), 0..3),
+    ) {
+        let graph = add_random_feedback(random_graph(spec), &feedback);
+        // Partition the filters into up to 5 arbitrary groups.
+        let mut sets: Vec<Vec<FilterId>> = vec![Vec::new(); 5];
+        for id in graph.filter_ids() {
+            sets[groups[id.index() % groups.len()]].push(id);
+        }
+        let mut parts: Vec<NodeSet> = sets
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .map(NodeSet::from_ids)
+            .collect();
+        let mut index = AdjacencyIndex::build(&graph, &parts);
+        assert_index_matches_scan(&graph, &parts, &index)?;
+
+        // Merge pseudo-random pairs exactly the way phase 3 does.
+        for &seed in &merge_seed {
+            if parts.len() < 2 {
+                break;
+            }
+            let lo = usize::from(seed) % (parts.len() - 1);
+            let hi = lo + 1 + usize::from(seed / 16) % (parts.len() - 1 - lo);
+            let union = parts[lo].union(&parts[hi]);
+            index.merge_swap_remove(lo, hi);
+            parts.swap_remove(hi);
+            parts[lo] = union;
+            assert_index_matches_scan(&graph, &parts, &index)?;
         }
     }
 
