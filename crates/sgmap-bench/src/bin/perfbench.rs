@@ -128,6 +128,7 @@ fn bench_compile(app: App, n: u32) -> JsonValue {
     let execute_ms = ms(t4);
 
     let stats = cache.stats();
+    let ilp = compiled.mapping.ilp_stats;
     let total_ms = build_ms + estimator_ms + partition_ms + finish_ms;
     let estimates_per_sec = if partition_ms > 0.0 {
         stats.queries() as f64 / (partition_ms / 1000.0)
@@ -135,9 +136,10 @@ fn bench_compile(app: App, n: u32) -> JsonValue {
         0.0
     };
     eprintln!(
-        "compile {:>8} N={:<4} {:7.1} ms (build {:.1}, estimator {:.1}, partition {:.1}, map+plan {:.1}) — {} partitions, {} estimates ({:.0}/s)",
+        "compile {:>8} N={:<4} {:7.1} ms (build {:.1}, estimator {:.1}, partition {:.1}, map+plan {:.1}) — {} partitions, {} estimates ({:.0}/s), ilp {} nodes / {} pivots / {} warm",
         app.name(), n, total_ms, build_ms, estimator_ms, partition_ms, finish_ms,
         compiled.partition_count(), stats.queries(), estimates_per_sec,
+        ilp.nodes, ilp.lp_iterations, ilp.lp_warm_starts,
     );
     JsonValue::object(vec![
         ("app", JsonValue::str(app.name())),
@@ -147,6 +149,9 @@ fn bench_compile(app: App, n: u32) -> JsonValue {
             "partitions",
             JsonValue::Uint(compiled.partition_count() as u64),
         ),
+        ("ilp_nodes", JsonValue::Uint(ilp.nodes)),
+        ("lp_iterations", JsonValue::Uint(ilp.lp_iterations)),
+        ("lp_warm_starts", JsonValue::Uint(ilp.lp_warm_starts)),
         ("build_ms", JsonValue::Float(build_ms)),
         ("estimator_ms", JsonValue::Float(estimator_ms)),
         ("partition_ms", JsonValue::Float(partition_ms)),

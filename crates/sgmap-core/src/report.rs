@@ -75,6 +75,7 @@ mod tests {
             per_link_time_us: vec![],
             method: MappingMethod::Greedy,
             optimal: false,
+            ilp_stats: sgmap_mapping::SolveStats::default(),
         };
         RunReport::new(1, mapping, stats, 100)
     }

@@ -1,0 +1,192 @@
+//! Bounded-variable dual simplex — the warm-start engine.
+//!
+//! Starts from a dual-feasible basis (any optimal parent basis after the
+//! nonbasic-state remap in [`LpWorkspace::solve`]) whose basic values may
+//! violate the new bounds, and restores primal feasibility while keeping the
+//! reduced costs sign-consistent. Each iteration picks the most-violated
+//! basic variable to leave towards its violated bound, and the entering
+//! column by the dual ratio test over the pivot row. Reduced costs are
+//! maintained incrementally from the pivot row (`d ← d − (d_q/α_q)·α`),
+//! which the periodic refactorisation resynchronises from scratch.
+//!
+//! Selection rules are deterministic: most-violated row with lowest basic
+//! variable index on ties, entering by smallest |d/α| with larger |α| then
+//! lowest index on ties, and Bland-style lowest-index selection past the
+//! stall threshold.
+
+use std::time::Instant;
+
+use crate::basis::VarState;
+use crate::workspace::{LoopEnd, LpWorkspace, PIVOT_TOL, PRIMAL_TOL};
+
+impl LpWorkspace {
+    /// Runs the dual simplex to primal feasibility. Expects `self.d` to hold
+    /// the reduced costs of the current basis (see
+    /// [`LpWorkspace::compute_reduced_costs`]).
+    pub(crate) fn dual_simplex(&mut self, deadline: Option<Instant>) -> LoopEnd {
+        let m = self.cols.m;
+        let n_total = self.cols.n_total();
+        let cap = self.iteration_cap();
+        let bland_after = self.bland_threshold();
+
+        for iter in 0..cap {
+            if Self::past_deadline(deadline) {
+                return LoopEnd::TimeLimit;
+            }
+            if self.basis.wants_refactor() {
+                if !self.refactor_and_sync() {
+                    return LoopEnd::Stalled;
+                }
+                self.compute_reduced_costs();
+            }
+            let use_bland = iter > bland_after;
+
+            // Leaving row: the worst bound violation among the basics.
+            let mut leaving: Option<(usize, f64, bool)> = None; // (row, viol, below)
+            let mut leaving_bv = usize::MAX;
+            for i in 0..m {
+                let bv = self.basis.basic[i] as usize;
+                let v = self.xb[i];
+                let (viol, below) = if v < self.lo[bv] - PRIMAL_TOL {
+                    (self.lo[bv] - v, true)
+                } else if v > self.hi[bv] + PRIMAL_TOL {
+                    (v - self.hi[bv], false)
+                } else {
+                    continue;
+                };
+                let take = match leaving {
+                    None => true,
+                    Some(_) if use_bland => bv < leaving_bv,
+                    Some((_, best, _)) => {
+                        viol > best + 1e-12 || (viol > best - 1e-12 && bv < leaving_bv)
+                    }
+                };
+                if take {
+                    leaving = Some((i, viol, below));
+                    leaving_bv = bv;
+                }
+            }
+            let (r, _viol, below) = match leaving {
+                Some(l) => l,
+                None => return LoopEnd::Done, // primal feasible: optimal
+            };
+
+            // Pivot row of the tableau: α_j = (row r of B⁻¹)·a_j.
+            let rho = self.basis.row(r);
+            let mut alpha = std::mem::take(&mut self.alpha);
+            alpha.clear();
+            alpha.resize(n_total, 0.0);
+            // Dual ratio test: among columns that move the leaving variable
+            // towards its violated bound, the one whose reduced cost hits
+            // zero first keeps every d sign-consistent.
+            let mut entering: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for (j, slot) in alpha.iter_mut().enumerate() {
+                match self.basis.state[j] {
+                    VarState::Basic(_) => continue,
+                    _ if self.lo[j] == self.hi[j] => continue, // fixed
+                    _ => {}
+                }
+                let a = self.cols.dot_col(rho, j);
+                *slot = a;
+                if a.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let eligible = match (below, self.basis.state[j]) {
+                    (true, VarState::AtLower) => a < 0.0,
+                    (true, VarState::AtUpper) => a > 0.0,
+                    (false, VarState::AtLower) => a > 0.0,
+                    (false, VarState::AtUpper) => a < 0.0,
+                    (_, VarState::Basic(_)) => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                if use_bland {
+                    if entering.is_none() {
+                        entering = Some(j);
+                        best_alpha = a;
+                    }
+                    continue;
+                }
+                let ratio = self.d[j].abs() / a.abs();
+                let take = ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12 && a.abs() > best_alpha.abs() + 1e-12);
+                if take {
+                    best_ratio = ratio;
+                    best_alpha = a;
+                    entering = Some(j);
+                }
+            }
+            let q = match entering {
+                Some(q) => q,
+                // Dual ray: the violated row cannot be repaired.
+                None => return LoopEnd::Infeasible,
+            };
+
+            let mut w = std::mem::take(&mut self.w);
+            self.basis.ftran(&self.cols, q, &mut w);
+            if w[r].abs() <= PIVOT_TOL {
+                // Drifted inverse: resynchronise and retry the iteration.
+                self.w = w;
+                self.alpha = alpha;
+                if !self.refactor_and_sync() {
+                    return LoopEnd::Stalled;
+                }
+                self.compute_reduced_costs();
+                continue;
+            }
+
+            // Dual update of the reduced costs from the pivot row.
+            let theta_d = self.d[q] / alpha[q];
+            for (j, &a) in alpha.iter().enumerate() {
+                if j == q || a == 0.0 {
+                    continue;
+                }
+                if let VarState::Basic(_) = self.basis.state[j] {
+                    continue;
+                }
+                self.d[j] -= theta_d * a;
+            }
+
+            // Primal update: the leaving variable lands on its violated
+            // bound, the entering one moves off its bound by the matching
+            // step.
+            let leaving = self.basis.basic[r] as usize;
+            let bound = if below {
+                self.lo[leaving]
+            } else {
+                self.hi[leaving]
+            };
+            let t_p = (self.xb[r] - bound) / w[r];
+            let entering_value = self.nb_value(q) + t_p;
+            if !self.basis.pivot(m, r, q, &w) {
+                self.w = w;
+                self.alpha = alpha;
+                if !self.refactor_and_sync() {
+                    return LoopEnd::Stalled;
+                }
+                self.compute_reduced_costs();
+                continue;
+            }
+            for (i, &wi) in w.iter().enumerate() {
+                if i != r && wi != 0.0 {
+                    self.xb[i] -= t_p * wi;
+                }
+            }
+            self.xb[r] = entering_value;
+            self.basis.state[leaving] = if below {
+                VarState::AtLower
+            } else {
+                VarState::AtUpper
+            };
+            self.d[leaving] = -theta_d;
+            self.d[q] = 0.0;
+            self.stats.iterations += 1;
+            self.w = w;
+            self.alpha = alpha;
+        }
+        LoopEnd::Stalled
+    }
+}

@@ -6,14 +6,20 @@
 //! that step without external dependencies:
 //!
 //! * [`Model`] — a builder for LP/ILP models: variables (continuous or
-//!   binary), linear constraints and a linear objective,
-//! * a dense **two-phase primal simplex** for the LP relaxation
-//!   ([`simplex`]),
+//!   binary) with **native bounds**, linear constraints and a linear
+//!   objective,
+//! * a **bounded-variable revised simplex** for the LP relaxation: sparse
+//!   column-major constraint storage, a dense basis inverse, a primal
+//!   two-phase method for cold solves and a dual simplex that warm-starts
+//!   from the previous basis when only bounds changed ([`simplex`],
+//!   [`LpSolver`]),
 //! * **branch-and-bound** over the binary variables with incumbent pruning,
-//!   warm-start incumbents and node/time budgets ([`Solver`]).
-//!
-//! The instances produced by the mapping flow are modest (a few hundred
-//! binaries, a few thousand rows), which a dense tableau handles comfortably.
+//!   warm-start incumbents, node/time budgets and per-node dual
+//!   reoptimisation ([`Solver`]) — a branch only tightens one bound, so the
+//!   parent basis stays dual feasible and a child relaxation typically costs
+//!   a handful of pivots instead of a full solve,
+//! * the original dense two-phase tableau, kept as the reference
+//!   implementation for equivalence tests and benches ([`dense`]).
 //!
 //! # Example
 //!
@@ -37,14 +43,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
+pub mod dense;
+mod dual;
 mod error;
 mod model;
+mod primal;
 pub mod simplex;
 mod solver;
+mod sparse;
+mod workspace;
 
 pub use error::IlpError;
 pub use model::{ConstraintSense, Model, ObjectiveSense, VarId, VarKind};
-pub use solver::{Solution, SolutionStatus, Solver, SolverOptions};
+pub use simplex::{LpSolution, LpSolver, VarBound};
+pub use solver::{Solution, SolutionStatus, SolveStats, Solver, SolverOptions};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, IlpError>;

@@ -60,6 +60,10 @@ pub(crate) struct Variable {
     pub(crate) name: String,
     pub(crate) kind: VarKind,
     pub(crate) objective: f64,
+    /// Native lower bound (`x >= lo`); finite.
+    pub(crate) lo: f64,
+    /// Native upper bound (`x <= hi`); may be `+inf`.
+    pub(crate) hi: f64,
 }
 
 /// A linear constraint `sum(coef * var) (<=|>=|==) rhs`.
@@ -105,12 +109,50 @@ impl Model {
 
     fn add_var(&mut self, name: impl Into<String>, kind: VarKind, objective: f64) -> VarId {
         let id = VarId(self.vars.len());
+        let (lo, hi) = match kind {
+            VarKind::Continuous => (0.0, f64::INFINITY),
+            VarKind::Binary => (0.0, 1.0),
+        };
         self.vars.push(Variable {
             name: name.into(),
             kind,
             objective,
+            lo,
+            hi,
         });
         id
+    }
+
+    /// Overrides the native bounds of a variable (`lo <= x <= hi`).
+    ///
+    /// Bounds are handled natively by the bounded-variable simplex — they do
+    /// not become constraint rows. All variables in this crate are
+    /// non-negative, so the lower bound must be finite and `>= 0`; the upper
+    /// bound may be `f64::INFINITY`. Tightening a binary variable's bounds
+    /// within `[0, 1]` is allowed; the integrality requirement is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this model, if `lo > hi`, or if
+    /// `lo` is negative or not finite.
+    pub fn set_bounds(&mut self, id: VarId, lo: f64, hi: f64) {
+        assert!(
+            lo.is_finite() && lo >= 0.0,
+            "lower bound of {id} must be finite and non-negative, got {lo}"
+        );
+        assert!(lo <= hi, "empty bound range [{lo}, {hi}] for {id}");
+        let v = &mut self.vars[id.0];
+        v.lo = lo;
+        v.hi = hi;
+    }
+
+    /// Returns the native `(lo, hi)` bounds of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this model.
+    pub fn var_bounds(&self, id: VarId) -> (f64, f64) {
+        (self.vars[id.0].lo, self.vars[id.0].hi)
     }
 
     /// Adds a constraint `sum(coef * var) <= rhs`.
@@ -206,10 +248,7 @@ impl Model {
             return false;
         }
         for (i, v) in self.vars.iter().enumerate() {
-            if values[i] < -tol {
-                return false;
-            }
-            if v.kind == VarKind::Binary && values[i] > 1.0 + tol {
+            if values[i] < v.lo - tol || values[i] > v.hi + tol {
                 return false;
             }
         }
@@ -225,6 +264,27 @@ impl Model {
             }
         }
         true
+    }
+
+    /// Column views of the constraint matrix: for every variable, the
+    /// `(row, coefficient)` pairs of the rows it appears in, with duplicate
+    /// terms within a row merged. Rows appear in increasing order. This is
+    /// the input of the sparse column-major store the revised simplex works
+    /// on.
+    pub(crate) fn column_views(&self) -> Vec<Vec<(u32, f64)>> {
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.vars.len()];
+        for (r, c) in self.constraints.iter().enumerate() {
+            for &(v, coef) in &c.terms {
+                let col = &mut cols[v.0];
+                // Rows are visited in order, so a duplicate term of the same
+                // row is always the last entry.
+                match col.last_mut() {
+                    Some((row, val)) if *row == r as u32 => *val += coef,
+                    _ => col.push((r as u32, coef)),
+                }
+            }
+        }
+        cols
     }
 
     /// Validates that every constraint references only variables that belong

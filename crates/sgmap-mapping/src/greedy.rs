@@ -72,6 +72,7 @@ pub fn map_greedy(pdg: &Pdg, platform: &Platform) -> Mapping {
         assignment,
         method: MappingMethod::Greedy,
         optimal: false,
+        ilp_stats: crate::SolveStats::default(),
     }
 }
 
@@ -93,6 +94,7 @@ pub fn map_round_robin(pdg: &Pdg, platform: &Platform) -> Mapping {
         assignment,
         method: MappingMethod::RoundRobin,
         optimal: false,
+        ilp_stats: crate::SolveStats::default(),
     }
 }
 

@@ -83,6 +83,7 @@ pub fn map_ilp(
             per_link_time_us: vec![0.0; platform.topology.link_count()],
             method: MappingMethod::Ilp,
             optimal: true,
+            ilp_stats: sgmap_ilp::SolveStats::default(),
         });
     }
     let greedy = map_greedy(pdg, platform);
@@ -125,11 +126,15 @@ pub fn map_ilp(
     }
     // Valid cuts that tighten the LP relaxation (they cut off fractional
     // assignments but no integer one): the busiest GPU can never beat the
-    // average load, nor the largest single partition.
+    // average load, nor the largest single partition. The revised simplex
+    // handles variable bounds natively, so they cost no rows.
     let total_work: f64 = pdg.times_us.iter().sum();
     let max_partition = pdg.times_us.iter().cloned().fold(0.0f64, f64::max);
-    model.add_constraint_ge(vec![(tmax, 1.0)], total_work / g as f64);
-    model.add_constraint_ge(vec![(tmax, 1.0)], max_partition);
+    model.set_bounds(
+        tmax,
+        (total_work / g as f64).max(max_partition),
+        f64::INFINITY,
+    );
 
     let mut link_vars: Vec<LinkVars> = Vec::new();
     if options.comm_aware {
@@ -155,6 +160,9 @@ pub fn map_ilp(
                         continue;
                     }
                     let x = model.add_continuous(format!("x_{}_{}", e_idx, link.index()), 0.0);
+                    // The crossing indicator lives in [0, 1] (a native
+                    // bound, not a row).
+                    model.set_bounds(x, 0.0, 1.0);
                     // x >= A + B - 1  <=>  A + B - x <= 1.
                     let mut cross: Vec<(VarId, f64)> =
                         srcs.iter().map(|&k| (n[e.from][k], 1.0)).collect();
@@ -245,6 +253,7 @@ pub fn map_ilp(
         }
         Err(e) => return Err(e),
     };
+    let ilp_stats = solution.stats;
 
     let mut assignment = vec![0usize; p];
     for (i, ni) in n.iter().enumerate() {
@@ -266,11 +275,13 @@ pub fn map_ilp(
             per_link_time_us: cost.per_link_time_us,
             method: MappingMethod::Ilp,
             optimal: solution.status == SolutionStatus::Optimal,
+            ilp_stats,
         })
     } else {
         Ok(Mapping {
             method: MappingMethod::Ilp,
             optimal: false,
+            ilp_stats,
             ..greedy
         })
     }

@@ -39,6 +39,7 @@ mod ilp;
 pub use evaluate::{evaluate_assignment, MappingCost};
 pub use greedy::{map_greedy, map_round_robin};
 pub use ilp::{map_ilp, MappingOptions};
+pub use sgmap_ilp::SolveStats;
 
 use sgmap_gpusim::Platform;
 use sgmap_partition::Pdg;
@@ -69,6 +70,9 @@ pub struct Mapping {
     pub method: MappingMethod,
     /// Whether the ILP proved optimality (always `false` for the heuristics).
     pub optimal: bool,
+    /// Solver counters of the ILP search (all zero for the heuristics and
+    /// for the trivial single-GPU / empty cases the ILP answers directly).
+    pub ilp_stats: SolveStats,
 }
 
 impl Mapping {

@@ -245,11 +245,13 @@ fn check_bench_sweep(
 }
 
 /// Validates the JSON text of a `perfbench` report (`BENCH.json`): format
-/// version 1, a non-empty list of timed compiles with positive wall-clocks
-/// and non-zero estimate counts, and a healthy sweep section. A report
-/// whose sweep was warm-started from a persistent cache file
-/// (`cache_preloaded_entries > 0`) must additionally report zero
-/// shared-cache misses — the contract of cache persistence.
+/// version 1, a non-empty list of timed compiles with positive wall-clocks,
+/// non-zero estimate counts and live ILP solver counters (`ilp_nodes` and
+/// `lp_iterations` per compile, at least one `lp_warm_starts` across the
+/// suite — the revised simplex must actually be warm-starting), and a
+/// healthy sweep section. A report whose sweep was warm-started from a
+/// persistent cache file (`cache_preloaded_entries > 0`) must additionally
+/// report zero shared-cache misses — the contract of cache persistence.
 ///
 /// # Errors
 ///
@@ -272,6 +274,7 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
         return Err(CheckError::Shape("no timed compiles".to_string()));
     }
     let mut compile_total_ms = 0.0;
+    let mut total_warm_starts = 0u64;
     for (i, compile) in compiles.iter().enumerate() {
         let at = format!("compile {i}");
         for field in ["build_ms", "estimator_ms", "partition_ms", "finish_ms"] {
@@ -291,6 +294,23 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
         if bench_u64(compile, "estimate_queries", &at)? == 0 {
             return Err(CheckError::Shape(format!("{at}: zero estimate queries")));
         }
+        // Every timed compile maps onto >= 2 GPUs with the ILP, so its
+        // solver must have visited at least the root node and pivoted.
+        if bench_u64(compile, "ilp_nodes", &at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero ilp_nodes")));
+        }
+        if bench_u64(compile, "lp_iterations", &at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero lp_iterations")));
+        }
+        total_warm_starts += bench_u64(compile, "lp_warm_starts", &at)?;
+    }
+    // A compile whose root relaxation is already integral legitimately
+    // reports zero warm starts, but across the whole suite the
+    // branch-and-bound searches must have reoptimised dual-warm somewhere.
+    if total_warm_starts == 0 {
+        return Err(CheckError::Shape(
+            "no lp_warm_starts recorded across any compile".to_string(),
+        ));
     }
     let sweep = report
         .get("sweep")
@@ -437,6 +457,7 @@ mod tests {
             concat!(
                 "{{\"version\":1,\"preset\":\"quick\",\"compiles\":[",
                 "{{\"app\":\"DES\",\"n\":8,\"filters\":34,\"partitions\":8,",
+                "\"ilp_nodes\":57,\"lp_iterations\":412,\"lp_warm_starts\":56,",
                 "\"build_ms\":0.1,\"estimator_ms\":0.2,\"partition_ms\":1.5,",
                 "\"finish_ms\":30.0,\"execute_ms\":0.1,\"total_ms\":31.8,",
                 "\"estimate_queries\":126,\"estimate_misses\":88,",
@@ -494,5 +515,16 @@ mod tests {
         ));
         let no_partitions = bench_json(624, None).replace("\"partitions\":8", "\"partitions\":0");
         assert!(check_bench_report(&no_partitions).is_err());
+        // The ILP counters of the revised simplex must be alive: nodes and
+        // iterations per compile, warm starts somewhere in the suite.
+        for broken in [
+            bench_json(624, None).replace("\"ilp_nodes\":57", "\"ilp_nodes\":0"),
+            bench_json(624, None).replace("\"lp_iterations\":412", "\"lp_iterations\":0"),
+            bench_json(624, None).replace("\"lp_warm_starts\":56", "\"lp_warm_starts\":0"),
+            bench_json(624, None).replace("\"ilp_nodes\":57,", ""),
+        ] {
+            let err = check_bench_report(&broken).unwrap_err();
+            assert!(matches!(err, CheckError::Shape(_)), "{err}");
+        }
     }
 }
