@@ -109,7 +109,7 @@ fn bench_compile(app: App, n: u32) -> JsonValue {
     let build_ms = ms(t0);
 
     let t1 = Instant::now();
-    let estimator = Estimator::new(&graph, config.gpu.clone())
+    let estimator = Estimator::new(&graph, config.estimation_gpu().clone())
         .expect("compile targets have consistent rates")
         .with_shared_cache(cache.clone());
     let estimator_ms = ms(t1);
@@ -144,6 +144,7 @@ fn bench_compile(app: App, n: u32) -> JsonValue {
     JsonValue::object(vec![
         ("app", JsonValue::str(app.name())),
         ("n", JsonValue::Uint(u64::from(n))),
+        ("platform", JsonValue::str(&*config.platform.name)),
         ("filters", JsonValue::Uint(graph.filter_count() as u64)),
         (
             "partitions",

@@ -74,7 +74,10 @@ pub fn build_execution_plan(
         let name = format!("partition_{p}");
         let spec = generate_kernel(est, partition, &name);
         let per_iteration_us = if options.use_measured_kernel_times {
-            let measurement = simulate_kernel(&spec, &platform.gpu, p as u64 + 1);
+            // Simulate the kernel on the device that will actually run it, so
+            // mixed-model platforms get per-device kernel times.
+            let device = platform.device(mapping.assignment[p]);
+            let measurement = simulate_kernel(&spec, device, p as u64 + 1);
             measurement.time_us / f64::from(spec.params.w.max(1))
         } else {
             partition.estimate.normalized_us
@@ -156,7 +159,7 @@ mod tests {
     #[test]
     fn plan_respects_topological_dependencies_and_runs() {
         let (graph, platform) = setup(App::Des, 8, 2);
-        let est = Estimator::new(&graph, platform.gpu.clone()).unwrap();
+        let est = Estimator::new(&graph, platform.primary_gpu().clone()).unwrap();
         let reps = graph.repetition_vector().unwrap();
         let partitioning = partition_stream_graph(&est).unwrap();
         let pdg = build_pdg(&graph, &reps, &partitioning);
@@ -185,7 +188,7 @@ mod tests {
     #[test]
     fn balanced_mappings_beat_round_robin_on_the_simulator() {
         let (graph, platform) = setup(App::Dct, 10, 4);
-        let est = Estimator::new(&graph, platform.gpu.clone()).unwrap();
+        let est = Estimator::new(&graph, platform.primary_gpu().clone()).unwrap();
         let reps = graph.repetition_vector().unwrap();
         let partitioning = partition_stream_graph(&est).unwrap();
         let pdg = build_pdg(&graph, &reps, &partitioning);

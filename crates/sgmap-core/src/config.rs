@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use sgmap_codegen::PlanOptions;
-use sgmap_gpusim::{GpuSpec, Platform, TransferMode};
+use sgmap_gpusim::{GpuSpec, InterconnectSpec, Platform, PlatformSpec, TransferMode};
 use sgmap_mapping::{MappingMethod, MappingOptions};
 use sgmap_partition::{PartitionSearchOptions, PartitionerKind};
 use sgmap_pee::EstimateCache;
@@ -11,10 +11,9 @@ use sgmap_pee::EstimateCache;
 /// Everything the flow needs to know besides the stream graph itself.
 #[derive(Debug, Clone)]
 pub struct FlowConfig {
-    /// The GPU model of the (homogeneous) platform.
-    pub gpu: GpuSpec,
-    /// Number of GPUs (1–4 on the reference switch tree).
-    pub gpu_count: usize,
+    /// The target platform: per-GPU device specs plus an interconnect shape.
+    /// Built into a concrete [`Platform`] by [`FlowConfig::platform`].
+    pub platform: PlatformSpec,
     /// Which partitioner to run.
     pub partitioner: PartitionerKind,
     /// Thread count and batch size of the proposed partitioner's candidate
@@ -38,11 +37,11 @@ pub struct FlowConfig {
 
 impl FlowConfig {
     /// The paper's default stack: the proposed partitioner, the
-    /// communication-aware ILP mapper, peer-to-peer transfers, M2090 GPUs.
+    /// communication-aware ILP mapper, peer-to-peer transfers, the 4 × M2090
+    /// reference platform.
     pub fn new() -> Self {
         FlowConfig {
-            gpu: GpuSpec::m2090(),
-            gpu_count: 4,
+            platform: PlatformSpec::paper(),
             partitioner: PartitionerKind::Proposed,
             // Serial early-exit search: a single interactive compile should
             // not pay for speculative batches. Batch drivers (the sweep
@@ -64,15 +63,36 @@ impl FlowConfig {
         self
     }
 
-    /// Sets the number of GPUs.
-    pub fn with_gpu_count(mut self, gpu_count: usize) -> Self {
-        self.gpu_count = gpu_count;
+    /// Replaces the platform description.
+    pub fn with_platform(mut self, platform: PlatformSpec) -> Self {
+        self.platform = platform;
         self
     }
 
-    /// Sets the GPU model.
+    /// Compatibility wrapper: targets the reference switch tree with
+    /// `gpu_count` copies of the current estimation device. Counts outside
+    /// the tree's 1–4 are representable and rejected by
+    /// [`FlowConfig::validate`].
+    pub fn with_gpu_count(mut self, gpu_count: usize) -> Self {
+        let gpu = self
+            .platform
+            .gpus
+            .first()
+            .cloned()
+            .unwrap_or_else(GpuSpec::m2090);
+        self.platform = PlatformSpec::reference(gpu, gpu_count);
+        self
+    }
+
+    /// Compatibility wrapper: replaces the device model on every leaf,
+    /// keeping the interconnect shape and GPU count. Reference-tree specs
+    /// also refresh their auto-generated name.
     pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
-        self.gpu = gpu;
+        let count = self.platform.gpu_count();
+        if matches!(self.platform.interconnect, InterconnectSpec::ReferenceTree) {
+            self.platform.name = format!("{}x{}", gpu.name, count);
+        }
+        self.platform.gpus = vec![gpu; count];
         self
     }
 
@@ -137,15 +157,13 @@ impl FlowConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid knob found: a GPU count
-    /// outside the reference switch tree's 1–4, or a zero fragment /
-    /// iteration count in the plan options.
+    /// Returns a description of the first invalid knob found: a platform
+    /// whose topology cannot be built (no GPUs, a count that does not fit
+    /// the interconnect shape, ...), or a zero fragment / iteration count in
+    /// the plan options.
     pub fn validate(&self) -> Result<(), String> {
-        if !(1..=4).contains(&self.gpu_count) {
-            return Err(format!(
-                "gpu_count must be between 1 and 4 (the reference switch tree), got {}",
-                self.gpu_count
-            ));
+        if let Err(e) = self.platform.build() {
+            return Err(format!("platform '{}': {e}", self.platform.name));
         }
         if self.plan.n_fragments == 0 {
             return Err("plan.n_fragments must be at least 1".to_string());
@@ -156,9 +174,27 @@ impl FlowConfig {
         Ok(())
     }
 
-    /// The platform this configuration targets.
+    /// The estimation device: the platform's first GPU, for which partition
+    /// execution estimates are produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform has no GPUs (which [`FlowConfig::validate`]
+    /// rejects).
+    pub fn estimation_gpu(&self) -> &GpuSpec {
+        self.platform.primary_gpu()
+    }
+
+    /// Builds the concrete platform this configuration targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform description is invalid; call
+    /// [`FlowConfig::validate`] first for a `Result`-returning path.
     pub fn platform(&self) -> Platform {
-        Platform::homogeneous(self.gpu.clone(), self.gpu_count)
+        self.platform
+            .build()
+            .expect("platform validated by FlowConfig::validate")
     }
 }
 
@@ -181,9 +217,9 @@ mod tests {
         assert_eq!(prev.partitioner, PartitionerKind::Baseline);
         assert_eq!(prev.mapper, MappingMethod::RoundRobin);
         assert_eq!(prev.plan.transfer_mode, TransferMode::ViaHost);
-        assert_eq!(spsg.gpu_count, 1);
+        assert_eq!(spsg.platform.gpu_count(), 1);
         assert_eq!(spsg.partitioner, PartitionerKind::Single);
-        assert_eq!(ours.platform().gpu_count, 4);
+        assert_eq!(ours.platform().gpu_count(), 4);
     }
 
     #[test]
@@ -197,5 +233,30 @@ mod tests {
         let mut zero_iterations = FlowConfig::default();
         zero_iterations.plan.iterations_per_fragment = 0;
         assert!(zero_iterations.validate().is_err());
+    }
+
+    #[test]
+    fn compat_wrappers_build_reference_platforms() {
+        let c = FlowConfig::default()
+            .with_gpu(GpuSpec::c2070())
+            .with_gpu_count(2);
+        assert_eq!(c.platform.name, "Tesla C2070x2");
+        assert_eq!(c.estimation_gpu().name, "Tesla C2070");
+        assert_eq!(c.platform(), Platform::homogeneous(GpuSpec::c2070(), 2));
+    }
+
+    #[test]
+    fn hierarchical_platforms_pass_validation() {
+        let nv = FlowConfig::default().with_platform(PlatformSpec::nvlink8_m2090());
+        assert!(nv.validate().is_ok());
+        assert_eq!(nv.platform().gpu_count(), 8);
+        // An undividable island count is caught by validate, not a panic.
+        let mut bad = PlatformSpec::nvlink8_m2090();
+        bad.gpus.pop();
+        let err = FlowConfig::default()
+            .with_platform(bad)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("islands"), "{err}");
     }
 }

@@ -89,7 +89,7 @@ impl CompileResult {
 pub fn compile(graph: &StreamGraph, config: &FlowConfig) -> Result<CompileResult, FlowError> {
     config.validate().map_err(FlowError::InvalidConfig)?;
     let mut estimator =
-        Estimator::new(graph, config.gpu.clone())?.with_enhancement(config.enhanced);
+        Estimator::new(graph, config.estimation_gpu().clone())?.with_enhancement(config.enhanced);
     if let Some(cache) = &config.estimate_cache {
         estimator = estimator.with_shared_cache(cache.clone());
     }
@@ -177,11 +177,11 @@ fn check_estimator_agreement(
             graph.filter_count()
         )));
     }
-    if estimator.gpu() != &config.gpu {
+    if estimator.gpu() != config.estimation_gpu() {
         return Err(FlowError::InvalidConfig(format!(
-            "estimator targets GPU '{}' but the configuration targets '{}'",
+            "estimator targets GPU '{}' but the configuration estimates on '{}'",
             estimator.gpu().name,
-            config.gpu.name
+            config.estimation_gpu().name
         )));
     }
     if estimator.enhanced() != config.enhanced {
@@ -343,7 +343,7 @@ mod tests {
         let plain = compile_and_run(&graph, &config).unwrap();
 
         let cache = EstimateCache::shared();
-        let estimator = Estimator::new(&graph, config.gpu.clone())
+        let estimator = Estimator::new(&graph, config.estimation_gpu().clone())
             .unwrap()
             .with_shared_cache(cache.clone());
         let compiled = compile_with_estimator(&graph, &config, &estimator).unwrap();
@@ -356,7 +356,7 @@ mod tests {
         assert!(cache.stats().misses > 0);
 
         // A mismatched estimator is rejected up front.
-        let wrong = Estimator::new(&graph, config.gpu.clone())
+        let wrong = Estimator::new(&graph, config.estimation_gpu().clone())
             .unwrap()
             .with_enhancement(true);
         let err = compile_with_estimator(&graph, &config, &wrong).unwrap_err();
@@ -368,7 +368,8 @@ mod tests {
         use sgmap_partition::PartitionSearchOptions;
 
         let graph = App::FmRadio.build(8).unwrap();
-        let estimator = Estimator::new(&graph, FlowConfig::default().gpu.clone()).unwrap();
+        let estimator =
+            Estimator::new(&graph, FlowConfig::default().estimation_gpu().clone()).unwrap();
         let base = FlowConfig::default()
             .with_partition_search(PartitionSearchOptions::new().with_threads(2));
         let stage = partition_graph(&graph, &base, &estimator).unwrap();

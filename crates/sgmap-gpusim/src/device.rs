@@ -1,8 +1,6 @@
-//! GPU device specifications and multi-GPU platform descriptions.
+//! GPU device specifications.
 
 use serde::{Deserialize, Serialize};
-
-use crate::topology::PcieTopology;
 
 /// Specification of a single GPU device.
 ///
@@ -98,70 +96,6 @@ impl Default for GpuSpec {
     }
 }
 
-/// A multi-GPU platform: a set of homogeneous GPUs connected to the host by a
-/// PCI Express switch tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Platform {
-    /// The (homogeneous) GPU device specification.
-    pub gpu: GpuSpec,
-    /// Number of GPUs.
-    pub gpu_count: usize,
-    /// The PCIe interconnect.
-    pub topology: PcieTopology,
-}
-
-impl Platform {
-    /// A platform with `gpu_count` copies of `gpu` behind the switch tree of
-    /// Figure 3.3 (host — SW1 — {SW2 — {GPU1, GPU2}, SW3 — {GPU3, GPU4}}),
-    /// truncated to the requested number of GPUs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `gpu_count` is zero or greater than four.
-    pub fn homogeneous(gpu: GpuSpec, gpu_count: usize) -> Self {
-        assert!(
-            (1..=4).contains(&gpu_count),
-            "the reference switch tree hosts 1 to 4 GPUs"
-        );
-        Platform {
-            gpu,
-            gpu_count,
-            topology: PcieTopology::switch_tree(gpu_count),
-        }
-    }
-
-    /// The paper's evaluation platform: 4 × Tesla M2090.
-    pub fn quad_m2090() -> Self {
-        Platform::homogeneous(GpuSpec::m2090(), 4)
-    }
-
-    /// A single-GPU M2090 platform.
-    pub fn single_m2090() -> Self {
-        Platform::homogeneous(GpuSpec::m2090(), 1)
-    }
-
-    /// The prior work's platform: Tesla C2070 GPUs.
-    pub fn quad_c2070() -> Self {
-        Platform::homogeneous(GpuSpec::c2070(), 4)
-    }
-
-    /// Returns a copy of this platform restricted to the first `gpu_count`
-    /// GPUs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `gpu_count` is zero or greater than four.
-    pub fn with_gpu_count(&self, gpu_count: usize) -> Self {
-        Platform::homogeneous(self.gpu.clone(), gpu_count)
-    }
-}
-
-impl Default for Platform {
-    fn default() -> Self {
-        Platform::quad_m2090()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,20 +119,5 @@ mod tests {
         assert!((m.cycles_to_us(1300.0) - 1.0).abs() < 1e-9);
         // 177 KB at 177 GB/s is one microsecond.
         assert!((m.global_stream_us(177_000.0) - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn platform_construction() {
-        let p = Platform::quad_m2090();
-        assert_eq!(p.gpu_count, 4);
-        let p2 = p.with_gpu_count(2);
-        assert_eq!(p2.gpu_count, 2);
-        assert_eq!(p2.gpu.name, "Tesla M2090");
-    }
-
-    #[test]
-    #[should_panic(expected = "1 to 4 GPUs")]
-    fn oversized_platform_panics() {
-        let _ = Platform::homogeneous(GpuSpec::m2090(), 5);
     }
 }

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::device::Platform;
+use crate::platform::Platform;
 use crate::topology::Endpoint;
 
 /// How inter-GPU transfers are routed.
@@ -124,7 +124,7 @@ impl ExecStats {
 /// references a kernel outside the plan.
 pub fn simulate_plan(plan: &ExecutionPlan, platform: &Platform) -> ExecStats {
     let topo = &platform.topology;
-    let g = platform.gpu_count;
+    let g = platform.gpu_count();
     let k_count = plan.kernels.len();
     for k in &plan.kernels {
         assert!(
@@ -184,16 +184,17 @@ pub fn simulate_plan(plan: &ExecutionPlan, platform: &Platform) -> ExecStats {
         }
         let route: Vec<_> = match (plan.transfer_mode, t.from, t.to) {
             (TransferMode::ViaHost, Endpoint::Gpu(_), Endpoint::Gpu(_)) => {
-                let mut r = topo.route(t.from, Endpoint::Host);
-                r.extend(topo.route(Endpoint::Host, t.to));
+                let mut r = topo.route(t.from, Endpoint::Host).to_vec();
+                r.extend_from_slice(topo.route(Endpoint::Host, t.to));
                 r
             }
-            _ => topo.route(t.from, t.to),
+            _ => topo.route(t.from, t.to).to_vec(),
         };
-        let hop_time = topo.link_transfer_us(t.bytes_per_fragment as f64);
         let mut head = available;
         for link in route {
             let i = link.index();
+            // Each hop runs at its own link's bandwidth and latency.
+            let hop_time = topo.link_transfer_us(link, t.bytes_per_fragment as f64);
             let start = head.max(link_free[i]);
             let end = start + hop_time;
             link_free[i] = end;
@@ -291,7 +292,7 @@ pub fn simulate_plan(plan: &ExecutionPlan, platform: &Platform) -> ExecStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::Platform;
+    use crate::platform::Platform;
 
     fn kernel(name: &str, gpu: usize, time: f64) -> PlannedKernel {
         PlannedKernel {

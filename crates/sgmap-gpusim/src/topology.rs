@@ -1,12 +1,21 @@
-//! The PCI Express interconnect of a multi-GPU machine.
+//! The interconnect of a multi-GPU platform.
 //!
-//! The topology is a tree with the host at the root, PCIe switches as inner
-//! nodes and GPUs as leaves (Figure 3.3 of the paper). Every tree edge is a
-//! full-duplex link and is therefore modelled as two directed [`LinkId`]s.
-//! Peer-to-peer traffic from GPU *i* to GPU *j* climbs up-links to the lowest
-//! common ancestor and then descends down-links to the destination; the set
-//! of GPU pairs whose traffic crosses a given link — `dtlist(l)` in the ILP
-//! formulation — is derived from the routing function.
+//! The topology is a tree with the host at the root, switches as inner nodes
+//! and GPUs as leaves (Figure 3.3 of the paper is the reference instance).
+//! Every tree edge is a full-duplex link and is therefore modelled as two
+//! directed [`LinkId`]s, each carrying its own bandwidth, latency and
+//! [`LinkClass`] — so one tree can mix NVLink islands, PCIe switch fabrics
+//! and network links between nodes. Peer-to-peer traffic from GPU *i* to GPU
+//! *j* climbs up-links to the lowest common ancestor and then descends
+//! down-links to the destination; the set of GPU pairs whose traffic crosses
+//! a given link — `dtlist(l)` in the ILP formulation — is derived from the
+//! routing function.
+//!
+//! Routing and `dtlist` tables are precomputed once in
+//! [`TopologyBuilder::finish`], so [`Topology::route`] and
+//! [`Topology::dtlist`] are O(1) lookups returning slices. This matters
+//! because both sit inside the ILP's constraint generation, which queries
+//! them once per (link, partition-pair) combination.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -19,6 +28,62 @@ pub const DEFAULT_LINK_BANDWIDTH_GBS: f64 = 6.0;
 
 /// Default one-hop latency of a PCIe transfer, in microseconds.
 pub const DEFAULT_LINK_LATENCY_US: f64 = 8.0;
+
+/// The technology class of a link, determining its default bandwidth and
+/// latency. Individual links can still override both via
+/// [`TopologyBuilder::override_uplink_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// An NVLink-style point-to-point GPU interconnect: high bandwidth, very
+    /// low latency.
+    NvLink,
+    /// A PCI Express lane bundle (the paper's interconnect).
+    Pcie,
+    /// An inter-node network link (e.g. InfiniBand between cluster nodes):
+    /// low bandwidth, high latency.
+    Network,
+}
+
+impl LinkClass {
+    /// Default per-direction bandwidth of this link class, in GB/s.
+    pub fn default_bandwidth_gbs(self) -> f64 {
+        match self {
+            // First-generation NVLink sustains ~20 GB/s per direction.
+            LinkClass::NvLink => 20.0,
+            LinkClass::Pcie => DEFAULT_LINK_BANDWIDTH_GBS,
+            // FDR InfiniBand-class fabric: ~10 Gb/s effective per flow.
+            LinkClass::Network => 1.25,
+        }
+    }
+
+    /// Default per-hop latency of this link class, in microseconds.
+    pub fn default_latency_us(self) -> f64 {
+        match self {
+            LinkClass::NvLink => 1.0,
+            LinkClass::Pcie => DEFAULT_LINK_LATENCY_US,
+            LinkClass::Network => 25.0,
+        }
+    }
+
+    /// A short lowercase name (for reports and platform-spec files).
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkClass::NvLink => "nvlink",
+            LinkClass::Pcie => "pcie",
+            LinkClass::Network => "network",
+        }
+    }
+
+    /// The inverse of [`LinkClass::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "nvlink" => Some(LinkClass::NvLink),
+            "pcie" => Some(LinkClass::Pcie),
+            "network" => Some(LinkClass::Network),
+            _ => None,
+        }
+    }
+}
 
 /// One endpoint of a data transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -38,7 +103,7 @@ impl fmt::Display for Endpoint {
     }
 }
 
-/// Identifier of a directed PCIe link.
+/// Identifier of a directed link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LinkId(usize);
 
@@ -49,6 +114,26 @@ impl LinkId {
     }
 }
 
+/// Errors produced when constructing a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The tree has no GPU leaves.
+    NoGpus,
+    /// A preset was asked for an unsupported GPU count or shape.
+    UnsupportedShape(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoGpus => write!(f, "topology has no GPUs"),
+            TopologyError::UnsupportedShape(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum NodeKind {
     Host,
@@ -56,42 +141,58 @@ enum NodeKind {
     Gpu(usize),
 }
 
-/// A directed link of the PCIe tree.
+/// A directed link of the interconnect tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Link {
     from: usize,
     to: usize,
     /// `true` if the link points towards the root (an "up-link").
     up: bool,
+    class: LinkClass,
+    bandwidth_gbs: f64,
+    latency_us: f64,
 }
 
-/// A tree-shaped PCIe interconnect.
+/// A tree-shaped, possibly heterogeneous interconnect with per-link
+/// bandwidth, latency and class.
+///
+/// Construct one through a preset ([`Topology::switch_tree`],
+/// [`Topology::flat`], [`Topology::nvlink_islands`],
+/// [`Topology::two_node_cluster`]) or a custom [`TopologyBuilder`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PcieTopology {
+pub struct Topology {
     kinds: Vec<NodeKind>,
     parent: Vec<Option<usize>>,
     links: Vec<Link>,
     /// `gpu_nodes[g]` is the tree node of GPU `g`.
     gpu_nodes: Vec<usize>,
-    /// Effective per-direction bandwidth in GB/s.
-    pub bandwidth_gbs: f64,
-    /// Per-hop latency in microseconds.
-    pub latency_us: f64,
+    /// Precomputed routes for every ordered endpoint pair; indexed by
+    /// `endpoint_index(from) * (gpu_count + 1) + endpoint_index(to)`.
+    routes: Vec<Vec<LinkId>>,
+    /// Precomputed `dtlist(l)` for every directed link, pairs in ascending
+    /// `(i, j)` order.
+    dtlists: Vec<Vec<(usize, usize)>>,
 }
 
-impl PcieTopology {
+/// The PCIe-only name this type had before links grew classes; kept as an
+/// alias so existing call sites keep compiling.
+pub type PcieTopology = Topology;
+
+impl Topology {
     /// Builds the reference switch tree of Figure 3.3, truncated to
     /// `gpu_count` GPUs: host — SW1 — {SW2 — {GPU0, GPU1}, SW3 — {GPU2,
-    /// GPU3}}.
+    /// GPU3}}. All links are PCIe class.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `gpu_count` is zero or greater than four.
-    pub fn switch_tree(gpu_count: usize) -> Self {
-        assert!(
-            (1..=4).contains(&gpu_count),
-            "switch tree hosts 1 to 4 GPUs"
-        );
+    /// Returns [`TopologyError::UnsupportedShape`] if `gpu_count` is zero or
+    /// greater than four.
+    pub fn switch_tree(gpu_count: usize) -> Result<Self, TopologyError> {
+        if !(1..=4).contains(&gpu_count) {
+            return Err(TopologyError::UnsupportedShape(format!(
+                "the reference switch tree hosts 1 to 4 GPUs, got {gpu_count}"
+            )));
+        }
         let mut t = TopologyBuilder::new();
         let host = t.host();
         let sw1 = t.switch(host);
@@ -112,18 +213,93 @@ impl PcieTopology {
     }
 
     /// Builds a flat topology where every GPU hangs directly off a single
-    /// root switch (a symmetric interconnect, useful for ablations).
+    /// root switch (a symmetric interconnect, useful for ablations). All
+    /// links are PCIe class.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `gpu_count` is zero.
-    pub fn flat(gpu_count: usize) -> Self {
-        assert!(gpu_count > 0, "at least one GPU required");
+    /// Returns [`TopologyError::UnsupportedShape`] if `gpu_count` is zero.
+    pub fn flat(gpu_count: usize) -> Result<Self, TopologyError> {
+        if gpu_count == 0 {
+            return Err(TopologyError::UnsupportedShape(
+                "a flat topology needs at least one GPU".to_string(),
+            ));
+        }
         let mut t = TopologyBuilder::new();
         let host = t.host();
         let sw = t.switch(host);
         for _ in 0..gpu_count {
             t.gpu(sw);
+        }
+        t.finish()
+    }
+
+    /// Builds an NVLink-island box: `islands` switches behind one PCIe root
+    /// switch, each island holding `gpus_per_island` GPUs attached by NVLink.
+    /// Traffic inside an island crosses two NVLink hops; traffic between
+    /// islands additionally crosses the PCIe fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnsupportedShape`] if either count is zero.
+    pub fn nvlink_islands(islands: usize, gpus_per_island: usize) -> Result<Self, TopologyError> {
+        if islands == 0 || gpus_per_island == 0 {
+            return Err(TopologyError::UnsupportedShape(format!(
+                "an NVLink-island box needs at least one island and one GPU per island, \
+                 got {islands} x {gpus_per_island}"
+            )));
+        }
+        let mut t = TopologyBuilder::new();
+        let host = t.host();
+        let root = t.switch(host);
+        for _ in 0..islands {
+            let island = t.switch(root);
+            for _ in 0..gpus_per_island {
+                t.gpu_via(island, LinkClass::NvLink);
+            }
+        }
+        t.finish()
+    }
+
+    /// Builds a two-node cluster: the host and `gpus_per_node` GPUs behind a
+    /// PCIe switch on the head node, plus a second node whose switch hangs
+    /// off the first over a network-class link. Intra-node traffic stays on
+    /// PCIe; inter-node traffic crosses the (slow, high-latency) network
+    /// link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnsupportedShape`] if `gpus_per_node` is
+    /// zero.
+    pub fn two_node_cluster(gpus_per_node: usize) -> Result<Self, TopologyError> {
+        Topology::cluster(2, gpus_per_node)
+    }
+
+    /// Builds an `nodes`-node cluster: every node is a PCIe switch with
+    /// `gpus_per_node` GPU leaves; node 0 holds the host, and every other
+    /// node's switch attaches to node 0's switch over a network-class link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnsupportedShape`] if either count is zero.
+    pub fn cluster(nodes: usize, gpus_per_node: usize) -> Result<Self, TopologyError> {
+        if nodes == 0 || gpus_per_node == 0 {
+            return Err(TopologyError::UnsupportedShape(format!(
+                "a cluster needs at least one node and one GPU per node, \
+                 got {nodes} x {gpus_per_node}"
+            )));
+        }
+        let mut t = TopologyBuilder::new();
+        let host = t.host();
+        let head = t.switch(host);
+        for _ in 0..gpus_per_node {
+            t.gpu(head);
+        }
+        for _ in 1..nodes {
+            let remote = t.switch_via(head, LinkClass::Network);
+            for _ in 0..gpus_per_node {
+                t.gpu(remote);
+            }
         }
         t.finish()
     }
@@ -141,6 +317,39 @@ impl PcieTopology {
     /// Iterates over all directed link ids.
     pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
         (0..self.links.len()).map(LinkId)
+    }
+
+    /// The technology class of a link.
+    pub fn link_class(&self, link: LinkId) -> LinkClass {
+        self.links[link.0].class
+    }
+
+    /// Per-direction bandwidth of a link, in GB/s.
+    pub fn link_bandwidth_gbs(&self, link: LinkId) -> f64 {
+        self.links[link.0].bandwidth_gbs
+    }
+
+    /// Per-direction bandwidth of a link, in bytes per microsecond (the unit
+    /// the cost models divide by).
+    pub fn link_bytes_per_us(&self, link: LinkId) -> f64 {
+        self.links[link.0].bandwidth_gbs * 1000.0
+    }
+
+    /// Per-hop latency of a link, in microseconds.
+    pub fn link_latency_us(&self, link: LinkId) -> f64 {
+        self.links[link.0].latency_us
+    }
+
+    /// `true` if the link points towards the root.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link.0].up
+    }
+
+    /// The `(from, to)` tree nodes of a directed link (for tests and
+    /// diagnostics).
+    pub fn link_nodes(&self, link: LinkId) -> (usize, usize) {
+        let l = &self.links[link.0];
+        (l.from, l.to)
     }
 
     /// A human-readable description of a link (for reports).
@@ -168,6 +377,18 @@ impl PcieTopology {
         }
     }
 
+    /// Index of an endpoint in the precomputed route table: host is 0, GPU
+    /// `g` is `g + 1`.
+    fn endpoint_index(&self, e: Endpoint) -> usize {
+        match e {
+            Endpoint::Host => 0,
+            Endpoint::Gpu(g) => {
+                assert!(g < self.gpu_count(), "GPU index {g} out of range");
+                g + 1
+            }
+        }
+    }
+
     fn path_to_root(&self, mut node: usize) -> Vec<usize> {
         let mut path = vec![node];
         while let Some(p) = self.parent[node] {
@@ -180,12 +401,23 @@ impl PcieTopology {
     /// Returns the directed links traversed by a transfer from `from` to
     /// `to`, in traversal order (up-links to the lowest common ancestor, then
     /// down-links). Returns an empty route if source and destination
-    /// coincide.
+    /// coincide. This is an O(1) lookup into a table precomputed at build
+    /// time.
     ///
     /// # Panics
     ///
     /// Panics if a GPU index is out of range.
-    pub fn route(&self, from: Endpoint, to: Endpoint) -> Vec<LinkId> {
+    pub fn route(&self, from: Endpoint, to: Endpoint) -> &[LinkId] {
+        let stride = self.gpu_count() + 1;
+        &self.routes[self.endpoint_index(from) * stride + self.endpoint_index(to)]
+    }
+
+    /// Computes a route by walking the tree, without consulting the
+    /// precomputed table. This is the pre-memoization algorithm (linear
+    /// `find_link` scans included), kept as the oracle for property tests and
+    /// the baseline for the constraint-generation micro-benchmark.
+    #[doc(hidden)]
+    pub fn route_scan(&self, from: Endpoint, to: Endpoint) -> Vec<LinkId> {
         let src = self.endpoint_node(from);
         let dst = self.endpoint_node(to);
         if src == dst {
@@ -225,8 +457,18 @@ impl PcieTopology {
     }
 
     /// The `dtlist(l)` of the ILP formulation: all ordered GPU pairs `(i, j)`
-    /// whose peer-to-peer traffic crosses the given directed link.
-    pub fn dtlist(&self, link: LinkId) -> Vec<(usize, usize)> {
+    /// whose peer-to-peer traffic crosses the given directed link, in
+    /// ascending `(i, j)` order. This is an O(1) lookup into a table
+    /// precomputed at build time.
+    pub fn dtlist(&self, link: LinkId) -> &[(usize, usize)] {
+        &self.dtlists[link.0]
+    }
+
+    /// Computes `dtlist(l)` from scratch by routing every ordered GPU pair —
+    /// the pre-memoization algorithm, kept for property tests and the
+    /// micro-benchmark baseline.
+    #[doc(hidden)]
+    pub fn dtlist_scan(&self, link: LinkId) -> Vec<(usize, usize)> {
         let g = self.gpu_count();
         let mut pairs = Vec::new();
         for i in 0..g {
@@ -235,7 +477,7 @@ impl PcieTopology {
                     continue;
                 }
                 if self
-                    .route(Endpoint::Gpu(i), Endpoint::Gpu(j))
+                    .route_scan(Endpoint::Gpu(i), Endpoint::Gpu(j))
                     .contains(&link)
                 {
                     pairs.push((i, j));
@@ -245,82 +487,196 @@ impl PcieTopology {
         pairs
     }
 
-    /// Transfer time for `bytes` over a single link direction, in
-    /// microseconds: `latency + bytes / bandwidth`.
-    pub fn link_transfer_us(&self, bytes: f64) -> f64 {
-        self.latency_us + bytes / (self.bandwidth_gbs * 1000.0)
+    /// Transfer time for `bytes` over one directed link, in microseconds:
+    /// `latency + bytes / bandwidth` with that link's own parameters.
+    pub fn link_transfer_us(&self, link: LinkId, bytes: f64) -> f64 {
+        let l = &self.links[link.0];
+        l.latency_us + bytes / (l.bandwidth_gbs * 1000.0)
     }
 
     /// Total time for `bytes` along a full route (store-and-forward over each
     /// hop), in microseconds.
     pub fn route_transfer_us(&self, from: Endpoint, to: Endpoint, bytes: f64) -> f64 {
-        let hops = self.route(from, to).len();
-        hops as f64 * self.link_transfer_us(bytes)
+        self.route(from, to)
+            .iter()
+            .map(|&l| self.link_transfer_us(l, bytes))
+            .sum()
     }
 }
 
-struct TopologyBuilder {
+/// Per-edge link parameters used while building a topology.
+#[derive(Debug, Clone, Copy)]
+struct EdgeProps {
+    class: LinkClass,
+    bandwidth_gbs: f64,
+    latency_us: f64,
+}
+
+impl EdgeProps {
+    fn of_class(class: LinkClass) -> Self {
+        EdgeProps {
+            class,
+            bandwidth_gbs: class.default_bandwidth_gbs(),
+            latency_us: class.default_latency_us(),
+        }
+    }
+}
+
+/// Incremental construction of a [`Topology`]: add the host first, then
+/// switches and GPUs each attached to an existing parent node, then call
+/// [`TopologyBuilder::finish`] to validate the tree and precompute the
+/// routing tables.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
     kinds: Vec<NodeKind>,
     parent: Vec<Option<usize>>,
     gpu_nodes: Vec<usize>,
+    /// `edges[n]` describes the link between node `n` and its parent.
+    edges: Vec<Option<EdgeProps>>,
 }
 
 impl TopologyBuilder {
-    fn new() -> Self {
-        TopologyBuilder {
-            kinds: Vec::new(),
-            parent: Vec::new(),
-            gpu_nodes: Vec::new(),
-        }
+    /// An empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder::default()
     }
 
-    fn host(&mut self) -> usize {
+    /// Adds the host as the tree root and returns its node id (always 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node was added before the host.
+    pub fn host(&mut self) -> usize {
         assert!(self.kinds.is_empty(), "host must be the first node");
         self.kinds.push(NodeKind::Host);
         self.parent.push(None);
+        self.edges.push(None);
         0
     }
 
-    fn switch(&mut self, parent: usize) -> usize {
-        let id = self.kinds.len();
-        self.kinds.push(NodeKind::Switch);
-        self.parent.push(Some(parent));
-        id
+    /// Adds a switch under `parent`, connected by a PCIe-class link.
+    pub fn switch(&mut self, parent: usize) -> usize {
+        self.switch_via(parent, LinkClass::Pcie)
     }
 
-    fn gpu(&mut self, parent: usize) -> usize {
-        let id = self.kinds.len();
+    /// Adds a switch under `parent`, connected by a link of the given class
+    /// (with the class's default bandwidth and latency).
+    pub fn switch_via(&mut self, parent: usize, class: LinkClass) -> usize {
+        self.add_node(NodeKind::Switch, parent, class)
+    }
+
+    /// Adds a GPU leaf under `parent`, connected by a PCIe-class link.
+    pub fn gpu(&mut self, parent: usize) -> usize {
+        self.gpu_via(parent, LinkClass::Pcie)
+    }
+
+    /// Adds a GPU leaf under `parent`, connected by a link of the given class
+    /// (with the class's default bandwidth and latency).
+    pub fn gpu_via(&mut self, parent: usize, class: LinkClass) -> usize {
         let gpu_index = self.gpu_nodes.len();
-        self.kinds.push(NodeKind::Gpu(gpu_index));
-        self.parent.push(Some(parent));
+        let id = self.add_node(NodeKind::Gpu(gpu_index), parent, class);
         self.gpu_nodes.push(id);
         id
     }
 
-    fn finish(self) -> PcieTopology {
+    /// Overrides the bandwidth and latency of the edge connecting `node` to
+    /// its parent (both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the host (it has no parent edge).
+    pub fn override_uplink_edge(&mut self, node: usize, bandwidth_gbs: f64, latency_us: f64) {
+        let props = self.edges[node]
+            .as_mut()
+            .expect("the host has no parent edge");
+        props.bandwidth_gbs = bandwidth_gbs;
+        props.latency_us = latency_us;
+    }
+
+    fn add_node(&mut self, kind: NodeKind, parent: usize, class: LinkClass) -> usize {
+        assert!(parent < self.kinds.len(), "parent node does not exist");
+        assert!(
+            !matches!(self.kinds[parent], NodeKind::Gpu(_)),
+            "GPUs are leaves"
+        );
+        let id = self.kinds.len();
+        self.kinds.push(kind);
+        self.parent.push(Some(parent));
+        self.edges.push(Some(EdgeProps::of_class(class)));
+        id
+    }
+
+    /// Validates the tree and precomputes the routing and `dtlist` tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoGpus`] if the tree has no GPU leaves.
+    pub fn finish(self) -> Result<Topology, TopologyError> {
+        if self.gpu_nodes.is_empty() {
+            return Err(TopologyError::NoGpus);
+        }
         let mut links = Vec::new();
         for (node, parent) in self.parent.iter().enumerate() {
             if let Some(p) = parent {
+                let props = self.edges[node].expect("non-root node has an edge");
                 links.push(Link {
                     from: node,
                     to: *p,
                     up: true,
+                    class: props.class,
+                    bandwidth_gbs: props.bandwidth_gbs,
+                    latency_us: props.latency_us,
                 });
                 links.push(Link {
                     from: *p,
                     to: node,
                     up: false,
+                    class: props.class,
+                    bandwidth_gbs: props.bandwidth_gbs,
+                    latency_us: props.latency_us,
                 });
             }
         }
-        PcieTopology {
+        let mut topo = Topology {
             kinds: self.kinds,
             parent: self.parent,
             links,
             gpu_nodes: self.gpu_nodes,
-            bandwidth_gbs: DEFAULT_LINK_BANDWIDTH_GBS,
-            latency_us: DEFAULT_LINK_LATENCY_US,
+            routes: Vec::new(),
+            dtlists: Vec::new(),
+        };
+        // Precompute the route table for every ordered endpoint pair (host is
+        // endpoint index 0, GPU g is g + 1) ...
+        let g = topo.gpu_count();
+        let endpoint = |idx: usize| -> Endpoint {
+            if idx == 0 {
+                Endpoint::Host
+            } else {
+                Endpoint::Gpu(idx - 1)
+            }
+        };
+        let mut routes = Vec::with_capacity((g + 1) * (g + 1));
+        for from in 0..=g {
+            for to in 0..=g {
+                routes.push(topo.route_scan(endpoint(from), endpoint(to)));
+            }
         }
+        // ... and invert the GPU-to-GPU routes into per-link dtlists. Pairs
+        // land in ascending (i, j) order because the loops ascend.
+        let mut dtlists = vec![Vec::new(); topo.links.len()];
+        for i in 0..g {
+            for j in 0..g {
+                if i == j {
+                    continue;
+                }
+                for link in &routes[(i + 1) * (g + 1) + (j + 1)] {
+                    dtlists[link.index()].push((i, j));
+                }
+            }
+        }
+        topo.routes = routes;
+        topo.dtlists = dtlists;
+        Ok(topo)
     }
 }
 
@@ -330,7 +686,7 @@ mod tests {
 
     #[test]
     fn four_gpu_tree_matches_figure_3_3() {
-        let t = PcieTopology::switch_tree(4);
+        let t = Topology::switch_tree(4).unwrap();
         assert_eq!(t.gpu_count(), 4);
         // Nodes: host, sw1, sw2, gpu0, gpu1, sw3, gpu2, gpu3 -> 7 edges, 14
         // directed links.
@@ -341,26 +697,28 @@ mod tests {
         // Host -> GPU0 goes host->sw1->sw2->gpu0: 3 links.
         assert_eq!(t.route(Endpoint::Host, Endpoint::Gpu(0)).len(), 3);
         assert!(t.route(Endpoint::Gpu(2), Endpoint::Gpu(2)).is_empty());
+        // All reference links are PCIe class with the default parameters.
+        for l in t.link_ids() {
+            assert_eq!(t.link_class(l), LinkClass::Pcie);
+            assert_eq!(t.link_bandwidth_gbs(l), DEFAULT_LINK_BANDWIDTH_GBS);
+            assert_eq!(t.link_latency_us(l), DEFAULT_LINK_LATENCY_US);
+        }
     }
 
     #[test]
     fn dtlist_matches_the_paper_example() {
         // "the link SW2 -> SW1 will be used only by the communication between
         //  these GPUs: (1,3), (1,4), (2,3), (2,4)" — with 1-based GPU ids.
-        let t = PcieTopology::switch_tree(4);
+        let t = Topology::switch_tree(4).unwrap();
         // Find the up-link whose dtlist is {(0,2),(0,3),(1,2),(1,3)} 0-based.
         let expected = vec![(0, 2), (0, 3), (1, 2), (1, 3)];
-        let found = t.link_ids().any(|l| {
-            let mut d = t.dtlist(l);
-            d.sort_unstable();
-            d == expected
-        });
+        let found = t.link_ids().any(|l| t.dtlist(l) == expected);
         assert!(found, "no link carries exactly the SW2->SW1 traffic");
     }
 
     #[test]
     fn dtlist_is_empty_for_leaf_links_of_other_gpus() {
-        let t = PcieTopology::switch_tree(2);
+        let t = Topology::switch_tree(2).unwrap();
         // Total pair-link incidences: each of the 2 ordered pairs uses 2
         // links.
         let total: usize = t.link_ids().map(|l| t.dtlist(l).len()).sum();
@@ -368,10 +726,42 @@ mod tests {
     }
 
     #[test]
+    fn memoized_tables_match_the_scan_algorithms() {
+        for t in [
+            Topology::switch_tree(4).unwrap(),
+            Topology::flat(3).unwrap(),
+            Topology::nvlink_islands(2, 4).unwrap(),
+            Topology::two_node_cluster(4).unwrap(),
+        ] {
+            let g = t.gpu_count();
+            for i in 0..g {
+                for j in 0..g {
+                    assert_eq!(
+                        t.route(Endpoint::Gpu(i), Endpoint::Gpu(j)),
+                        t.route_scan(Endpoint::Gpu(i), Endpoint::Gpu(j)).as_slice()
+                    );
+                }
+                assert_eq!(
+                    t.route(Endpoint::Host, Endpoint::Gpu(i)),
+                    t.route_scan(Endpoint::Host, Endpoint::Gpu(i)).as_slice()
+                );
+                assert_eq!(
+                    t.route(Endpoint::Gpu(i), Endpoint::Host),
+                    t.route_scan(Endpoint::Gpu(i), Endpoint::Host).as_slice()
+                );
+            }
+            for l in t.link_ids() {
+                assert_eq!(t.dtlist(l), t.dtlist_scan(l).as_slice());
+            }
+        }
+    }
+
+    #[test]
     fn transfer_times_scale_with_bytes_and_hops() {
-        let t = PcieTopology::switch_tree(4);
-        let one_hop = t.link_transfer_us(6_000_000.0);
-        assert!((one_hop - (t.latency_us + 1000.0)).abs() < 1e-9);
+        let t = Topology::switch_tree(4).unwrap();
+        let link = t.link_ids().next().unwrap();
+        let one_hop = t.link_transfer_us(link, 6_000_000.0);
+        assert!((one_hop - (DEFAULT_LINK_LATENCY_US + 1000.0)).abs() < 1e-9);
         let p2p_far = t.route_transfer_us(Endpoint::Gpu(0), Endpoint::Gpu(3), 6_000_000.0);
         let p2p_near = t.route_transfer_us(Endpoint::Gpu(0), Endpoint::Gpu(1), 6_000_000.0);
         assert!(p2p_far > p2p_near);
@@ -380,7 +770,7 @@ mod tests {
 
     #[test]
     fn flat_topology_is_symmetric() {
-        let t = PcieTopology::flat(3);
+        let t = Topology::flat(3).unwrap();
         assert_eq!(t.gpu_count(), 3);
         let a = t.route(Endpoint::Gpu(0), Endpoint::Gpu(1)).len();
         let b = t.route(Endpoint::Gpu(0), Endpoint::Gpu(2)).len();
@@ -388,8 +778,89 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1 to 4 GPUs")]
-    fn oversized_switch_tree_panics() {
-        let _ = PcieTopology::switch_tree(9);
+    fn oversized_switch_tree_is_an_error_not_a_panic() {
+        let err = Topology::switch_tree(9).unwrap_err();
+        assert!(err.to_string().contains("1 to 4 GPUs"), "{err}");
+        assert!(Topology::switch_tree(0).is_err());
+        assert!(Topology::flat(0).is_err());
+        assert!(Topology::nvlink_islands(0, 2).is_err());
+        assert!(Topology::cluster(2, 0).is_err());
+    }
+
+    #[test]
+    fn nvlink_islands_mix_link_classes() {
+        let t = Topology::nvlink_islands(2, 4).unwrap();
+        assert_eq!(t.gpu_count(), 8);
+        // Intra-island: two NVLink hops.
+        let near = t.route(Endpoint::Gpu(0), Endpoint::Gpu(1));
+        assert_eq!(near.len(), 2);
+        assert!(near.iter().all(|&l| t.link_class(l) == LinkClass::NvLink));
+        // Cross-island: NVLink up, PCIe across, NVLink down.
+        let far: Vec<LinkClass> = t
+            .route(Endpoint::Gpu(0), Endpoint::Gpu(4))
+            .iter()
+            .map(|&l| t.link_class(l))
+            .collect();
+        assert_eq!(
+            far,
+            vec![
+                LinkClass::NvLink,
+                LinkClass::Pcie,
+                LinkClass::Pcie,
+                LinkClass::NvLink
+            ]
+        );
+        // NVLink hops are faster than PCIe hops for the same payload.
+        let nv = t.link_transfer_us(near[0], 1_000_000.0);
+        let pcie_link = t
+            .link_ids()
+            .find(|&l| t.link_class(l) == LinkClass::Pcie)
+            .unwrap();
+        let pcie = t.link_transfer_us(pcie_link, 1_000_000.0);
+        assert!(nv < pcie);
+    }
+
+    #[test]
+    fn cluster_crosses_a_network_link_between_nodes() {
+        let t = Topology::two_node_cluster(4).unwrap();
+        assert_eq!(t.gpu_count(), 8);
+        // Intra-node traffic never touches the network.
+        let near = t.route(Endpoint::Gpu(0), Endpoint::Gpu(3));
+        assert!(near.iter().all(|&l| t.link_class(l) == LinkClass::Pcie));
+        // Inter-node traffic crosses exactly one network hop.
+        let far = t.route(Endpoint::Gpu(0), Endpoint::Gpu(4));
+        let network_hops = far
+            .iter()
+            .filter(|&&l| t.link_class(l) == LinkClass::Network)
+            .count();
+        assert_eq!(network_hops, 1);
+        // The network hop dominates the transfer time.
+        let inter = t.route_transfer_us(Endpoint::Gpu(0), Endpoint::Gpu(4), 1_000_000.0);
+        let intra = t.route_transfer_us(Endpoint::Gpu(0), Endpoint::Gpu(3), 1_000_000.0);
+        assert!(inter > 3.0 * intra);
+    }
+
+    #[test]
+    fn edge_overrides_apply_to_both_directions() {
+        let mut b = TopologyBuilder::new();
+        let host = b.host();
+        let sw = b.switch(host);
+        let g0 = b.gpu(sw);
+        b.gpu(sw);
+        b.override_uplink_edge(g0, 12.0, 2.0);
+        let t = b.finish().unwrap();
+        let touched: Vec<LinkId> = t
+            .link_ids()
+            .filter(|&l| t.link_bandwidth_gbs(l) == 12.0)
+            .collect();
+        assert_eq!(touched.len(), 2);
+        assert!(touched.iter().all(|&l| t.link_latency_us(l) == 2.0));
+    }
+
+    #[test]
+    fn empty_tree_is_an_error() {
+        let mut b = TopologyBuilder::new();
+        b.host();
+        assert_eq!(b.finish().unwrap_err(), TopologyError::NoGpus);
     }
 }

@@ -1,0 +1,113 @@
+//! Property tests over random topology trees: every precomputed route is a
+//! contiguous up-then-down walk through the lowest common ancestor, the
+//! memoized tables agree with the from-scratch scans, and the per-link
+//! `dtlist` inversion conserves the total number of route hops.
+
+use proptest::prelude::*;
+
+use sgmap_gpusim::{Endpoint, LinkClass, Topology, TopologyBuilder};
+
+/// Random well-formed trees: a host root, then a mix of switches and GPU
+/// leaves each attached to a random existing non-leaf node over a random
+/// link class (so NVLink islands, PCIe fabrics and network uplinks mix
+/// freely in one tree).
+fn topology_strategy() -> BoxedStrategy<Topology> {
+    prop::collection::vec((0u32..1024, 0u32..3, 0u32..3), 1..24)
+        .prop_map(|nodes| {
+            let mut b = TopologyBuilder::new();
+            let host = b.host();
+            let mut attach_points = vec![host];
+            let mut gpus = 0usize;
+            for (pick, kind, class) in nodes {
+                let parent = attach_points[pick as usize % attach_points.len()];
+                let class = match class {
+                    0 => LinkClass::Pcie,
+                    1 => LinkClass::NvLink,
+                    _ => LinkClass::Network,
+                };
+                if kind == 0 {
+                    let sw = b.switch_via(parent, class);
+                    attach_points.push(sw);
+                } else {
+                    b.gpu_via(parent, class);
+                    gpus += 1;
+                }
+            }
+            if gpus == 0 {
+                b.gpu(host);
+            }
+            b.finish().expect("a tree with a GPU builds")
+        })
+        .boxed()
+}
+
+fn endpoints(topo: &Topology) -> Vec<Endpoint> {
+    std::iter::once(Endpoint::Host)
+        .chain((0..topo.gpu_count()).map(Endpoint::Gpu))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn routes_go_up_then_down_through_the_lca(topo in topology_strategy()) {
+        for &from in &endpoints(&topo) {
+            for &to in &endpoints(&topo) {
+                let route = topo.route(from, to);
+                if from == to {
+                    prop_assert!(route.is_empty());
+                    continue;
+                }
+                prop_assert!(!route.is_empty(), "{from:?}->{to:?}");
+                // Contiguous walk: each hop starts where the previous ended.
+                for pair in route.windows(2) {
+                    prop_assert_eq!(
+                        topo.link_nodes(pair[0]).1,
+                        topo.link_nodes(pair[1]).0,
+                        "route {from:?}->{to:?} is not contiguous"
+                    );
+                }
+                // Up-links first, down-links after — never up again once the
+                // walk has turned at the LCA.
+                let ups: Vec<bool> = route.iter().map(|&l| topo.link_is_up(l)).collect();
+                let turn = ups.iter().filter(|&&u| u).count();
+                prop_assert!(
+                    ups[..turn].iter().all(|&u| u) && ups[turn..].iter().all(|&u| !u),
+                    "route {from:?}->{to:?} interleaves up and down hops: {ups:?}"
+                );
+                // The memoized table agrees with the from-scratch walk, and
+                // the reverse route mirrors it hop for hop.
+                prop_assert_eq!(route, &topo.route_scan(from, to)[..]);
+                prop_assert_eq!(route.len(), topo.route(to, from).len());
+            }
+        }
+    }
+
+    #[test]
+    fn dtlists_invert_the_route_table_exactly(topo in topology_strategy()) {
+        let g = topo.gpu_count();
+        let mut route_hops = 0usize;
+        for i in 0..g {
+            for j in 0..g {
+                if i != j {
+                    route_hops += topo.route(Endpoint::Gpu(i), Endpoint::Gpu(j)).len();
+                }
+            }
+        }
+        let mut dtlist_pairs = 0usize;
+        for l in topo.link_ids() {
+            let dtlist = topo.dtlist(l);
+            dtlist_pairs += dtlist.len();
+            // Memoized table matches the from-scratch scan, in ascending
+            // (i, j) order with no duplicates.
+            prop_assert_eq!(dtlist, &topo.dtlist_scan(l)[..]);
+            for pair in dtlist.windows(2) {
+                prop_assert!(pair[0] < pair[1], "dtlist out of order: {pair:?}");
+            }
+        }
+        // Every hop of every GPU-to-GPU route is charged to exactly one
+        // (link, pair) entry.
+        prop_assert_eq!(dtlist_pairs, route_hops);
+    }
+}

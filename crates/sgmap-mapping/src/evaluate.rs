@@ -40,15 +40,18 @@ impl MappingCost {
 /// a GPU outside the platform.
 pub fn evaluate_assignment(pdg: &Pdg, platform: &Platform, assignment: &[usize]) -> MappingCost {
     assert_eq!(assignment.len(), pdg.len(), "assignment length mismatch");
-    let g = platform.gpu_count;
+    let g = platform.gpu_count();
     for &a in assignment {
         assert!(a < g, "assignment references GPU {a} of {g}");
     }
     let topo = &platform.topology;
 
+    // Workloads are estimated on the primary device; heterogeneous siblings
+    // stretch or shrink them by the per-device time factor (exactly 1.0 on
+    // homogeneous platforms).
     let mut per_gpu_time_us = vec![0.0f64; g];
     for (i, &gpu) in assignment.iter().enumerate() {
-        per_gpu_time_us[gpu] += pdg.times_us[i];
+        per_gpu_time_us[gpu] += pdg.times_us[i] * platform.time_factor(gpu);
     }
 
     let mut per_link_bytes = vec![0u64; topo.link_count()];
@@ -78,12 +81,12 @@ pub fn evaluate_assignment(pdg: &Pdg, platform: &Platform, assignment: &[usize])
 
     // Per-transfer latency is hidden by the N-fragment pipelining (each link
     // pays it once per fragment, amortised over many iterations), so the
-    // static objective uses the pure bandwidth term; the discrete-event
-    // executor still charges the latency explicitly.
-    let bw_bytes_per_us = topo.bandwidth_gbs * 1000.0;
-    let per_link_time_us: Vec<f64> = per_link_bytes
-        .iter()
-        .map(|&b| b as f64 / bw_bytes_per_us)
+    // static objective uses the pure bandwidth term — at each link's own
+    // bandwidth; the discrete-event executor still charges the latency
+    // explicitly.
+    let per_link_time_us: Vec<f64> = topo
+        .link_ids()
+        .map(|l| per_link_bytes[l.index()] as f64 / topo.link_bytes_per_us(l))
         .collect();
 
     let tmax_us = per_gpu_time_us

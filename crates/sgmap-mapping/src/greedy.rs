@@ -13,11 +13,11 @@ use crate::{Mapping, MappingMethod};
 /// The result is used both as a stand-alone mapper and as the warm start /
 /// fallback incumbent of the ILP mapper.
 pub fn map_greedy(pdg: &Pdg, platform: &Platform) -> Mapping {
-    let g = platform.gpu_count;
+    let g = platform.gpu_count();
     let p = pdg.len();
 
     // LPT: place partitions in decreasing workload order onto the least
-    // loaded GPU.
+    // loaded GPU, charging each GPU its device-scaled execution time.
     let mut order: Vec<usize> = (0..p).collect();
     order.sort_by(|&a, &b| pdg.times_us[b].total_cmp(&pdg.times_us[a]));
     let mut assignment = vec![0usize; p];
@@ -27,7 +27,7 @@ pub fn map_greedy(pdg: &Pdg, platform: &Platform) -> Mapping {
             .min_by(|&a, &b| load[a].total_cmp(&load[b]))
             .unwrap_or(0);
         assignment[i] = target;
-        load[target] += pdg.times_us[i];
+        load[target] += pdg.times_us[i] * platform.time_factor(target);
     }
 
     // Local search: move a single partition to another GPU while it improves
@@ -80,7 +80,7 @@ pub fn map_greedy(pdg: &Pdg, platform: &Platform) -> Mapping {
 /// are dealt to GPUs in round-robin order of their topological position,
 /// without looking at workloads or at the interconnect.
 pub fn map_round_robin(pdg: &Pdg, platform: &Platform) -> Mapping {
-    let g = platform.gpu_count;
+    let g = platform.gpu_count();
     let order = pdg.topological_order();
     let mut assignment = vec![0usize; pdg.len()];
     for (pos, &i) in order.iter().enumerate() {

@@ -73,7 +73,7 @@ pub fn map_ilp(
     platform: &Platform,
     options: &MappingOptions,
 ) -> Result<Mapping, IlpError> {
-    let g = platform.gpu_count;
+    let g = platform.gpu_count();
     let p = pdg.len();
     if p == 0 {
         return Ok(Mapping {
@@ -96,7 +96,6 @@ pub fn map_ilp(
     }
 
     let topo = &platform.topology;
-    let bw_bytes_per_us = topo.bandwidth_gbs * 1000.0;
 
     let mut model = Model::new(ObjectiveSense::Minimize);
     let tmax = model.add_continuous("tmax", 1.0);
@@ -114,12 +113,14 @@ pub fn map_ilp(
     for ni in &n {
         model.add_constraint_eq(ni.iter().map(|&v| (v, 1.0)).collect(), 1.0);
     }
-    // GPU time constraints (III.1, III.4).
+    // GPU time constraints (III.1, III.4), with each device charging its
+    // own (throughput-scaled) execution time.
     for j in 0..g {
+        let factor = platform.time_factor(j);
         let mut terms: Vec<(VarId, f64)> = n
             .iter()
             .zip(&pdg.times_us)
-            .map(|(ni, &t)| (ni[j], t))
+            .map(|(ni, &t)| (ni[j], t * factor))
             .collect();
         terms.push((tmax, -1.0));
         model.add_constraint_le(terms, 0.0);
@@ -130,9 +131,16 @@ pub fn map_ilp(
     // handles variable bounds natively, so they cost no rows.
     let total_work: f64 = pdg.times_us.iter().sum();
     let max_partition = pdg.times_us.iter().cloned().fold(0.0f64, f64::max);
+    // With heterogeneous devices the aggregate capacity is the sum of the
+    // inverse time factors (exactly `g` on homogeneous platforms), and the
+    // largest partition at best runs on the fastest device.
+    let capacity: f64 = (0..g).map(|j| 1.0 / platform.time_factor(j)).sum();
+    let fastest = (0..g)
+        .map(|j| platform.time_factor(j))
+        .fold(f64::INFINITY, f64::min);
     model.set_bounds(
         tmax,
-        (total_work / g as f64).max(max_partition),
+        (total_work / capacity).max(max_partition * fastest),
         f64::INFINITY,
     );
 
@@ -194,9 +202,12 @@ pub fn map_ilp(
             // d_l >= load  <=>  load - d_l <= 0.
             load_terms.push((d_l, -1.0));
             model.add_constraint_le(load_terms, 0.0);
-            // d_l / BW <= Tmax  (III.2, III.3, with the latency amortised
-            // away by pipelining).
-            model.add_constraint_le(vec![(d_l, 1.0 / bw_bytes_per_us), (tmax, -1.0)], 0.0);
+            // d_l / BW_l <= Tmax  (III.2, III.3, with the latency amortised
+            // away by pipelining and BW_l the link's own bandwidth).
+            model.add_constraint_le(
+                vec![(d_l, 1.0 / topo.link_bytes_per_us(link)), (tmax, -1.0)],
+                0.0,
+            );
             link_vars.push(LinkVars {
                 link,
                 d: d_l,
@@ -217,7 +228,7 @@ pub fn map_ilp(
         for lv in &link_vars {
             let bytes = cost.per_link_bytes[lv.link.index()];
             values[lv.d.index()] = bytes as f64;
-            t = t.max(bytes as f64 / bw_bytes_per_us);
+            t = t.max(bytes as f64 / topo.link_bytes_per_us(lv.link));
             for &(e_idx, x) in &lv.x {
                 let e = &pdg.edges[e_idx];
                 let (src, dst) = (greedy.assignment[e.from], greedy.assignment[e.to]);

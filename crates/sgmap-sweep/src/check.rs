@@ -277,6 +277,10 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
     let mut total_warm_starts = 0u64;
     for (i, compile) in compiles.iter().enumerate() {
         let at = format!("compile {i}");
+        match compile.get("platform").and_then(Value::as_str) {
+            Some(platform) if !platform.is_empty() => {}
+            _ => return Err(CheckError::Shape(format!("{at}: missing platform label"))),
+        }
         for field in ["build_ms", "estimator_ms", "partition_ms", "finish_ms"] {
             let v = bench_f64(compile, field, &at)?;
             if v < 0.0 {
@@ -334,8 +338,9 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
 mod tests {
     use super::*;
     use crate::report::{DedupStats, SweepRecord, SweepReport};
-    use crate::spec::{GpuModel, StackConfig, SweepPoint};
+    use crate::spec::{StackConfig, SweepPoint};
     use sgmap_apps::App;
+    use sgmap_gpusim::{GpuSpec, PlatformSpec};
     use sgmap_pee::CacheStats;
     use std::time::Duration;
 
@@ -363,8 +368,7 @@ mod tests {
             index,
             app: App::Des,
             n: 4,
-            gpu_model: GpuModel::M2090,
-            gpu_count: index + 1,
+            platform: PlatformSpec::reference(GpuSpec::m2090(), index + 1).named("M2090"),
             stack: StackConfig::ours(),
             enhanced: false,
         }
@@ -456,7 +460,8 @@ mod tests {
         format!(
             concat!(
                 "{{\"version\":1,\"preset\":\"quick\",\"compiles\":[",
-                "{{\"app\":\"DES\",\"n\":8,\"filters\":34,\"partitions\":8,",
+                "{{\"app\":\"DES\",\"n\":8,\"platform\":\"Tesla M2090x2\",",
+                "\"filters\":34,\"partitions\":8,",
                 "\"ilp_nodes\":57,\"lp_iterations\":412,\"lp_warm_starts\":56,",
                 "\"build_ms\":0.1,\"estimator_ms\":0.2,\"partition_ms\":1.5,",
                 "\"finish_ms\":30.0,\"execute_ms\":0.1,\"total_ms\":31.8,",
@@ -522,6 +527,7 @@ mod tests {
             bench_json(624, None).replace("\"lp_iterations\":412", "\"lp_iterations\":0"),
             bench_json(624, None).replace("\"lp_warm_starts\":56", "\"lp_warm_starts\":0"),
             bench_json(624, None).replace("\"ilp_nodes\":57,", ""),
+            bench_json(624, None).replace("\"platform\":\"Tesla M2090x2\",", ""),
         ] {
             let err = check_bench_report(&broken).unwrap_err();
             assert!(matches!(err, CheckError::Shape(_)), "{err}");

@@ -5,14 +5,15 @@
 //! a first-class object:
 //!
 //! * [`SweepSpec`] — a declarative description of the grid: per-application
-//!   `N` axes, GPU models and counts, correlated partitioner/mapper/transfer
-//!   "stacks" and per-axis [`PointFilter`]s,
+//!   `N` axes, named platforms (reference boxes, NVLink islands, clusters,
+//!   mixed-model boxes — or the legacy GPU-model × count product), correlated
+//!   partitioner/mapper/transfer "stacks" and per-axis [`PointFilter`]s,
 //! * [`SweepSpec::expand`] — deterministic expansion into an indexed work
 //!   list of [`SweepPoint`]s,
 //! * [`run_sweep`] — execution on a scoped worker pool. Points are grouped
-//!   by compile key (app, N, GPU model, stack, enhancement); each group
-//!   builds its graph and runs the partition search exactly once and fans
-//!   the result out to every GPU count, while all groups share one
+//!   by compile key (app, N, estimation device, stack, enhancement); each
+//!   group builds its graph and runs the partition search exactly once and
+//!   fans the result out to every platform, while all groups share one
 //!   thread-safe [`EstimateCache`](sgmap_pee::EstimateCache) and the
 //!   partition search inside each compile runs on the same worker-thread
 //!   budget,
@@ -54,6 +55,7 @@
 mod cache_io;
 mod check;
 mod json;
+mod platform_json;
 mod report;
 mod runner;
 mod spec;
@@ -64,6 +66,10 @@ pub use cache_io::{
 };
 pub use check::{check_bench_report, check_report, BenchCheckSummary, CheckError, CheckSummary};
 pub use json::Value as JsonValue;
+pub use platform_json::{
+    platform_spec_from_json, platform_spec_from_value, platform_spec_to_json,
+    platform_spec_to_value,
+};
 pub use report::{Bottleneck, DedupStats, SweepRecord, SweepReport};
 pub use runner::{default_threads, run_sweep, run_sweep_with_cache};
 pub use spec::{

@@ -1,0 +1,201 @@
+//! JSON codec for [`PlatformSpec`] — the persistence path for platform
+//! descriptions (spec files, report tooling, the property tests' round-trip
+//! oracle).
+//!
+//! The rendering is deterministic (insertion-ordered objects, shortest
+//! round-trip float representation), so encoding the same spec twice yields
+//! byte-identical text, and decode(encode(spec)) reproduces the spec
+//! exactly — including heterogeneous GPU lists.
+
+use sgmap_gpusim::{GpuSpec, InterconnectSpec, PlatformSpec};
+
+use crate::json::Value;
+
+/// Encodes a platform spec as a JSON value.
+pub fn platform_spec_to_value(spec: &PlatformSpec) -> Value {
+    let interconnect = match &spec.interconnect {
+        InterconnectSpec::ReferenceTree | InterconnectSpec::Flat => {
+            Value::object(vec![("kind", Value::str(spec.interconnect.kind_name()))])
+        }
+        InterconnectSpec::NvlinkIslands { gpus_per_island } => Value::object(vec![
+            ("kind", Value::str(spec.interconnect.kind_name())),
+            ("gpus_per_island", Value::Uint(*gpus_per_island as u64)),
+        ]),
+        InterconnectSpec::Cluster { gpus_per_node } => Value::object(vec![
+            ("kind", Value::str(spec.interconnect.kind_name())),
+            ("gpus_per_node", Value::Uint(*gpus_per_node as u64)),
+        ]),
+    };
+    Value::object(vec![
+        ("name", Value::str(&*spec.name)),
+        ("interconnect", interconnect),
+        (
+            "gpus",
+            Value::Array(spec.gpus.iter().map(gpu_to_value).collect()),
+        ),
+    ])
+}
+
+/// Renders a platform spec as compact JSON text.
+pub fn platform_spec_to_json(spec: &PlatformSpec) -> String {
+    platform_spec_to_value(spec).render()
+}
+
+/// Decodes a platform spec from a JSON value.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or ill-typed field.
+pub fn platform_spec_from_value(value: &Value) -> Result<PlatformSpec, String> {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("platform: missing string 'name'")?
+        .to_string();
+    let inter = value
+        .get("interconnect")
+        .ok_or("platform: missing 'interconnect'")?;
+    let kind = inter
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("platform: missing string 'interconnect.kind'")?;
+    let interconnect = match kind {
+        "reference_tree" => InterconnectSpec::ReferenceTree,
+        "flat" => InterconnectSpec::Flat,
+        "nvlink_islands" => InterconnectSpec::NvlinkIslands {
+            gpus_per_island: require_usize(inter, "gpus_per_island")?,
+        },
+        "cluster" => InterconnectSpec::Cluster {
+            gpus_per_node: require_usize(inter, "gpus_per_node")?,
+        },
+        other => return Err(format!("platform: unknown interconnect kind '{other}'")),
+    };
+    let gpus = value
+        .get("gpus")
+        .and_then(Value::as_array)
+        .ok_or("platform: missing array 'gpus'")?
+        .iter()
+        .map(gpu_from_value)
+        .collect::<Result<Vec<GpuSpec>, String>>()?;
+    Ok(PlatformSpec {
+        name,
+        gpus,
+        interconnect,
+    })
+}
+
+/// Parses a platform spec from JSON text.
+///
+/// # Errors
+///
+/// Returns a description of the first parse or shape error.
+pub fn platform_spec_from_json(src: &str) -> Result<PlatformSpec, String> {
+    platform_spec_from_value(&Value::parse(src)?)
+}
+
+fn gpu_to_value(gpu: &GpuSpec) -> Value {
+    Value::object(vec![
+        ("name", Value::str(&*gpu.name)),
+        ("sm_count", Value::Uint(u64::from(gpu.sm_count))),
+        ("core_clock_ghz", Value::Float(gpu.core_clock_ghz)),
+        ("mem_clock_ghz", Value::Float(gpu.mem_clock_ghz)),
+        ("mem_bandwidth_gbs", Value::Float(gpu.mem_bandwidth_gbs)),
+        (
+            "shared_mem_bytes",
+            Value::Uint(u64::from(gpu.shared_mem_bytes)),
+        ),
+        (
+            "max_threads_per_block",
+            Value::Uint(u64::from(gpu.max_threads_per_block)),
+        ),
+        ("warp_size", Value::Uint(u64::from(gpu.warp_size))),
+        (
+            "global_access_cycles",
+            Value::Float(gpu.global_access_cycles),
+        ),
+        (
+            "shared_access_cycles",
+            Value::Float(gpu.shared_access_cycles),
+        ),
+    ])
+}
+
+fn gpu_from_value(value: &Value) -> Result<GpuSpec, String> {
+    Ok(GpuSpec {
+        name: value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("gpu: missing string 'name'")?
+            .to_string(),
+        sm_count: require_u32(value, "sm_count")?,
+        core_clock_ghz: require_f64(value, "core_clock_ghz")?,
+        mem_clock_ghz: require_f64(value, "mem_clock_ghz")?,
+        mem_bandwidth_gbs: require_f64(value, "mem_bandwidth_gbs")?,
+        shared_mem_bytes: require_u32(value, "shared_mem_bytes")?,
+        max_threads_per_block: require_u32(value, "max_threads_per_block")?,
+        warp_size: require_u32(value, "warp_size")?,
+        global_access_cycles: require_f64(value, "global_access_cycles")?,
+        shared_access_cycles: require_f64(value, "shared_access_cycles")?,
+    })
+}
+
+fn require_u32(value: &Value, field: &str) -> Result<u32, String> {
+    value
+        .get(field)
+        .and_then(Value::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| format!("gpu: missing counter '{field}'"))
+}
+
+fn require_usize(value: &Value, field: &str) -> Result<usize, String> {
+    value
+        .get(field)
+        .and_then(Value::as_u64)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| format!("platform: missing counter '{field}'"))
+}
+
+fn require_f64(value: &Value, field: &str) -> Result<f64, String> {
+    value
+        .get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("gpu: missing number '{field}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_round_trip_exactly() {
+        for spec in [
+            PlatformSpec::paper(),
+            PlatformSpec::reference(GpuSpec::c2070(), 1),
+            PlatformSpec::nvlink8_m2090(),
+            PlatformSpec::cluster2x4_m2090(),
+            PlatformSpec::mixed_m2090_c2070(),
+        ] {
+            let json = platform_spec_to_json(&spec);
+            let back = platform_spec_from_json(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+            // Deterministic rendering: encode(decode(encode)) is stable.
+            assert_eq!(platform_spec_to_json(&back), json);
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(platform_spec_from_json("{}").is_err());
+        assert!(platform_spec_from_json(
+            r#"{"name":"x","interconnect":{"kind":"warp"},"gpus":[]}"#
+        )
+        .is_err());
+        assert!(platform_spec_from_json(
+            r#"{"name":"x","interconnect":{"kind":"nvlink_islands"},"gpus":[]}"#
+        )
+        .is_err());
+        let truncated =
+            platform_spec_to_json(&PlatformSpec::paper()).replace("\"sm_count\":16,", "");
+        assert!(platform_spec_from_json(&truncated).is_err());
+    }
+}

@@ -40,7 +40,9 @@ pub struct SweepRecord {
     pub app: App,
     /// The size parameter.
     pub n: u32,
-    /// GPU model name.
+    /// Platform name (the GPU-model short name for reference-tree platforms
+    /// expanded from a model × count grid, e.g. `"M2090"`; the platform's
+    /// own name, e.g. `"nvlink8"`, otherwise).
     pub gpu_model: String,
     /// Number of GPUs in the platform.
     pub gpus: usize,
@@ -117,8 +119,8 @@ impl SweepRecord {
             index: point.index,
             app: point.app,
             n: point.n,
-            gpu_model: point.gpu_model.name().to_string(),
-            gpus: point.gpu_count,
+            gpu_model: point.platform.name.clone(),
+            gpus: point.platform.gpu_count(),
             stack: point.stack.label.clone(),
             partitioner: partitioner_name(point.stack.partitioner).to_string(),
             mapper: mapper_name(point.stack.mapper).to_string(),
@@ -313,15 +315,15 @@ impl SweepReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{GpuModel, StackConfig};
+    use crate::spec::StackConfig;
+    use sgmap_gpusim::{GpuSpec, PlatformSpec};
 
     fn point() -> SweepPoint {
         SweepPoint {
             index: 0,
             app: App::Des,
             n: 4,
-            gpu_model: GpuModel::M2090,
-            gpu_count: 2,
+            platform: PlatformSpec::reference(GpuSpec::m2090(), 2).named("M2090"),
             stack: StackConfig::ours(),
             enhanced: false,
         }

@@ -1,12 +1,13 @@
 //! Parallel execution of an expanded sweep, deduplicated by compile group.
 //!
-//! Partitioning depends only on (application, N, GPU model, stack,
-//! enhancement) — never on the GPU count — so the runner groups expanded
-//! points by that key, compiles each group exactly once (graph construction,
-//! profiling and the partition search all happen once per group) and fans
-//! the compiled [`PartitionStage`](sgmap_core::PartitionStage) out to every
-//! GPU count in the group. On the quick preset this cuts the number of
-//! partition searches to a third of the point count.
+//! Partitioning depends only on (application, N, estimation device, stack,
+//! enhancement) — never on the platform's GPU count or interconnect shape —
+//! so the runner groups expanded points by that key, compiles each group
+//! exactly once (graph construction, profiling and the partition search all
+//! happen once per group) and fans the compiled
+//! [`PartitionStage`](sgmap_core::PartitionStage) out to every platform in
+//! the group. On the quick preset this cuts the number of partition searches
+//! to a third of the point count.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -20,7 +21,7 @@ use sgmap_core::{
 use sgmap_pee::{EstimateCache, Estimator};
 
 use crate::report::{DedupStats, SweepRecord, SweepReport};
-use crate::spec::{GpuModel, SweepError, SweepPoint, SweepSpec};
+use crate::spec::{SweepError, SweepPoint, SweepSpec};
 
 /// The number of worker threads `run_sweep` uses when the caller passes 0:
 /// the machine's available parallelism, capped at 8 (points are coarse
@@ -33,15 +34,20 @@ pub fn default_threads() -> usize {
         .resolved_threads()
 }
 
-/// The key everything GPU-count-independent hangs off: two points with equal
-/// keys share one graph, one estimator, one partition search.
-type CompileKey<'p> = (App, u32, GpuModel, &'p str, bool);
+/// The key everything platform-shape-independent hangs off: two points with
+/// equal keys share one graph, one estimator, one partition search. The
+/// platform contributes only its estimation device (by name — device models
+/// are assumed to have distinct names, which
+/// [`SweepSpec::validate`](crate::SweepSpec::validate) enforces per platform
+/// name), so a reference box, an NVLink-island box and a cluster that all
+/// estimate on the same GPU share one compile.
+type CompileKey<'p> = (App, u32, &'p str, &'p str, bool);
 
 fn compile_key(point: &SweepPoint) -> CompileKey<'_> {
     (
         point.app,
         point.n,
-        point.gpu_model,
+        point.platform.primary_gpu().name.as_str(),
         point.stack.label.as_str(),
         point.enhanced,
     )
@@ -188,7 +194,7 @@ pub fn run_sweep_with_cache(
     })
 }
 
-/// The per-point flow configuration (the GPU count and the stack's routing
+/// The per-point flow configuration (the platform and the stack's routing
 /// knobs vary inside a group; everything else is shared).
 fn point_config(
     spec: &SweepSpec,
@@ -196,8 +202,7 @@ fn point_config(
     search: &PartitionSearchOptions,
 ) -> FlowConfig {
     let mut config = FlowConfig::new()
-        .with_gpu(point.gpu_model.spec())
-        .with_gpu_count(point.gpu_count)
+        .with_platform(point.platform.clone())
         .with_partitioner(point.stack.partitioner)
         .with_mapper(point.stack.mapper)
         .with_enhancement(point.enhanced)
@@ -260,7 +265,7 @@ fn run_group(
         Ok(graph) => graph,
         Err(e) => return fail_all(e.to_string()),
     };
-    let estimator = match Estimator::new(&graph, first.gpu_model.spec()) {
+    let estimator = match Estimator::new(&graph, first.platform.primary_gpu().clone()) {
         Ok(est) => est
             .with_enhancement(first.enhanced)
             .with_shared_cache(cache.clone()),
@@ -376,7 +381,7 @@ mod tests {
         // FFT requires a power-of-two N; 7 cannot build.
         let mut spec = tiny_spec();
         spec.apps = vec![AppSweep::explicit(App::Fft, vec![7])];
-        spec.gpu_counts = vec![1];
+        spec.platforms.truncate(1);
         let report = run_sweep(&spec, 1).unwrap();
         assert_eq!(report.records.len(), 1);
         assert!(report.records[0].error.is_some());

@@ -6,7 +6,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 use sgmap_apps::App;
 use sgmap_codegen::PlanOptions;
-use sgmap_gpusim::{GpuSpec, TransferMode};
+use sgmap_gpusim::{GpuSpec, PlatformSpec, TransferMode};
 use sgmap_mapping::{MappingMethod, MappingOptions};
 use sgmap_partition::PartitionerKind;
 
@@ -16,7 +16,8 @@ use sgmap_partition::PartitionerKind;
 pub enum SweepError {
     /// An axis of the grid is empty, so the cartesian product is empty.
     EmptyAxis(&'static str),
-    /// An axis contains a degenerate value (zero N, GPU count outside 1–4).
+    /// An axis contains a degenerate value (zero N, a platform whose
+    /// topology cannot be built, conflicting platform names).
     InvalidAxisValue(String),
     /// No preset with the requested name exists.
     UnknownPreset(String),
@@ -222,8 +223,10 @@ pub struct PointFilter {
     pub min_n: Option<u32>,
     /// Drop points with `N` above this value.
     pub max_n: Option<u32>,
-    /// Keep only these GPU counts.
+    /// Keep only points whose platform has one of these GPU counts.
     pub gpu_counts: Option<Vec<usize>>,
+    /// Keep only platforms with these names.
+    pub platforms: Option<Vec<String>>,
     /// Keep only stacks with these labels.
     pub stack_labels: Option<Vec<String>>,
     /// Truncate the expanded work list to its first `max_points` entries.
@@ -248,7 +251,12 @@ impl PointFilter {
             }
         }
         if let Some(counts) = &self.gpu_counts {
-            if !counts.contains(&point.gpu_count) {
+            if !counts.contains(&point.platform.gpu_count()) {
+                return false;
+            }
+        }
+        if let Some(platforms) = &self.platforms {
+            if !platforms.iter().any(|p| p == &point.platform.name) {
                 return false;
             }
         }
@@ -262,18 +270,19 @@ impl PointFilter {
 }
 
 /// A declarative experiment grid: the cartesian product of applications ×
-/// size parameters × GPU models × GPU counts × stacks × enhancement flags,
-/// narrowed by a [`PointFilter`].
+/// size parameters × platforms × stacks × enhancement flags, narrowed by a
+/// [`PointFilter`].
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Name of the sweep, echoed in the report.
     pub name: String,
     /// The application axis, each with its own N values.
     pub apps: Vec<AppSweep>,
-    /// The GPU-model axis.
-    pub gpu_models: Vec<GpuModel>,
-    /// The GPU-count axis (values must lie in 1–4).
-    pub gpu_counts: Vec<usize>,
+    /// The platform axis: named platform descriptions, swept in order.
+    /// Reference-tree platforms that share a name (the [`SweepSpec::new`]
+    /// expansion of a GPU model over several counts) report that name in the
+    /// `gpu_model` record field and share compile groups.
+    pub platforms: Vec<PlatformSpec>,
     /// The stack axis (correlated partitioner/mapper/transfer triples).
     pub stacks: Vec<StackConfig>,
     /// The Chapter-V enhancement axis.
@@ -302,10 +311,8 @@ pub struct SweepPoint {
     pub app: App,
     /// The size parameter.
     pub n: u32,
-    /// The GPU model.
-    pub gpu_model: GpuModel,
-    /// The number of GPUs.
-    pub gpu_count: usize,
+    /// The target platform.
+    pub platform: PlatformSpec,
     /// The stack to run.
     pub stack: StackConfig,
     /// Whether the Chapter-V enhancement is applied.
@@ -314,10 +321,22 @@ pub struct SweepPoint {
 
 impl SweepSpec {
     /// Names accepted by [`SweepSpec::preset`], in display order.
-    pub const PRESETS: [&'static str; 5] = ["quick", "scaling", "compare", "enhancement", "paper"];
+    pub const PRESETS: [&'static str; 6] = [
+        "quick",
+        "scaling",
+        "compare",
+        "enhancement",
+        "paper",
+        "hier",
+    ];
 
     /// A sweep with the given name and axes, deterministic ILP budget and
     /// default plan options; the enhancement axis defaults to `[false]`.
+    ///
+    /// The GPU-model × GPU-count product expands into reference-tree
+    /// platforms named after the model (model outer, count inner), so grids
+    /// written against the old `(models, counts)` axes keep their record
+    /// shape and work-list order.
     pub fn new(
         name: impl Into<String>,
         apps: Vec<AppSweep>,
@@ -325,11 +344,28 @@ impl SweepSpec {
         gpu_counts: Vec<usize>,
         stacks: Vec<StackConfig>,
     ) -> Self {
+        let mut platforms = Vec::with_capacity(gpu_models.len() * gpu_counts.len());
+        for model in &gpu_models {
+            for &count in &gpu_counts {
+                platforms.push(PlatformSpec::reference(model.spec(), count).named(model.name()));
+            }
+        }
+        Self::on_platforms(name, apps, platforms, stacks)
+    }
+
+    /// A sweep over an explicit platform axis (hierarchical and mixed-model
+    /// platforms included), deterministic ILP budget and default plan
+    /// options; the enhancement axis defaults to `[false]`.
+    pub fn on_platforms(
+        name: impl Into<String>,
+        apps: Vec<AppSweep>,
+        platforms: Vec<PlatformSpec>,
+        stacks: Vec<StackConfig>,
+    ) -> Self {
         SweepSpec {
             name: name.into(),
             apps,
-            gpu_models,
-            gpu_counts,
+            platforms,
             stacks,
             enhanced: vec![false],
             filter: PointFilter::default(),
@@ -387,6 +423,7 @@ impl SweepSpec {
             "compare" => Ok(Self::compare(false)),
             "enhancement" => Ok(Self::enhancement()),
             "paper" => Ok(Self::scaling(true).with_name("paper")),
+            "hier" => Ok(Self::hier()),
             other => Err(SweepError::UnknownPreset(other.to_string())),
         }
     }
@@ -474,6 +511,27 @@ impl SweepSpec {
         spec
     }
 
+    /// The hierarchical-platform smoke grid: FM-Radio and DES at N=8 on the
+    /// paper's reference box, an 8-GPU NVLink-island box, a 2×4 two-node
+    /// cluster and a mixed M2090/C2070 box, all under the paper's stack.
+    /// This is the grid CI's hierarchical-platform gate runs.
+    pub fn hier() -> Self {
+        SweepSpec::on_platforms(
+            "hier",
+            vec![
+                AppSweep::explicit(App::FmRadio, vec![8]),
+                AppSweep::explicit(App::Des, vec![8]),
+            ],
+            vec![
+                PlatformSpec::paper().named("M2090"),
+                PlatformSpec::nvlink8_m2090(),
+                PlatformSpec::cluster2x4_m2090(),
+                PlatformSpec::mixed_m2090_c2070(),
+            ],
+            vec![StackConfig::ours()],
+        )
+    }
+
     /// Replaces the sweep's name.
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -491,17 +549,15 @@ impl SweepSpec {
     /// # Errors
     ///
     /// Returns an error for empty axes and degenerate axis values (zero `N`,
-    /// GPU counts outside the reference switch tree's 1–4, stacks pinned to
-    /// invalid GPU counts, duplicate stack labels).
+    /// platforms whose topology cannot be built, duplicate platform
+    /// coordinates, one platform name used with different estimation
+    /// devices, duplicate stack labels).
     pub fn validate(&self) -> Result<(), SweepError> {
         if self.apps.is_empty() {
             return Err(SweepError::EmptyAxis("apps"));
         }
-        if self.gpu_models.is_empty() {
-            return Err(SweepError::EmptyAxis("gpu_models"));
-        }
-        if self.gpu_counts.is_empty() {
-            return Err(SweepError::EmptyAxis("gpu_counts"));
+        if self.platforms.is_empty() {
+            return Err(SweepError::EmptyAxis("platforms"));
         }
         if self.stacks.is_empty() {
             return Err(SweepError::EmptyAxis("stacks"));
@@ -523,18 +579,47 @@ impl SweepSpec {
                 )));
             }
         }
-        let check_counts =
-            |counts: &[usize], what: &str| match counts.iter().find(|&&g| !(1..=4).contains(&g)) {
-                Some(&g) => Err(SweepError::InvalidAxisValue(format!(
-                    "{what} contains GPU count {g}, outside the reference switch tree's 1-4"
-                ))),
-                None => Ok(()),
-            };
-        check_counts(&self.gpu_counts, "gpu_counts")?;
+        let mut seen: Vec<&PlatformSpec> = Vec::new();
+        for platform in &self.platforms {
+            if let Err(e) = platform.build() {
+                return Err(SweepError::InvalidAxisValue(format!(
+                    "platform '{}': {e}",
+                    platform.name
+                )));
+            }
+            for earlier in &seen {
+                if earlier.name == platform.name {
+                    if earlier.gpu_count() == platform.gpu_count() {
+                        return Err(SweepError::InvalidAxisValue(format!(
+                            "duplicate platform '{}' with {} GPUs",
+                            platform.name,
+                            platform.gpu_count()
+                        )));
+                    }
+                    // Compile groups key on the estimation device; one name
+                    // must not smuggle in two different ones.
+                    if earlier.primary_gpu() != platform.primary_gpu() {
+                        return Err(SweepError::InvalidAxisValue(format!(
+                            "platform name '{}' is used with different estimation devices \
+                             ('{}' and '{}')",
+                            platform.name,
+                            earlier.primary_gpu().name,
+                            platform.primary_gpu().name
+                        )));
+                    }
+                }
+            }
+            seen.push(platform);
+        }
         let mut labels: Vec<&str> = Vec::new();
         for stack in &self.stacks {
             if let Some(counts) = &stack.gpu_counts {
-                check_counts(counts, &format!("stack '{}'", stack.label))?;
+                if counts.is_empty() {
+                    return Err(SweepError::InvalidAxisValue(format!(
+                        "stack '{}' is pinned to an empty GPU-count list",
+                        stack.label
+                    )));
+                }
             }
             if labels.contains(&stack.label.as_str()) {
                 return Err(SweepError::InvalidAxisValue(format!(
@@ -548,9 +633,9 @@ impl SweepSpec {
     }
 
     /// Expands the grid into its deterministic work list. The order is fixed
-    /// by the axis order (apps, then N, then GPU model, then GPU count, then
-    /// stack, then enhancement) and is independent of how the points are
-    /// later scheduled across worker threads.
+    /// by the axis order (apps, then N, then platform, then stack, then
+    /// enhancement) and is independent of how the points are later scheduled
+    /// across worker threads.
     ///
     /// # Errors
     ///
@@ -560,27 +645,24 @@ impl SweepSpec {
         let mut points = Vec::new();
         for app_sweep in &self.apps {
             for &n in &app_sweep.n_values {
-                for &gpu_model in &self.gpu_models {
-                    for &gpu_count in &self.gpu_counts {
-                        for stack in &self.stacks {
-                            if let Some(counts) = &stack.gpu_counts {
-                                if !counts.contains(&gpu_count) {
-                                    continue;
-                                }
+                for platform in &self.platforms {
+                    for stack in &self.stacks {
+                        if let Some(counts) = &stack.gpu_counts {
+                            if !counts.contains(&platform.gpu_count()) {
+                                continue;
                             }
-                            for &enhanced in &self.enhanced {
-                                let point = SweepPoint {
-                                    index: points.len(),
-                                    app: app_sweep.app,
-                                    n,
-                                    gpu_model,
-                                    gpu_count,
-                                    stack: stack.clone(),
-                                    enhanced,
-                                };
-                                if self.filter.accepts(&point) {
-                                    points.push(point);
-                                }
+                        }
+                        for &enhanced in &self.enhanced {
+                            let point = SweepPoint {
+                                index: points.len(),
+                                app: app_sweep.app,
+                                n,
+                                platform: platform.clone(),
+                                stack: stack.clone(),
+                                enhanced,
+                            };
+                            if self.filter.accepts(&point) {
+                                points.push(point);
                             }
                         }
                     }
@@ -612,19 +694,33 @@ mod tests {
         assert!(points
             .iter()
             .zip(&again)
-            .all(|(a, b)| (a.app, a.n, a.gpu_count) == (b.app, b.n, b.gpu_count)));
+            .all(|(a, b)| (a.app, a.n, a.platform.gpu_count())
+                == (b.app, b.n, b.platform.gpu_count())));
+        // The reference expansion names every platform after the GPU model.
+        assert!(points.iter().all(|p| p.platform.name == "M2090"));
     }
 
     #[test]
     fn degenerate_axis_values_are_rejected() {
-        let mut spec = SweepSpec::quick();
-        spec.gpu_counts = vec![1, 0];
+        let apps = || vec![AppSweep::explicit(App::Des, vec![4])];
+        let spec = SweepSpec::new(
+            "t",
+            apps(),
+            vec![GpuModel::M2090],
+            vec![1, 0],
+            vec![StackConfig::ours()],
+        );
         assert!(matches!(
             spec.expand(),
             Err(SweepError::InvalidAxisValue(_))
         ));
-        let mut spec = SweepSpec::quick();
-        spec.gpu_counts = vec![5];
+        let spec = SweepSpec::new(
+            "t",
+            apps(),
+            vec![GpuModel::M2090],
+            vec![5],
+            vec![StackConfig::ours()],
+        );
         assert!(spec.expand().is_err());
         let mut spec = SweepSpec::quick();
         spec.apps[0].n_values = vec![0];
@@ -638,6 +734,15 @@ mod tests {
         let mut spec = SweepSpec::quick();
         spec.stacks = vec![StackConfig::ours(), StackConfig::ours()];
         assert!(spec.expand().is_err());
+        // Platform coordinates must be unambiguous: no duplicate
+        // (name, count), no reused name with another estimation device.
+        let mut spec = SweepSpec::quick();
+        spec.platforms.push(spec.platforms[0].clone());
+        assert!(spec.expand().is_err());
+        let mut spec = SweepSpec::quick();
+        spec.platforms
+            .push(PlatformSpec::reference(GpuSpec::c2070(), 2).named("M2090"));
+        assert!(spec.expand().is_err());
     }
 
     #[test]
@@ -648,10 +753,10 @@ mod tests {
         assert!(points
             .iter()
             .filter(|p| p.stack.label == "spsg")
-            .all(|p| p.gpu_count == 1));
+            .all(|p| p.platform.gpu_count() == 1));
         assert!(points
             .iter()
-            .any(|p| p.stack.label == "ours" && p.gpu_count == 4));
+            .any(|p| p.stack.label == "ours" && p.platform.gpu_count() == 4));
 
         let filtered = spec
             .clone()
@@ -667,7 +772,7 @@ mod tests {
         assert_eq!(filtered.len(), 3);
         assert!(filtered
             .iter()
-            .all(|p| p.app == App::Des && p.gpu_count <= 2 && p.stack.label == "ours"));
+            .all(|p| p.app == App::Des && p.platform.gpu_count() <= 2 && p.stack.label == "ours"));
         assert!(filtered.iter().enumerate().all(|(i, p)| p.index == i));
     }
 

@@ -1,0 +1,35 @@
+//! Golden-compat gate: the `quick` preset report must stay byte-identical
+//! across refactors of the platform/topology layers.
+//!
+//! The checked-in golden was produced by the pre-`PlatformSpec` flow (global
+//! PCIe bandwidth, `gpu_models × gpu_counts` axes). Everything that feeds the
+//! report — per-link transfer times, estimation-device selection, compile
+//! dedup, work-list ordering, float rendering — must reproduce it exactly.
+
+use sgmap_sweep::{check_report, run_sweep, SweepSpec};
+
+const GOLDEN_QUICK: &str = include_str!("golden/quick.json");
+
+#[test]
+fn quick_preset_report_matches_pre_refactor_golden() {
+    let spec = SweepSpec::preset("quick").unwrap();
+    let report = run_sweep(&spec, 4).unwrap();
+    let rendered = report.canonical_json() + "\n";
+    // `assert_eq!` on the full strings would dump ~17 KB on failure; find the
+    // first divergence instead so the diff is actionable.
+    if rendered != GOLDEN_QUICK {
+        let at = rendered
+            .bytes()
+            .zip(GOLDEN_QUICK.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| rendered.len().min(GOLDEN_QUICK.len()));
+        let lo = at.saturating_sub(60);
+        panic!(
+            "quick report diverged from golden at byte {at}:\n  got: …{}…\n  want: …{}…",
+            &rendered[lo..(at + 60).min(rendered.len())],
+            &GOLDEN_QUICK[lo..(at + 60).min(GOLDEN_QUICK.len())],
+        );
+    }
+    // The golden itself must satisfy the CI validator.
+    check_report(GOLDEN_QUICK).unwrap();
+}

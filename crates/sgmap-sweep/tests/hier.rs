@@ -1,0 +1,24 @@
+//! Smoke gate for the `hier` preset: every hierarchical platform point runs
+//! clean, the report passes the CI validator, compile dedup shares one
+//! partition search per (app, N) across all platforms that estimate on the
+//! same device, and the report is byte-identical across thread counts.
+
+use sgmap_sweep::{check_report, run_sweep, SweepSpec};
+
+#[test]
+fn hier_preset_runs_clean_and_is_thread_deterministic() {
+    let spec = SweepSpec::preset("hier").unwrap();
+    let one = run_sweep(&spec, 1).unwrap();
+    for r in &one.records {
+        assert!(r.is_ok(), "{} on {}: {:?}", r.app, r.gpu_model, r.error);
+    }
+    // All four platforms per app estimate on the M2090, so the two apps cost
+    // exactly two partition searches between them.
+    assert_eq!(one.dedup.compile_groups, 2);
+
+    let json = one.canonical_json();
+    check_report(&json).unwrap();
+
+    let four = run_sweep(&spec, 4).unwrap();
+    assert_eq!(four.canonical_json(), json, "thread-count nondeterminism");
+}

@@ -1,0 +1,72 @@
+//! Property test: arbitrary heterogeneous platform specs survive the JSON
+//! codec exactly — every GPU field, the interconnect shape and the name come
+//! back bit-identical, and re-encoding is byte-stable.
+
+use proptest::prelude::*;
+
+use sgmap_gpusim::{GpuSpec, InterconnectSpec, PlatformSpec};
+use sgmap_sweep::{platform_spec_from_json, platform_spec_to_json};
+
+fn gpu_strategy() -> BoxedStrategy<GpuSpec> {
+    (
+        0u32..500,
+        (1u32..128, 0.1f64..3.0, 0.1f64..4.0, 1.0f64..400.0),
+        (1u32..1_000_000, 1u32..4096, 1u32..64),
+        (1.0f64..1000.0, 0.5f64..100.0),
+    )
+        .prop_map(
+            |(id, (sm, core, mem_clk, bw), (shmem, threads, warp), (ga, sa))| GpuSpec {
+                name: format!("gpu-{id}"),
+                sm_count: sm,
+                core_clock_ghz: core,
+                mem_clock_ghz: mem_clk,
+                mem_bandwidth_gbs: bw,
+                shared_mem_bytes: shmem,
+                max_threads_per_block: threads,
+                warp_size: warp,
+                global_access_cycles: ga,
+                shared_access_cycles: sa,
+            },
+        )
+        .boxed()
+}
+
+fn interconnect_strategy() -> BoxedStrategy<InterconnectSpec> {
+    prop_oneof![
+        1 => (0u32..1).prop_map(|_| InterconnectSpec::ReferenceTree).boxed(),
+        1 => (0u32..1).prop_map(|_| InterconnectSpec::Flat).boxed(),
+        1 => (1usize..8).prop_map(|gpus_per_island| InterconnectSpec::NvlinkIslands {
+            gpus_per_island,
+        }).boxed(),
+        1 => (1usize..8).prop_map(|gpus_per_node| InterconnectSpec::Cluster {
+            gpus_per_node,
+        }).boxed(),
+    ]
+    .boxed()
+}
+
+fn platform_strategy() -> BoxedStrategy<PlatformSpec> {
+    (
+        0u32..1000,
+        prop::collection::vec(gpu_strategy(), 1..9),
+        interconnect_strategy(),
+    )
+        .prop_map(|(id, gpus, interconnect)| PlatformSpec {
+            name: format!("platform-{id}"),
+            gpus,
+            interconnect,
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn heterogeneous_platforms_round_trip_the_json_codec(spec in platform_strategy()) {
+        let json = platform_spec_to_json(&spec);
+        let back = platform_spec_from_json(&json).unwrap();
+        prop_assert_eq!(&back, &spec, "decode(encode) changed the spec: {}", json);
+        prop_assert_eq!(platform_spec_to_json(&back), json, "re-encode not byte-stable");
+    }
+}

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Show the generated pseudo-CUDA for the first partition.
-    let estimator = Estimator::new(&graph, config.gpu.clone())?;
+    let estimator = Estimator::new(&graph, config.estimation_gpu().clone())?;
     let first = &compiled.partitioning.partitions()[0];
     println!("\n--- generated kernel for partition 0 ---");
     println!(
