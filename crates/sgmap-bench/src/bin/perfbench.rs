@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! perfbench [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]
+//!           [--trace FILE] [--metrics FILE]
 //! perfbench --check BENCH.json
 //! ```
 //!
@@ -19,8 +20,18 @@
 //!   before the sweep (if the file exists), save it afterwards, and report
 //!   the warm-start sweep separately. A second run with the same file should
 //!   report zero shared-cache misses.
+//! * `--trace FILE` — dump the run's trace (every compile phase, ILP node,
+//!   sweep point) as Chrome trace-event JSON, loadable in `chrome://tracing`
+//!   or [Perfetto](https://ui.perfetto.dev).
+//! * `--metrics FILE` — dump the trace's aggregate counters / histograms /
+//!   span totals as canonical metrics JSON.
 //! * `--check FILE` — validate a previously written `BENCH.json` (pure-Rust
 //!   schema check, the exact validator CI runs) and exit 0/1.
+//!
+//! The trace collector is always on — the per-phase
+//! `partition_phase1_ms`..`partition_phase4_ms` fields of `BENCH.json` are
+//! read back from its span totals — so `--trace` / `--metrics` only control
+//! whether the already-collected data is written out.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -32,11 +43,12 @@ use sgmap_core::{
 };
 use sgmap_pee::{EstimateCache, Estimator};
 use sgmap_sweep::{
-    check_bench_report, load_cache_file_if_exists, run_sweep_with_cache, save_cache_file,
+    check_bench_report, load_cache_file_if_exists, run_sweep_with_cache_traced, save_cache_file,
     JsonValue, SweepSpec,
 };
+use sgmap_trace::Collector;
 
-const USAGE: &str = "usage: perfbench [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]\n       perfbench --check BENCH.json";
+const USAGE: &str = "usage: perfbench [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE] [--trace FILE] [--metrics FILE]\n       perfbench --check BENCH.json";
 
 /// Schema version of the emitted `BENCH.json`.
 const BENCH_FORMAT_VERSION: u64 = 1;
@@ -57,6 +69,8 @@ struct Args {
     threads: usize,
     out: Option<String>,
     cache_file: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
     check: Option<String>,
     help: bool,
 }
@@ -67,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         out: None,
         cache_file: None,
+        trace: None,
+        metrics: None,
         check: None,
         help: false,
     };
@@ -84,6 +100,8 @@ fn parse_args() -> Result<Args, String> {
             "--cache-file" => {
                 args.cache_file = Some(it.next().ok_or("--cache-file needs a value")?);
             }
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a value")?),
+            "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a value")?),
             "--check" => args.check = Some(it.next().ok_or("--check needs a report file")?),
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
@@ -96,27 +114,51 @@ fn ms(since: Instant) -> f64 {
     since.elapsed().as_secs_f64() * 1000.0
 }
 
+/// Sum of the recorded `partition.phaseK` span durations, milliseconds.
+fn phase_totals_ms(collector: &Collector) -> [f64; 4] {
+    let totals = collector.span_totals();
+    let total = |name: &str| totals.get(name).map_or(0.0, |t| t.total_us / 1000.0);
+    [
+        total("partition.phase1"),
+        total("partition.phase2"),
+        total("partition.phase3"),
+        total("partition.phase4"),
+    ]
+}
+
 /// Times every phase of one compile (single-threaded, serial search — the
-/// interactive-compile configuration) and returns the JSON record.
-fn bench_compile(app: App, n: u32) -> JsonValue {
+/// interactive-compile configuration) and returns the JSON record. The
+/// per-phase partition timings come from the collector's span totals, so the
+/// compile runs with tracing attached.
+fn bench_compile(app: App, n: u32, collector: &Arc<Collector>) -> JsonValue {
+    let trace = Some(collector);
     let config = FlowConfig::new()
         .with_gpu_count(2)
-        .with_partition_search(PartitionSearchOptions::serial());
+        .with_partition_search(PartitionSearchOptions::serial())
+        .with_trace(collector.clone());
     let cache = EstimateCache::shared();
 
     let t0 = Instant::now();
-    let graph = app.build(n).expect("compile targets build");
+    let graph = app.build_traced(n, trace).expect("compile targets build");
     let build_ms = ms(t0);
 
     let t1 = Instant::now();
     let estimator = Estimator::new(&graph, config.estimation_gpu().clone())
         .expect("compile targets have consistent rates")
-        .with_shared_cache(cache.clone());
+        .with_shared_cache(cache.clone())
+        .with_trace(Some(collector.clone()));
     let estimator_ms = ms(t1);
 
+    let phases_before = phase_totals_ms(collector);
     let t2 = Instant::now();
     let stage = partition_graph(&graph, &config, &estimator).expect("partitioning succeeds");
     let partition_ms = ms(t2);
+    let phases_after = phase_totals_ms(collector);
+    let phase_ms: Vec<f64> = phases_after
+        .iter()
+        .zip(phases_before)
+        .map(|(after, before)| (after - before).max(0.0))
+        .collect();
 
     let t3 = Instant::now();
     let compiled =
@@ -156,6 +198,10 @@ fn bench_compile(app: App, n: u32) -> JsonValue {
         ("build_ms", JsonValue::Float(build_ms)),
         ("estimator_ms", JsonValue::Float(estimator_ms)),
         ("partition_ms", JsonValue::Float(partition_ms)),
+        ("partition_phase1_ms", JsonValue::Float(phase_ms[0])),
+        ("partition_phase2_ms", JsonValue::Float(phase_ms[1])),
+        ("partition_phase3_ms", JsonValue::Float(phase_ms[2])),
+        ("partition_phase4_ms", JsonValue::Float(phase_ms[3])),
         ("finish_ms", JsonValue::Float(finish_ms)),
         ("execute_ms", JsonValue::Float(execute_ms)),
         ("total_ms", JsonValue::Float(total_ms)),
@@ -170,10 +216,16 @@ fn bench_compile(app: App, n: u32) -> JsonValue {
 }
 
 /// Runs the sweep preset against `cache` and returns its JSON record.
-fn bench_sweep(spec: &SweepSpec, threads: usize, cache: &Arc<EstimateCache>) -> JsonValue {
+fn bench_sweep(
+    spec: &SweepSpec,
+    threads: usize,
+    cache: &Arc<EstimateCache>,
+    collector: &Arc<Collector>,
+) -> JsonValue {
     let before = cache.stats();
     let t = Instant::now();
-    let report = run_sweep_with_cache(spec, threads, cache.clone()).expect("preset specs expand");
+    let report = run_sweep_with_cache_traced(spec, threads, cache.clone(), Some(collector))
+        .expect("preset specs expand");
     let wall_ms = ms(t);
     let after = cache.stats();
     let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
@@ -191,6 +243,16 @@ fn bench_sweep(spec: &SweepSpec, threads: usize, cache: &Arc<EstimateCache>) -> 
         hits,
         misses,
         hit_rate * 100.0,
+    );
+    sgmap_trace::instant(
+        Some(collector),
+        "sweep.summary",
+        vec![
+            ("points", (report.records.len() as u64).into()),
+            ("compile_groups", report.dedup.compile_groups.into()),
+            ("cache_hits", hits.into()),
+            ("cache_misses", misses.into()),
+        ],
     );
     JsonValue::object(vec![
         ("preset", JsonValue::str(&*spec.name)),
@@ -288,20 +350,27 @@ fn main() -> ExitCode {
         }
     }
 
+    // The collector is always on: the per-phase partition timings in the
+    // compile records are read back from its span totals.
+    let collector = Arc::new(Collector::new());
     let compiles: Vec<JsonValue> = COMPILE_TARGETS
         .iter()
-        .map(|&(app, n)| bench_compile(app, n))
+        .map(|&(app, n)| bench_compile(app, n, &collector))
         .collect();
 
     // The sweep phase: cold against a fresh cache, or warm-started from (and
     // saved back to) --cache-file.
-    let sweep = bench_sweep(&spec, args.threads, &cache);
+    let sweep = bench_sweep(&spec, args.threads, &cache, &collector);
     if let Some(path) = &args.cache_file {
         // The cache save speeds up the *next* run; a write failure must not
         // discard the measurements this run just produced.
         match save_cache_file(path, &cache) {
             Ok(n) => eprintln!("{n} cache entries saved to {path}"),
-            Err(e) => eprintln!("warning: estimate cache not persisted: {e}"),
+            Err(e) => sgmap_trace::warn(
+                Some(&collector),
+                "cache.save_failed",
+                format!("estimate cache not persisted: {e}"),
+            ),
         }
     }
 
@@ -329,6 +398,20 @@ fn main() -> ExitCode {
             eprintln!("BENCH.json written to {path}");
         }
         None => println!("{json}"),
+    }
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, collector.chrome_trace_json()) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path}");
+    }
+    if let Some(path) = &args.metrics {
+        if let Err(e) = std::fs::write(path, collector.metrics_json()) {
+            eprintln!("cannot write metrics {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -193,6 +193,24 @@ pub fn full_sweep_requested() -> bool {
 /// estimator-cache counters — to stderr, keeping stdout clean for the
 /// figure's table.
 pub fn eprintln_sweep_summary(report: &sgmap_sweep::SweepReport) {
+    emit_sweep_summary(report, None);
+}
+
+/// [`eprintln_sweep_summary`] with an optional trace collector: besides the
+/// stderr line, the same numbers land in the trace as a `sweep.summary`
+/// instant event, so a captured trace is self-describing about the sweep it
+/// came from.
+pub fn emit_sweep_summary(report: &sgmap_sweep::SweepReport, trace: sgmap_trace::TraceRef<'_>) {
+    sgmap_trace::instant(
+        trace,
+        "sweep.summary",
+        vec![
+            ("points", (report.records.len() as u64).into()),
+            ("compile_groups", report.dedup.compile_groups.into()),
+            ("cache_hits", report.cache.hits.into()),
+            ("cache_misses", report.cache.misses.into()),
+        ],
+    );
     eprintln!(
         "sweep '{}': {} points in {} compile groups ({} compiles saved); cache {} hits / {} misses ({:.0}% hit rate)",
         report.spec_name,

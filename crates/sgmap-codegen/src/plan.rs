@@ -54,6 +54,42 @@ pub fn build_execution_plan(
     platform: &Platform,
     options: &PlanOptions,
 ) -> (ExecutionPlan, Vec<KernelSpec>) {
+    build_execution_plan_traced(est, partitioning, pdg, mapping, platform, options, None)
+}
+
+/// [`build_execution_plan`] with an optional trace collector: plan
+/// construction runs under a `codegen` span and the emitted kernel /
+/// transfer counts are recorded as `codegen.kernels` / `codegen.transfers`
+/// counters. The collector is write-only, so the plan is identical with and
+/// without it.
+#[allow(clippy::too_many_arguments)]
+pub fn build_execution_plan_traced(
+    est: &Estimator<'_>,
+    partitioning: &Partitioning,
+    pdg: &Pdg,
+    mapping: &Mapping,
+    platform: &Platform,
+    options: &PlanOptions,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> (ExecutionPlan, Vec<KernelSpec>) {
+    let mut span = sgmap_trace::span(trace, "codegen");
+    let (plan, kernels) =
+        build_execution_plan_inner(est, partitioning, pdg, mapping, platform, options);
+    span.arg("kernels", plan.kernels.len());
+    span.arg("transfers", plan.transfers.len());
+    sgmap_trace::add(trace, "codegen.kernels", plan.kernels.len() as u64);
+    sgmap_trace::add(trace, "codegen.transfers", plan.transfers.len() as u64);
+    (plan, kernels)
+}
+
+fn build_execution_plan_inner(
+    est: &Estimator<'_>,
+    partitioning: &Partitioning,
+    pdg: &Pdg,
+    mapping: &Mapping,
+    platform: &Platform,
+    options: &PlanOptions,
+) -> (ExecutionPlan, Vec<KernelSpec>) {
     assert_eq!(
         mapping.assignment.len(),
         partitioning.len(),

@@ -2,12 +2,14 @@
 
 use std::fmt;
 
-use sgmap_codegen::build_execution_plan;
-use sgmap_gpusim::{simulate_plan, ExecutionPlan, KernelSpec, Platform};
+use sgmap_codegen::build_execution_plan_traced;
+use sgmap_gpusim::{simulate_plan_traced, ExecutionPlan, KernelSpec, Platform};
 use sgmap_graph::{GraphError, StreamGraph};
 use sgmap_ilp::IlpError;
-use sgmap_mapping::{map_with, Mapping};
-use sgmap_partition::{build_pdg, partition_with_options, PartitionError, Partitioning, Pdg};
+use sgmap_mapping::{map_with_traced, Mapping};
+use sgmap_partition::{
+    build_pdg, partition_with_options_traced, PartitionError, Partitioning, Pdg,
+};
 use sgmap_pee::Estimator;
 
 use crate::config::FlowConfig;
@@ -88,8 +90,9 @@ impl CompileResult {
 /// partitioning or mapping fails.
 pub fn compile(graph: &StreamGraph, config: &FlowConfig) -> Result<CompileResult, FlowError> {
     config.validate().map_err(FlowError::InvalidConfig)?;
-    let mut estimator =
-        Estimator::new(graph, config.estimation_gpu().clone())?.with_enhancement(config.enhanced);
+    let mut estimator = Estimator::new(graph, config.estimation_gpu().clone())?
+        .with_enhancement(config.enhanced)
+        .with_trace(config.trace.clone());
     if let Some(cache) = &config.estimate_cache {
         estimator = estimator.with_shared_cache(cache.clone());
     }
@@ -133,19 +136,21 @@ fn finish_compile(
     stage: PartitionStage,
 ) -> Result<CompileResult, FlowError> {
     let platform = config.platform();
-    let mapping = map_with(
+    let mapping = map_with_traced(
         &stage.pdg,
         &platform,
         config.mapper,
         &config.mapping_options,
+        config.trace.as_ref(),
     )?;
-    let (plan, kernels) = build_execution_plan(
+    let (plan, kernels) = build_execution_plan_traced(
         estimator,
         &stage.partitioning,
         &stage.pdg,
         &mapping,
         &platform,
         &config.plan,
+        config.trace.as_ref(),
     );
     Ok(CompileResult {
         platform,
@@ -224,10 +229,26 @@ pub fn partition_graph(
 ) -> Result<PartitionStage, FlowError> {
     config.validate().map_err(FlowError::InvalidConfig)?;
     check_estimator_agreement(graph, config, estimator)?;
-    let reps = graph.repetition_vector()?;
-    let partitioning =
-        partition_with_options(estimator, config.partitioner, &config.partition_search)?;
-    let pdg = build_pdg(graph, &reps, &partitioning);
+    let trace = config.trace.as_ref();
+    let reps = {
+        let _span = sgmap_trace::span(trace, "graph.analysis");
+        graph.repetition_vector()?
+    };
+    let partitioning = {
+        let mut span = sgmap_trace::span(trace, "partition");
+        let partitioning = partition_with_options_traced(
+            estimator,
+            config.partitioner,
+            &config.partition_search,
+            trace,
+        )?;
+        span.arg("partitions", partitioning.len());
+        partitioning
+    };
+    let pdg = {
+        let _span = sgmap_trace::span(trace, "pdg.build");
+        build_pdg(graph, &reps, &partitioning)
+    };
     Ok(PartitionStage { partitioning, pdg })
 }
 
@@ -257,7 +278,7 @@ pub fn compile_from_stage(
 
 /// Executes a compiled result on the platform simulator.
 pub fn execute(compiled: &CompileResult, config: &FlowConfig) -> RunReport {
-    let stats = simulate_plan(&compiled.plan, &compiled.platform);
+    let stats = simulate_plan_traced(&compiled.plan, &compiled.platform, config.trace.as_ref());
     let iterations = u64::from(compiled.plan.n_fragments) * config.plan.iterations_per_fragment;
     RunReport::new(
         compiled.partition_count(),

@@ -43,7 +43,8 @@ pub use device::GpuSpec;
 pub use kernel::{KernelFilter, KernelParams, KernelSpec};
 pub use kernel_sim::{simulate_kernel, KernelMeasurement};
 pub use pipeline::{
-    simulate_plan, ExecStats, ExecutionPlan, PlannedKernel, PlannedTransfer, TransferMode,
+    simulate_plan, simulate_plan_traced, ExecStats, ExecutionPlan, PlannedKernel, PlannedTransfer,
+    TransferMode,
 };
 pub use platform::{InterconnectSpec, Platform, PlatformSpec};
 pub use topology::{

@@ -123,6 +123,27 @@ impl ExecStats {
 /// Panics if a kernel references a GPU outside the platform or if a transfer
 /// references a kernel outside the plan.
 pub fn simulate_plan(plan: &ExecutionPlan, platform: &Platform) -> ExecStats {
+    simulate_plan_traced(plan, platform, None)
+}
+
+/// [`simulate_plan`] with an optional trace collector: wraps the simulation
+/// in an `execute` span and records kernel-launch / transfer counters. The
+/// collector is write-only, so traced and untraced runs produce identical
+/// [`ExecStats`].
+pub fn simulate_plan_traced(
+    plan: &ExecutionPlan,
+    platform: &Platform,
+    trace: Option<&std::sync::Arc<sgmap_trace::Collector>>,
+) -> ExecStats {
+    let mut span = sgmap_trace::span(trace, "execute");
+    span.arg("kernels", plan.kernels.len());
+    span.arg("fragments", plan.n_fragments as u64);
+    sgmap_trace::add(
+        trace,
+        "gpusim.kernel_launches",
+        plan.kernels.len() as u64 * plan.n_fragments as u64,
+    );
+    sgmap_trace::add(trace, "gpusim.transfers", plan.transfers.len() as u64);
     let topo = &platform.topology;
     let g = platform.gpu_count();
     let k_count = plan.kernels.len();

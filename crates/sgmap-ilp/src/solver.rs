@@ -96,6 +96,7 @@ impl Default for SolverOptions {
 pub struct Solver {
     options: SolverOptions,
     warm_start: Option<Vec<f64>>,
+    trace: Option<std::sync::Arc<sgmap_trace::Collector>>,
 }
 
 struct Node {
@@ -115,6 +116,7 @@ impl Solver {
         Solver {
             options,
             warm_start: None,
+            trace: None,
         }
     }
 
@@ -122,6 +124,17 @@ impl Solver {
     /// incumbent (it is validated and ignored if infeasible).
     pub fn warm_start(mut self, values: Vec<f64>) -> Self {
         self.warm_start = Some(values);
+        self
+    }
+
+    /// Attaches a trace collector: the whole solve runs under an `ilp.solve`
+    /// span, every branch-and-bound relaxation under an `ilp.node` span, and
+    /// the [`SolveStats`] of each successful solve are accumulated into the
+    /// `ilp.nodes` / `ilp.lp_iterations` / `ilp.lp_warm_starts` /
+    /// `ilp.lp_cold_solves` counters. The collector is write-only: it cannot
+    /// change the solution.
+    pub fn with_trace(mut self, trace: Option<std::sync::Arc<sgmap_trace::Collector>>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -133,6 +146,19 @@ impl Solver {
     /// root relaxation already fails, and [`IlpError::NoIntegerSolution`]
     /// when the budget is exhausted without any integer-feasible point.
     pub fn solve(&self, model: &Model) -> Result<Solution> {
+        let _solve_span = sgmap_trace::span(self.trace.as_ref(), "ilp.solve");
+        let result = self.solve_inner(model);
+        if let Ok(s) = &result {
+            let trace = self.trace.as_ref();
+            sgmap_trace::add(trace, "ilp.nodes", s.stats.nodes);
+            sgmap_trace::add(trace, "ilp.lp_iterations", s.stats.lp_iterations);
+            sgmap_trace::add(trace, "ilp.lp_warm_starts", s.stats.lp_warm_starts);
+            sgmap_trace::add(trace, "ilp.lp_cold_solves", s.stats.lp_cold_solves);
+        }
+        result
+    }
+
+    fn solve_inner(&self, model: &Model) -> Result<Solution> {
         model.validate()?;
         let start = Instant::now();
         let deadline = start.checked_add(self.options.time_limit);
@@ -184,7 +210,11 @@ impl Solver {
 
         // Root relaxation (cold primal solve).
         nodes_explored += 1;
-        let root = match lp.solve(&[], deadline) {
+        let root_outcome = {
+            let _node_span = sgmap_trace::span(self.trace.as_ref(), "ilp.node");
+            lp.solve(&[], deadline)
+        };
+        let root = match root_outcome {
             LpOutcome::Optimal(s) => s,
             LpOutcome::Infeasible => return Err(IlpError::Infeasible),
             LpOutcome::Unbounded => return Err(IlpError::Unbounded),
@@ -218,7 +248,12 @@ impl Solver {
                 }
             }
             nodes_explored += 1;
-            let relax = match lp.solve(&node.bounds, deadline) {
+            let outcome = {
+                let mut node_span = sgmap_trace::span(self.trace.as_ref(), "ilp.node");
+                node_span.arg("depth", node.bounds.len());
+                lp.solve(&node.bounds, deadline)
+            };
+            let relax = match outcome {
                 LpOutcome::Optimal(s) => s,
                 LpOutcome::Infeasible => continue,
                 // A numerically troubled node is skipped rather than

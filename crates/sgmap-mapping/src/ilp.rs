@@ -73,6 +73,22 @@ pub fn map_ilp(
     platform: &Platform,
     options: &MappingOptions,
 ) -> Result<Mapping, IlpError> {
+    map_ilp_traced(pdg, platform, options, None)
+}
+
+/// [`map_ilp`] with an optional trace collector, forwarded into the
+/// branch-and-bound solver (per-node `ilp.node` spans plus pivot /
+/// warm-start counters from its [`sgmap_ilp::SolveStats`]).
+///
+/// # Errors
+///
+/// Same as [`map_ilp`].
+pub fn map_ilp_traced(
+    pdg: &Pdg,
+    platform: &Platform,
+    options: &MappingOptions,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> Result<Mapping, IlpError> {
     let g = platform.gpu_count();
     let p = pdg.len();
     if p == 0 {
@@ -250,6 +266,7 @@ pub fn map_ilp(
     };
     let solution = match Solver::with_options(solver_options)
         .warm_start(warm)
+        .with_trace(trace.cloned())
         .solve(&model)
     {
         Ok(s) => s,

@@ -38,7 +38,7 @@ mod ilp;
 
 pub use evaluate::{evaluate_assignment, MappingCost};
 pub use greedy::{map_greedy, map_round_robin};
-pub use ilp::{map_ilp, MappingOptions};
+pub use ilp::{map_ilp, map_ilp_traced, MappingOptions};
 pub use sgmap_ilp::SolveStats;
 
 use sgmap_gpusim::Platform;
@@ -97,8 +97,28 @@ pub fn map_with(
     method: MappingMethod,
     options: &MappingOptions,
 ) -> Result<Mapping, sgmap_ilp::IlpError> {
+    map_with_traced(pdg, platform, method, options, None)
+}
+
+/// [`map_with`] with an optional trace collector: the whole mapping step runs
+/// under a `map` span and the ILP method forwards the collector into the
+/// solver (see [`map_ilp_traced`]).
+///
+/// # Errors
+///
+/// Same as [`map_with`].
+pub fn map_with_traced(
+    pdg: &Pdg,
+    platform: &Platform,
+    method: MappingMethod,
+    options: &MappingOptions,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> Result<Mapping, sgmap_ilp::IlpError> {
+    let mut span = sgmap_trace::span(trace, "map");
+    span.arg("partitions", pdg.len());
+    span.arg("gpus", platform.gpu_count());
     match method {
-        MappingMethod::Ilp => map_ilp(pdg, platform, options),
+        MappingMethod::Ilp => map_ilp_traced(pdg, platform, options, trace),
         MappingMethod::Greedy => Ok(map_greedy(pdg, platform)),
         MappingMethod::RoundRobin => Ok(map_round_robin(pdg, platform)),
     }

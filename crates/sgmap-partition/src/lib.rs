@@ -36,7 +36,9 @@ pub use baseline::partition_baseline;
 pub use error::PartitionError;
 pub use partitioning::{Partition, Partitioning};
 pub use pdg::{build_pdg, Pdg, PdgEdge};
-pub use proposed::{partition_stream_graph, partition_stream_graph_with};
+pub use proposed::{
+    partition_stream_graph, partition_stream_graph_traced, partition_stream_graph_with,
+};
 pub use search::PartitionSearchOptions;
 pub use spsg::single_partition;
 
@@ -79,8 +81,23 @@ pub fn partition_with_options(
     kind: PartitionerKind,
     options: &PartitionSearchOptions,
 ) -> Result<Partitioning, PartitionError> {
+    partition_with_options_traced(estimator, kind, options, None)
+}
+
+/// [`partition_with_options`] with an optional trace collector (spans per
+/// phase and search counters; see [`partition_stream_graph_traced`]).
+///
+/// # Errors
+///
+/// Same as [`partition_with_options`].
+pub fn partition_with_options_traced(
+    estimator: &Estimator<'_>,
+    kind: PartitionerKind,
+    options: &PartitionSearchOptions,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> Result<Partitioning, PartitionError> {
     match kind {
-        PartitionerKind::Proposed => partition_stream_graph_with(estimator, options),
+        PartitionerKind::Proposed => partition_stream_graph_traced(estimator, options, trace),
         PartitionerKind::Baseline => partition_baseline(estimator),
         PartitionerKind::Single => Ok(Partitioning::new(vec![single_partition(estimator)])),
     }

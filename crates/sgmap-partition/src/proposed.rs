@@ -49,20 +49,34 @@ struct Part {
 /// Benign racing (two threads computing the same pure predicate) cannot
 /// change any decision.
 #[derive(Debug, Default)]
-struct FeasibilityCache(RwLock<HashMap<NodeSet, bool>>);
+struct FeasibilityCache<'t> {
+    map: RwLock<HashMap<NodeSet, bool>>,
+    /// Trace handle shared with the whole search; the cache carries it so
+    /// `try_merge` and the phases can count without extra parameters.
+    trace: sgmap_trace::TraceRef<'t>,
+}
 
-impl FeasibilityCache {
+impl<'t> FeasibilityCache<'t> {
+    fn new(trace: sgmap_trace::TraceRef<'t>) -> Self {
+        FeasibilityCache {
+            map: RwLock::new(HashMap::new()),
+            trace,
+        }
+    }
+
     fn is_mergeable(&self, graph: &StreamGraph, set: &NodeSet) -> bool {
         if let Some(&known) = self
-            .0
+            .map
             .read()
             .expect("feasibility cache lock poisoned")
             .get(set)
         {
+            sgmap_trace::add(self.trace, "partition.feasibility_hits", 1);
             return known;
         }
+        sgmap_trace::add(self.trace, "partition.feasibility_misses", 1);
         let feasible = set.is_connected(graph) && set.is_convex(graph);
-        self.0
+        self.map
             .write()
             .expect("feasibility cache lock poisoned")
             .insert(set.clone(), feasible);
@@ -108,33 +122,69 @@ pub fn partition_stream_graph_with(
     est: &Estimator<'_>,
     options: &PartitionSearchOptions,
 ) -> Result<Partitioning, PartitionError> {
+    partition_stream_graph_traced(est, options, None)
+}
+
+/// [`partition_stream_graph_with`] with an optional trace collector: each
+/// phase runs under its own span (`partition.prewarm`,
+/// `partition.phase1`..`partition.phase4`) and the search records candidate /
+/// merge / feasibility-cache counters. The collector is write-only, so the
+/// resulting [`Partitioning`] is bit-identical with and without it.
+///
+/// # Errors
+///
+/// Same as [`partition_stream_graph_with`].
+pub fn partition_stream_graph_traced(
+    est: &Estimator<'_>,
+    options: &PartitionSearchOptions,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> Result<Partitioning, PartitionError> {
     let threads = options.resolved_threads();
     let batch = options.batch.max(1);
     let graph = est.graph();
     let mut parts: Vec<Part> = Vec::new();
     let mut assigned = vec![false; graph.filter_count()];
-    let feasible = FeasibilityCache::default();
+    let feasible = FeasibilityCache::new(trace);
 
     // Unconditional, even on one thread: it pins the evaluated singleton set
     // to "every filter" regardless of thread count, so cache counters stay
     // thread-independent even when a later phase stops early on an error.
-    prewarm_singletons(est, graph, threads);
-    phase1_pipelines(est, graph, &feasible, threads, &mut parts, &mut assigned)?;
-    phase2_remaining(est, graph, &feasible, &mut parts, &mut assigned)?;
+    {
+        let _span = sgmap_trace::span(trace, "partition.prewarm");
+        prewarm_singletons(est, graph, threads);
+    }
+    {
+        let mut span = sgmap_trace::span(trace, "partition.phase1");
+        phase1_pipelines(est, graph, &feasible, threads, &mut parts, &mut assigned)?;
+        span.arg("parts", parts.len());
+    }
+    {
+        let mut span = sgmap_trace::span(trace, "partition.phase2");
+        phase2_remaining(est, graph, &feasible, &mut parts, &mut assigned)?;
+        span.arg("parts", parts.len());
+    }
     // From here on every filter is assigned, so the part-adjacency index
     // covers the graph; it replaces the per-candidate channel scans of
     // phases 3 and 4 and is maintained incrementally across merges.
     let mut adjacency = AdjacencyIndex::build(graph, parts.iter().map(|p| &p.nodes));
-    phase3_partition_merging(est, &feasible, threads, batch, &mut parts, &mut adjacency);
-    phase4_simultaneous(
-        est,
-        graph,
-        &feasible,
-        threads,
-        batch,
-        &mut parts,
-        &mut adjacency,
-    );
+    {
+        let mut span = sgmap_trace::span(trace, "partition.phase3");
+        phase3_partition_merging(est, &feasible, threads, batch, &mut parts, &mut adjacency);
+        span.arg("parts", parts.len());
+    }
+    {
+        let mut span = sgmap_trace::span(trace, "partition.phase4");
+        phase4_simultaneous(
+            est,
+            graph,
+            &feasible,
+            threads,
+            batch,
+            &mut parts,
+            &mut adjacency,
+        );
+        span.arg("parts", parts.len());
+    }
 
     let partitioning: Partitioning = parts
         .into_iter()
@@ -175,7 +225,13 @@ fn singleton(est: &Estimator<'_>, id: FilterId) -> Result<Part, PartitionError> 
 /// The conditional merge of Algorithm 1: the merge happens only if the two
 /// sets are connected once unified, the union is convex, it fits in shared
 /// memory, and its estimated time strictly improves on the sum of the parts.
-fn try_merge(est: &Estimator<'_>, feasible: &FeasibilityCache, a: &Part, b: &Part) -> Option<Part> {
+fn try_merge(
+    est: &Estimator<'_>,
+    feasible: &FeasibilityCache<'_>,
+    a: &Part,
+    b: &Part,
+) -> Option<Part> {
+    sgmap_trace::add(feasible.trace, "partition.candidates_evaluated", 1);
     let union = a.nodes.union(&b.nodes);
     if !feasible.is_mergeable(est.graph(), &union) {
         return None;
@@ -245,7 +301,7 @@ fn pipeline_chains(graph: &StreamGraph) -> Vec<Vec<FilterId>> {
 /// on worker threads with no shared state beyond the estimator.
 fn merge_chain(
     est: &Estimator<'_>,
-    feasible: &FeasibilityCache,
+    feasible: &FeasibilityCache<'_>,
     chain: &[FilterId],
 ) -> Result<Vec<(Part, std::ops::Range<usize>)>, PartitionError> {
     let mut out = Vec::new();
@@ -257,6 +313,7 @@ fn merge_chain(
             let next = singleton(est, chain[j])?;
             match try_merge(est, feasible, &current, &next) {
                 Some(m) => {
+                    sgmap_trace::add(feasible.trace, "partition.merges_accepted", 1);
                     current = m;
                     j += 1;
                 }
@@ -276,7 +333,7 @@ fn merge_chain(
 fn phase1_pipelines(
     est: &Estimator<'_>,
     graph: &StreamGraph,
-    feasible: &FeasibilityCache,
+    feasible: &FeasibilityCache<'_>,
     threads: usize,
     parts: &mut Vec<Part>,
     assigned: &mut [bool],
@@ -302,7 +359,7 @@ fn phase1_pipelines(
 fn phase2_remaining(
     est: &Estimator<'_>,
     graph: &StreamGraph,
-    feasible: &FeasibilityCache,
+    feasible: &FeasibilityCache<'_>,
     parts: &mut Vec<Part>,
     assigned: &mut [bool],
 ) -> Result<(), PartitionError> {
@@ -330,6 +387,7 @@ fn phase2_remaining(
                 }
                 let next = singleton(est, k)?;
                 if let Some(m) = try_merge(est, feasible, &current, &next) {
+                    sgmap_trace::add(feasible.trace, "partition.merges_accepted", 1);
                     current = m;
                     assigned[k.index()] = true;
                     merged_any = true;
@@ -352,7 +410,7 @@ fn phase2_remaining(
 /// per candidate pair.
 fn phase3_partition_merging(
     est: &Estimator<'_>,
-    feasible: &FeasibilityCache,
+    feasible: &FeasibilityCache<'_>,
     threads: usize,
     batch: usize,
     parts: &mut Vec<Part>,
@@ -395,6 +453,7 @@ fn phase3_partition_merging(
             });
             match found {
                 Some(((i, j), m)) => {
+                    sgmap_trace::add(feasible.trace, "partition.merges_accepted", 1);
                     let (lo, hi) = if i < j { (i, j) } else { (j, i) };
                     adjacency.merge_swap_remove(lo, hi);
                     parts.swap_remove(hi);
@@ -419,7 +478,7 @@ fn phase3_partition_merging(
 fn phase4_simultaneous(
     est: &Estimator<'_>,
     graph: &StreamGraph,
-    feasible: &FeasibilityCache,
+    feasible: &FeasibilityCache<'_>,
     threads: usize,
     batch: usize,
     parts: &mut Vec<Part>,
@@ -444,6 +503,7 @@ fn phase4_simultaneous(
                 pairs
             });
             let found = first_accepted(threads, batch, triples, |&(p, a, b)| {
+                sgmap_trace::add(feasible.trace, "partition.candidates_evaluated", 1);
                 let pa = parts_ref[p].nodes.union(&parts_ref[a].nodes);
                 let union = pa.union(&parts_ref[b].nodes);
                 if !feasible.is_mergeable(graph, &union) {
@@ -479,6 +539,7 @@ fn phase4_simultaneous(
             });
             match found {
                 Some(((p, a, b), m)) => {
+                    sgmap_trace::add(feasible.trace, "partition.merges_accepted", 1);
                     let mut remove = [p, a, b];
                     remove.sort_unstable();
                     // Remove from the highest index down so indices stay valid.
@@ -500,6 +561,7 @@ fn phase4_simultaneous(
         if let (Some(e), chars) = est.estimate_with_chars(&all) {
             let total: f64 = parts.iter().map(|p| p.estimate.normalized_us).sum();
             if e.normalized_us < MERGE_GAIN_FACTOR * total {
+                sgmap_trace::add(feasible.trace, "partition.merges_accepted", 1);
                 parts.clear();
                 parts.push(Part {
                     nodes: all,

@@ -86,6 +86,7 @@ pub struct Estimator<'g> {
     enhanced: bool,
     cache: RwLock<LocalCache>,
     shared: Option<Arc<EstimateCache>>,
+    trace: Option<Arc<sgmap_trace::Collector>>,
 }
 
 impl<'g> Estimator<'g> {
@@ -110,6 +111,7 @@ impl<'g> Estimator<'g> {
             enhanced: false,
             cache: RwLock::new(HashMap::new()),
             shared: None,
+            trace: None,
         })
     }
 
@@ -145,6 +147,17 @@ impl<'g> Estimator<'g> {
     /// work. Cached answers are bit-identical to fresh computations.
     pub fn with_shared_cache(mut self, cache: Arc<EstimateCache>) -> Self {
         self.shared = Some(cache);
+        self
+    }
+
+    /// Attaches a trace collector. The estimator records `pee.estimate_hits`
+    /// / `pee.estimate_misses` counters (local single-flight cache) plus
+    /// per-path counters and set-size histograms for the two ways
+    /// characteristics are obtained (`pee.chars_from_set` vs
+    /// `pee.chars_merged`). The collector is write-only: estimates are
+    /// bit-identical with and without it.
+    pub fn with_trace(mut self, trace: Option<Arc<sgmap_trace::Collector>>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -197,6 +210,15 @@ impl<'g> Estimator<'g> {
     /// characteristics incrementally via [`Estimator::estimate_union`].
     pub fn estimate_with_chars(&self, set: &NodeSet) -> (Option<Estimate>, Arc<SetChars>) {
         self.estimate_impl(set, || {
+            // Path counters live inside the compute closure: they only fire
+            // on the single-flight compute, so the counts are deterministic
+            // across thread counts.
+            sgmap_trace::add(self.trace.as_ref(), "pee.chars_from_set", 1);
+            sgmap_trace::record(
+                self.trace.as_ref(),
+                "pee.chars_from_set_size",
+                set.len() as u64,
+            );
             Arc::new(self.index.for_set(self.graph, set, self.enhanced))
         })
     }
@@ -218,6 +240,12 @@ impl<'g> Estimator<'g> {
         union: &NodeSet,
     ) -> (Option<Estimate>, Arc<SetChars>) {
         self.estimate_impl(union, || {
+            sgmap_trace::add(self.trace.as_ref(), "pee.chars_merged", 1);
+            sgmap_trace::record(
+                self.trace.as_ref(),
+                "pee.chars_merged_size",
+                union.len() as u64,
+            );
             Arc::new(merge_characteristics(
                 &self.index,
                 self.graph,
@@ -281,7 +309,9 @@ impl<'g> Estimator<'g> {
         // Single-flight: the computation (and any query it forwards to the
         // shared cache) runs exactly once per distinct key, outside the map
         // lock so concurrent queries for other sets proceed.
+        let mut computed = false;
         let cached = cell.get_or_init(|| {
+            computed = true;
             let chars = make_chars();
             let estimate = match &self.shared {
                 Some(shared) => {
@@ -293,6 +323,11 @@ impl<'g> Estimator<'g> {
             };
             CachedEstimate { estimate, chars }
         });
+        if computed {
+            sgmap_trace::add(self.trace.as_ref(), "pee.estimate_misses", 1);
+        } else {
+            sgmap_trace::add(self.trace.as_ref(), "pee.estimate_hits", 1);
+        }
         (cached.estimate, cached.chars.clone())
     }
 

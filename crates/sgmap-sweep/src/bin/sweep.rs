@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! sweep [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]
-//!       [--canonical] [--list]
+//!       [--canonical] [--trace FILE] [--metrics FILE] [--list]
 //! sweep --check REPORT.json
+//! sweep --check-trace TRACE.json
 //! ```
 //!
 //! * `--preset NAME` — which grid to run (default `quick`); see `--list`.
@@ -17,19 +18,28 @@
 //!   back afterwards. A repeated sweep then reports zero cache misses.
 //! * `--canonical` — emit only the deterministic report body (no wall-clock
 //!   metadata), for byte-for-byte comparisons between runs.
+//! * `--trace FILE` — record a trace of the whole sweep (compile groups,
+//!   partition phases, ILP nodes, kernel launches) and write it as Chrome
+//!   trace-event JSON, loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev). Tracing never changes the report.
+//! * `--metrics FILE` — write the trace's aggregate counters / histograms /
+//!   span totals as canonical metrics JSON.
 //! * `--list` — print the available presets and exit.
 //! * `--check FILE` — validate a previously written report (non-empty, no
 //!   failed points, nonzero cache hits, nonzero compile-dedup groups) and
 //!   exit 0/1. This is exactly the validator CI runs.
+//! * `--check-trace FILE` — validate a previously written `--trace` or
+//!   `--metrics` file (auto-detected) and exit 0/1; also used by CI.
 //!
 //! A human-readable summary always goes to stderr, so stdout stays valid
 //! JSON for piping.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use sgmap_sweep::{check_report, default_threads, run_sweep, SweepSpec};
+use sgmap_sweep::{check_report, check_trace, default_threads, run_sweep_traced, SweepSpec};
 
-const USAGE: &str = "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE] [--canonical] [--list]\n       sweep --check REPORT.json";
+const USAGE: &str = "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE] [--canonical] [--trace FILE] [--metrics FILE] [--list]\n       sweep --check REPORT.json\n       sweep --check-trace TRACE.json";
 
 struct Args {
     preset: String,
@@ -37,8 +47,11 @@ struct Args {
     out: Option<String>,
     cache_file: Option<String>,
     canonical: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
     list: bool,
     check: Option<String>,
+    check_trace: Option<String>,
     help: bool,
 }
 
@@ -49,8 +62,11 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         cache_file: None,
         canonical: false,
+        trace: None,
+        metrics: None,
         list: false,
         check: None,
+        check_trace: None,
         help: false,
     };
     let mut it = std::env::args().skip(1);
@@ -72,9 +88,18 @@ fn parse_args() -> Result<Args, String> {
                 args.cache_file = Some(it.next().ok_or("--cache-file needs a value")?);
             }
             "--canonical" => args.canonical = true,
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs a value")?);
+            }
+            "--metrics" => {
+                args.metrics = Some(it.next().ok_or("--metrics needs a value")?);
+            }
             "--list" => args.list = true,
             "--check" => {
                 args.check = Some(it.next().ok_or("--check needs a report file")?);
+            }
+            "--check-trace" => {
+                args.check_trace = Some(it.next().ok_or("--check-trace needs a trace file")?);
             }
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
@@ -83,8 +108,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Runs the `--check` subcommand: read, validate, report, exit.
-fn run_check(path: &str) -> ExitCode {
+/// Runs the `--check` / `--check-trace` subcommands: read, validate with the
+/// given validator, report, exit.
+fn run_check<S: std::fmt::Display, E: std::fmt::Display>(
+    path: &str,
+    validate: impl Fn(&str) -> Result<S, E>,
+) -> ExitCode {
     let src = match std::fs::read_to_string(path) {
         Ok(src) => src,
         Err(e) => {
@@ -92,13 +121,27 @@ fn run_check(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check_report(&src) {
+    match validate(&src) {
         Ok(summary) => {
             eprintln!("{path}: OK — {summary}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("{path}: FAILED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Writes a trace / metrics export, reporting any I/O failure on stderr.
+fn write_export(path: &str, what: &str, contents: String) -> ExitCode {
+    match std::fs::write(path, contents) {
+        Ok(()) => {
+            eprintln!("{what} written to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {what} {path}: {e}");
             ExitCode::FAILURE
         }
     }
@@ -117,7 +160,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if let Some(path) = &args.check {
-        return run_check(path);
+        return run_check(path, check_report);
+    }
+    if let Some(path) = &args.check_trace {
+        return run_check(path, check_trace);
     }
     if args.list {
         for name in SweepSpec::PRESETS {
@@ -147,13 +193,44 @@ fn main() -> ExitCode {
         args.threads
     };
     eprintln!("sweep '{}' on {} threads...", spec.name, threads);
-    let report = match run_sweep(&spec, threads) {
+    let collector = if args.trace.is_some() || args.metrics.is_some() {
+        Some(Arc::new(sgmap_trace::Collector::new()))
+    } else {
+        None
+    };
+    let report = match run_sweep_traced(&spec, threads, collector.as_ref()) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("sweep failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Stamp the trace with the sweep's own summary before exporting, so a
+    // captured trace is self-describing about the run it came from.
+    sgmap_trace::instant(
+        collector.as_ref(),
+        "sweep.summary",
+        vec![
+            ("points", (report.records.len() as u64).into()),
+            ("compile_groups", report.dedup.compile_groups.into()),
+            ("cache_hits", report.cache.hits.into()),
+            ("cache_misses", report.cache.misses.into()),
+        ],
+    );
+    if let Some(collector) = &collector {
+        if let Some(path) = &args.trace {
+            let code = write_export(path, "trace", collector.chrome_trace_json());
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+        }
+        if let Some(path) = &args.metrics {
+            let code = write_export(path, "metrics", collector.metrics_json());
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+        }
+    }
 
     let ok = report.ok_records().count();
     let failed = report.records.len() - ok;

@@ -281,7 +281,16 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
             Some(platform) if !platform.is_empty() => {}
             _ => return Err(CheckError::Shape(format!("{at}: missing platform label"))),
         }
-        for field in ["build_ms", "estimator_ms", "partition_ms", "finish_ms"] {
+        for field in [
+            "build_ms",
+            "estimator_ms",
+            "partition_ms",
+            "partition_phase1_ms",
+            "partition_phase2_ms",
+            "partition_phase3_ms",
+            "partition_phase4_ms",
+            "finish_ms",
+        ] {
             let v = bench_f64(compile, field, &at)?;
             if v < 0.0 {
                 return Err(CheckError::Shape(format!("{at}: negative {field}")));
@@ -332,6 +341,238 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
         sweep_points,
         sweep_wall_ms,
     })
+}
+
+/// What a passing trace file looked like, for the one-line summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCheckSummary {
+    /// A Chrome trace-event file (`--trace`).
+    Chrome {
+        /// Total events in the file.
+        events: usize,
+        /// Complete (`"ph":"X"`) span events.
+        spans: usize,
+        /// Instant (`"ph":"i"`) events.
+        instants: usize,
+        /// Metadata (`"ph":"M"`) events.
+        metadata: usize,
+    },
+    /// An aggregate-metrics file (`--metrics`).
+    Metrics {
+        /// Distinct counters.
+        counters: usize,
+        /// Distinct histograms.
+        histograms: usize,
+        /// Distinct span names.
+        spans: usize,
+        /// Recorded warnings.
+        warnings: usize,
+    },
+}
+
+impl fmt::Display for TraceCheckSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceCheckSummary::Chrome {
+                events,
+                spans,
+                instants,
+                metadata,
+            } => write!(
+                f,
+                "chrome trace ok: {events} events ({spans} spans, {instants} instants, {metadata} metadata)"
+            ),
+            TraceCheckSummary::Metrics {
+                counters,
+                histograms,
+                spans,
+                warnings,
+            } => write!(
+                f,
+                "metrics ok: {counters} counters, {histograms} histograms, {spans} span names, {warnings} warnings"
+            ),
+        }
+    }
+}
+
+fn trace_str<'v>(value: &'v Value, field: &str, at: &str) -> Result<&'v str, CheckError> {
+    value
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| CheckError::Shape(format!("{at}: missing string '{field}'")))
+}
+
+fn trace_num(value: &Value, field: &str, at: &str) -> Result<f64, CheckError> {
+    let v = value
+        .get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| CheckError::Shape(format!("{at}: missing number '{field}'")))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(CheckError::Shape(format!(
+            "{at}: '{field}' must be finite and non-negative, got {v}"
+        )));
+    }
+    Ok(v)
+}
+
+/// Validates a Chrome trace-event file as the `--trace` exporter writes it.
+fn check_chrome_trace(report: &Value) -> Result<TraceCheckSummary, CheckError> {
+    let events = report
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| CheckError::Shape("traceEvents is not an array".to_string()))?;
+    let (mut spans, mut instants, mut metadata) = (0usize, 0usize, 0usize);
+    for (i, event) in events.iter().enumerate() {
+        let at = format!("traceEvents[{i}]");
+        let name = trace_str(event, "name", &at)?;
+        if name.is_empty() {
+            return Err(CheckError::Shape(format!("{at}: empty event name")));
+        }
+        match trace_str(event, "ph", &at)? {
+            "X" => {
+                trace_num(event, "ts", &at)?;
+                trace_num(event, "dur", &at)?;
+                trace_num(event, "pid", &at)?;
+                trace_num(event, "tid", &at)?;
+                spans += 1;
+            }
+            "i" => {
+                trace_num(event, "ts", &at)?;
+                match trace_str(event, "s", &at)? {
+                    "t" | "p" | "g" => {}
+                    s => {
+                        return Err(CheckError::Shape(format!("{at}: bad instant scope '{s}'")));
+                    }
+                }
+                instants += 1;
+            }
+            "M" => {
+                let args = event
+                    .get("args")
+                    .ok_or_else(|| CheckError::Shape(format!("{at}: metadata without args")))?;
+                trace_str(args, "name", &at)?;
+                metadata += 1;
+            }
+            ph => return Err(CheckError::Shape(format!("{at}: unknown phase '{ph}'"))),
+        }
+    }
+    if spans == 0 {
+        return Err(CheckError::Shape(
+            "trace contains no span events".to_string(),
+        ));
+    }
+    Ok(TraceCheckSummary::Chrome {
+        events: events.len(),
+        spans,
+        instants,
+        metadata,
+    })
+}
+
+/// Validates an aggregate-metrics file as the `--metrics` exporter writes it.
+fn check_metrics(report: &Value) -> Result<TraceCheckSummary, CheckError> {
+    match report.get("version").and_then(Value::as_u64) {
+        Some(1) => {}
+        other => {
+            return Err(CheckError::Shape(format!(
+                "unsupported metrics version {other:?}"
+            )))
+        }
+    }
+    let counters = report
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or_else(|| CheckError::Shape("missing counters object".to_string()))?;
+    for (name, value) in counters {
+        if value.as_u64().is_none() {
+            return Err(CheckError::Shape(format!(
+                "counter '{name}' is not a non-negative integer"
+            )));
+        }
+    }
+    let histograms = report
+        .get("histograms")
+        .and_then(Value::as_object)
+        .ok_or_else(|| CheckError::Shape("missing histograms object".to_string()))?;
+    for (name, h) in histograms {
+        let at = format!("histogram '{name}'");
+        let count = bench_u64(h, "count", &at)?;
+        bench_u64(h, "sum", &at)?;
+        bench_u64(h, "min", &at)?;
+        bench_u64(h, "max", &at)?;
+        let buckets = h
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| CheckError::Shape(format!("{at}: missing buckets array")))?;
+        let mut total = 0u64;
+        for b in buckets {
+            total += b
+                .as_u64()
+                .ok_or_else(|| CheckError::Shape(format!("{at}: non-integer bucket")))?;
+        }
+        if total != count {
+            return Err(CheckError::Shape(format!(
+                "{at}: buckets sum to {total} but count is {count}"
+            )));
+        }
+    }
+    let spans = report
+        .get("spans")
+        .and_then(Value::as_object)
+        .ok_or_else(|| CheckError::Shape("missing spans object".to_string()))?;
+    for (name, s) in spans {
+        let at = format!("span '{name}'");
+        if bench_u64(s, "count", &at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero count")));
+        }
+        let total = trace_num(s, "total_us", &at)?;
+        let max = trace_num(s, "max_us", &at)?;
+        if max > total {
+            return Err(CheckError::Shape(format!(
+                "{at}: max_us {max} exceeds total_us {total}"
+            )));
+        }
+    }
+    let warnings = report
+        .get("warnings")
+        .and_then(Value::as_array)
+        .ok_or_else(|| CheckError::Shape("missing warnings array".to_string()))?;
+    for (i, w) in warnings.iter().enumerate() {
+        let at = format!("warnings[{i}]");
+        trace_str(w, "code", &at)?;
+        trace_str(w, "message", &at)?;
+        trace_num(w, "ts_us", &at)?;
+    }
+    Ok(TraceCheckSummary::Metrics {
+        counters: counters.len(),
+        histograms: histograms.len(),
+        spans: spans.len(),
+        warnings: warnings.len(),
+    })
+}
+
+/// Validates the JSON text of a trace file written by `sweep --trace` /
+/// `perfbench --trace` (Chrome trace-event format) or `--metrics` (the
+/// aggregate-metrics format), auto-detected by their top-level keys. This is
+/// the validator behind `sweep --check-trace`, used verbatim by CI.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered: a parse error, an
+/// unrecognised top-level shape, or a malformed event / counter / histogram /
+/// span / warning entry.
+pub fn check_trace(src: &str) -> Result<TraceCheckSummary, CheckError> {
+    let report = Value::parse(src).map_err(CheckError::Parse)?;
+    if report.get("traceEvents").is_some() {
+        check_chrome_trace(&report)
+    } else if report.get("format").and_then(Value::as_str) == Some("sgmap-metrics") {
+        check_metrics(&report)
+    } else {
+        Err(CheckError::Shape(
+            "neither a chrome trace (traceEvents) nor a metrics file (format sgmap-metrics)"
+                .to_string(),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +705,8 @@ mod tests {
                 "\"filters\":34,\"partitions\":8,",
                 "\"ilp_nodes\":57,\"lp_iterations\":412,\"lp_warm_starts\":56,",
                 "\"build_ms\":0.1,\"estimator_ms\":0.2,\"partition_ms\":1.5,",
+                "\"partition_phase1_ms\":0.4,\"partition_phase2_ms\":0.3,",
+                "\"partition_phase3_ms\":0.5,\"partition_phase4_ms\":0.3,",
                 "\"finish_ms\":30.0,\"execute_ms\":0.1,\"total_ms\":31.8,",
                 "\"estimate_queries\":126,\"estimate_misses\":88,",
                 "\"estimates_per_sec\":84000.0,\"time_per_iteration_us\":12.5}}],",
@@ -477,6 +720,72 @@ mod tests {
             misses = misses,
             preloaded = preloaded_field,
         )
+    }
+
+    #[test]
+    fn exported_traces_pass_the_trace_checker() {
+        let collector = sgmap_trace::Collector::new();
+        {
+            let mut span = collector.span("partition.phase1");
+            span.arg("parts", 12u64);
+        }
+        collector.add("partition.candidates_evaluated", 42);
+        collector.record("pee.chars_merged_size", 9);
+        collector.instant("sweep.cache_loaded", vec![("entries", 7u64.into())]);
+        collector.warning("cache.save_failed", "disk full");
+        match check_trace(&collector.chrome_trace_json()).unwrap() {
+            TraceCheckSummary::Chrome {
+                spans, instants, ..
+            } => {
+                assert_eq!(spans, 1);
+                // The recorded instant plus the warning instant.
+                assert_eq!(instants, 2);
+            }
+            other => panic!("expected a chrome summary, got {other:?}"),
+        }
+        match check_trace(&collector.metrics_json()).unwrap() {
+            TraceCheckSummary::Metrics {
+                counters,
+                histograms,
+                spans,
+                warnings,
+            } => {
+                assert_eq!(counters, 1);
+                assert_eq!(histograms, 1);
+                assert_eq!(spans, 1);
+                assert_eq!(warnings, 1);
+            }
+            other => panic!("expected a metrics summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_failure_modes_are_detected() {
+        assert!(matches!(check_trace("nope"), Err(CheckError::Parse(_))));
+        assert!(matches!(check_trace("{}"), Err(CheckError::Shape(_))));
+        // A trace with no spans at all is rejected.
+        let empty = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+        assert!(matches!(check_trace(empty), Err(CheckError::Shape(_))));
+        // A span event with a bad phase.
+        let bad_ph = concat!(
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"Q\",",
+            "\"pid\":1,\"tid\":1,\"ts\":0.0}]}"
+        );
+        assert!(matches!(check_trace(bad_ph), Err(CheckError::Shape(_))));
+        // Metrics whose histogram buckets disagree with the count.
+        let bad_hist = concat!(
+            "{\"format\":\"sgmap-metrics\",\"version\":1,\"counters\":{},",
+            "\"histograms\":{\"h\":{\"count\":3,\"sum\":1,\"min\":0,\"max\":1,",
+            "\"buckets\":[1,1]}},\"spans\":{},\"warnings\":[]}"
+        );
+        let err = check_trace(bad_hist).unwrap_err();
+        assert!(err.to_string().contains("buckets sum"), "{err}");
+        // An unsupported metrics version.
+        let bad_version = "{\"format\":\"sgmap-metrics\",\"version\":2}";
+        assert!(matches!(
+            check_trace(bad_version),
+            Err(CheckError::Shape(_))
+        ));
     }
 
     #[test]
@@ -528,6 +837,11 @@ mod tests {
             bench_json(624, None).replace("\"lp_warm_starts\":56", "\"lp_warm_starts\":0"),
             bench_json(624, None).replace("\"ilp_nodes\":57,", ""),
             bench_json(624, None).replace("\"platform\":\"Tesla M2090x2\",", ""),
+            bench_json(624, None).replace("\"partition_phase1_ms\":0.4,", ""),
+            bench_json(624, None).replace(
+                "\"partition_phase3_ms\":0.5",
+                "\"partition_phase3_ms\":-0.5",
+            ),
         ] {
             let err = check_bench_report(&broken).unwrap_err();
             assert!(matches!(err, CheckError::Shape(_)), "{err}");

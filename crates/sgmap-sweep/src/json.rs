@@ -94,6 +94,15 @@ impl Value {
         }
     }
 
+    /// The key/value pairs of an object in document order (`None` for other
+    /// variants).
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// The value as a non-negative integer (`None` for other variants and
     /// negative integers).
     pub fn as_u64(&self) -> Option<u64> {

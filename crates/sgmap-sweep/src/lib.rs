@@ -64,14 +64,19 @@ pub use cache_io::{
     cache_from_json, cache_to_json, load_cache_file, load_cache_file_if_exists, save_cache_file,
     CACHE_FORMAT_VERSION,
 };
-pub use check::{check_bench_report, check_report, BenchCheckSummary, CheckError, CheckSummary};
+pub use check::{
+    check_bench_report, check_report, check_trace, BenchCheckSummary, CheckError, CheckSummary,
+    TraceCheckSummary,
+};
 pub use json::Value as JsonValue;
 pub use platform_json::{
     platform_spec_from_json, platform_spec_from_value, platform_spec_to_json,
     platform_spec_to_value,
 };
 pub use report::{Bottleneck, DedupStats, SweepRecord, SweepReport};
-pub use runner::{default_threads, run_sweep, run_sweep_with_cache};
+pub use runner::{
+    default_threads, run_sweep, run_sweep_traced, run_sweep_with_cache, run_sweep_with_cache_traced,
+};
 pub use spec::{
     mapper_name, partitioner_name, transfer_name, AppSweep, GpuModel, PointFilter, StackConfig,
     SweepError, SweepPoint, SweepSpec,

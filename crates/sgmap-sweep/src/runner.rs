@@ -99,17 +99,53 @@ fn group_points(points: &[SweepPoint]) -> Vec<Vec<usize>> {
 /// Panics if a worker thread panics (i.e. a bug in the flow itself, not a
 /// recoverable per-point failure).
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
+    run_sweep_traced(spec, threads, None)
+}
+
+/// [`run_sweep`] with an optional trace collector: compile groups and points
+/// run under `sweep.group` / `sweep.point` spans, cache persistence emits
+/// `sweep.cache_loaded` / `sweep.cache_saved` instants, and a failed cache
+/// save becomes a structured `cache.save_failed` warning instead of a bare
+/// stderr line. The collector is write-only, so the report is byte-identical
+/// with and without it.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`].
+///
+/// # Panics
+///
+/// Same as [`run_sweep`].
+pub fn run_sweep_traced(
+    spec: &SweepSpec,
+    threads: usize,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> Result<SweepReport, SweepError> {
     let cache = EstimateCache::shared();
     match &spec.cache_file {
-        None => run_sweep_with_cache(spec, threads, cache),
+        None => run_sweep_with_cache_traced(spec, threads, cache, trace),
         Some(path) => {
             crate::cache_io::load_cache_file_if_exists(path, &cache)
                 .map_err(SweepError::CacheIo)?;
-            let report = run_sweep_with_cache(spec, threads, cache.clone())?;
+            sgmap_trace::instant(
+                trace,
+                "sweep.cache_loaded",
+                vec![("entries", (cache.len() as u64).into())],
+            );
+            let report = run_sweep_with_cache_traced(spec, threads, cache.clone(), trace)?;
             // Saving is an optimisation for the *next* run; failing to write
             // it must not throw away the sweep that just completed.
-            if let Err(e) = crate::cache_io::save_cache_file(path, &cache) {
-                eprintln!("warning: estimate cache not persisted: {e}");
+            match crate::cache_io::save_cache_file(path, &cache) {
+                Ok(entries) => sgmap_trace::instant(
+                    trace,
+                    "sweep.cache_saved",
+                    vec![("entries", entries.into())],
+                ),
+                Err(e) => sgmap_trace::warn(
+                    trace,
+                    "cache.save_failed",
+                    format!("estimate cache not persisted: {e}"),
+                ),
             }
             Ok(report)
         }
@@ -134,6 +170,26 @@ pub fn run_sweep_with_cache(
     spec: &SweepSpec,
     threads: usize,
     cache: Arc<EstimateCache>,
+) -> Result<SweepReport, SweepError> {
+    run_sweep_with_cache_traced(spec, threads, cache, None)
+}
+
+/// [`run_sweep_with_cache`] with an optional trace collector (see
+/// [`run_sweep_traced`]).
+///
+/// # Errors
+///
+/// Returns an error if the spec fails validation.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (i.e. a bug in the flow itself, not a
+/// recoverable per-point failure).
+pub fn run_sweep_with_cache_traced(
+    spec: &SweepSpec,
+    threads: usize,
+    cache: Arc<EstimateCache>,
+    trace: sgmap_trace::TraceRef<'_>,
 ) -> Result<SweepReport, SweepError> {
     let points = spec.expand()?;
     let groups = group_points(&points);
@@ -163,8 +219,15 @@ pub fn run_sweep_with_cache(
                 if g >= groups.len() {
                     break;
                 }
-                let group_records =
-                    run_group(spec, &points, &groups[g], &cache, &search, point_threads);
+                let group_records = run_group(
+                    spec,
+                    &points,
+                    &groups[g],
+                    &cache,
+                    &search,
+                    point_threads,
+                    trace,
+                );
                 let mut results = results.lock().expect("sweep results lock poisoned");
                 for (i, record) in group_records {
                     results[i] = Some(record);
@@ -180,6 +243,8 @@ pub fn run_sweep_with_cache(
         .map(|r| r.expect("every point produces a record"))
         .collect();
     attach_speedups(&mut records);
+    sgmap_trace::add(trace, "sweep.points", points.len() as u64);
+    sgmap_trace::add(trace, "sweep.compile_groups", groups.len() as u64);
 
     Ok(SweepReport {
         spec_name: spec.name.clone(),
@@ -200,6 +265,7 @@ fn point_config(
     spec: &SweepSpec,
     point: &SweepPoint,
     search: &PartitionSearchOptions,
+    trace: sgmap_trace::TraceRef<'_>,
 ) -> FlowConfig {
     let mut config = FlowConfig::new()
         .with_platform(point.platform.clone())
@@ -212,6 +278,9 @@ fn point_config(
     // The stack axis is authoritative for routing; the spec-level plan only
     // contributes the fragment/iteration shape.
     config.plan.transfer_mode = point.stack.transfer_mode;
+    if let Some(collector) = trace {
+        config = config.with_trace(collector.clone());
+    }
     config
 }
 
@@ -246,6 +315,7 @@ fn par_collect<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync)
 /// Compiles one group (graph, estimator, partition stage — all built once)
 /// and executes every point in it on `point_threads` threads, returning
 /// `(point index, record)` pairs.
+#[allow(clippy::too_many_arguments)]
 fn run_group(
     spec: &SweepSpec,
     points: &[SweepPoint],
@@ -253,6 +323,7 @@ fn run_group(
     cache: &Arc<EstimateCache>,
     search: &PartitionSearchOptions,
     point_threads: usize,
+    trace: sgmap_trace::TraceRef<'_>,
 ) -> Vec<(usize, SweepRecord)> {
     let fail_all = |message: String| -> Vec<(usize, SweepRecord)> {
         group
@@ -261,24 +332,38 @@ fn run_group(
             .collect()
     };
     let first = &points[group[0]];
-    let graph = match first.app.build(first.n) {
+    let mut group_span = sgmap_trace::span(trace, "sweep.group");
+    group_span.arg("app", first.app.name());
+    group_span.arg("n", u64::from(first.n));
+    group_span.arg("stack", first.stack.label.as_str());
+    group_span.arg("points", group.len());
+    let graph = match first.app.build_traced(first.n, trace) {
         Ok(graph) => graph,
         Err(e) => return fail_all(e.to_string()),
     };
     let estimator = match Estimator::new(&graph, first.platform.primary_gpu().clone()) {
         Ok(est) => est
             .with_enhancement(first.enhanced)
-            .with_shared_cache(cache.clone()),
+            .with_shared_cache(cache.clone())
+            .with_trace(trace.cloned()),
         Err(e) => return fail_all(e.to_string()),
     };
-    let stage = match partition_graph(&graph, &point_config(spec, first, search), &estimator) {
+    let stage = match partition_graph(
+        &graph,
+        &point_config(spec, first, search, trace),
+        &estimator,
+    ) {
         Ok(stage) => stage,
         Err(e) => return fail_all(e.to_string()),
     };
     par_collect(point_threads, group.len(), |k| {
         let i = group[k];
         let point = &points[i];
-        let config = point_config(spec, point, search);
+        let mut point_span = sgmap_trace::span(trace, "sweep.point");
+        point_span.arg("app", point.app.name());
+        point_span.arg("n", u64::from(point.n));
+        point_span.arg("platform", point.platform.name.as_str());
+        let config = point_config(spec, point, search, trace);
         let record = match compile_from_stage(&graph, &config, &estimator, &stage) {
             Ok(compiled) => SweepRecord::from_run(point, &execute(&compiled, &config)),
             Err(e) => SweepRecord::from_error(point, e),

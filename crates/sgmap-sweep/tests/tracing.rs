@@ -1,0 +1,130 @@
+//! Tracing is observation only: attaching a collector must never change a
+//! sweep report, and the counters it collects must agree with the engine's
+//! own statistics.
+
+use std::sync::Arc;
+
+use sgmap_apps::App;
+use sgmap_core::{compile, execute, FlowConfig};
+use sgmap_pee::EstimateCache;
+use sgmap_sweep::{
+    check_trace, run_sweep_traced, AppSweep, GpuModel, StackConfig, SweepSpec, TraceCheckSummary,
+};
+use sgmap_trace::Collector;
+
+/// The determinism grid (see `determinism.rs`): 2 apps x 2 N x 3 GPU counts
+/// x 2 stacks = 24 points, the same acceptance bar as the quick preset but
+/// sized for a debug-profile test.
+fn contention_spec() -> SweepSpec {
+    SweepSpec::new(
+        "tracing",
+        vec![
+            AppSweep::explicit(App::FmRadio, vec![4, 8]),
+            AppSweep::explicit(App::MatMul2, vec![2, 3]),
+        ],
+        vec![GpuModel::M2090],
+        vec![1, 2, 4],
+        vec![StackConfig::ours(), StackConfig::previous()],
+    )
+}
+
+#[test]
+fn traced_reports_are_byte_identical_to_untraced() {
+    let spec = contention_spec();
+    let untraced = run_sweep_traced(&spec, 1, None).unwrap();
+    let single = Arc::new(Collector::new());
+    let traced_single = run_sweep_traced(&spec, 1, Some(&single)).unwrap();
+    let multi = Arc::new(Collector::new());
+    let traced_multi = run_sweep_traced(&spec, 4, Some(&multi)).unwrap();
+
+    assert!(untraced.records.iter().all(|r| r.is_ok()));
+    let reference = untraced.canonical_json();
+    assert_eq!(
+        reference,
+        traced_single.canonical_json(),
+        "tracing changed the report"
+    );
+    assert_eq!(
+        reference,
+        traced_multi.canonical_json(),
+        "tracing on 4 threads changed the report"
+    );
+
+    // Both collectors actually saw the sweep.
+    for collector in [&single, &multi] {
+        let counters = collector.counters();
+        assert_eq!(counters.get("sweep.points"), Some(&24));
+        assert_eq!(counters.get("sweep.compile_groups"), Some(&8));
+        assert!(counters.get("partition.candidates_evaluated").copied() > Some(0));
+    }
+
+    // Both exporters of the multi-threaded run validate, and the chrome
+    // trace contains the span vocabulary downstream tools key on.
+    let chrome = multi.chrome_trace_json();
+    match check_trace(&chrome).unwrap() {
+        TraceCheckSummary::Chrome { spans, .. } => assert!(spans > 0),
+        other => panic!("expected a chrome summary, got {other:?}"),
+    }
+    for name in [
+        "\"name\":\"graph.build\"",
+        "\"name\":\"partition.phase1\"",
+        "\"name\":\"partition.phase4\"",
+        "\"name\":\"pdg.build\"",
+        "\"name\":\"map\"",
+        "\"name\":\"codegen\"",
+        "\"name\":\"execute\"",
+        "\"name\":\"sweep.group\"",
+        "\"name\":\"sweep.point\"",
+    ] {
+        assert!(chrome.contains(name), "trace lacks {name}");
+    }
+    assert!(matches!(
+        check_trace(&multi.metrics_json()).unwrap(),
+        TraceCheckSummary::Metrics { .. }
+    ));
+}
+
+#[test]
+fn trace_counters_match_engine_statistics() {
+    let collector = Arc::new(Collector::new());
+    let graph = App::Des.build_traced(8, Some(&collector)).unwrap();
+    let cache = EstimateCache::shared();
+    let config = FlowConfig::new()
+        .with_gpu_count(2)
+        .with_estimate_cache(cache.clone())
+        .with_trace(collector.clone());
+    let compiled = compile(&graph, &config).unwrap();
+    execute(&compiled, &config);
+
+    let counters = collector.counters();
+    // Every single-flight estimator miss asks the shared cache exactly once,
+    // so the trace's miss counter equals the cache's query total.
+    assert_eq!(
+        counters.get("pee.estimate_misses").copied(),
+        Some(cache.stats().queries()),
+        "{counters:?}"
+    );
+    // The ILP counters mirror the solver's own statistics.
+    let ilp = compiled.mapping.ilp_stats;
+    assert_eq!(counters.get("ilp.nodes").copied(), Some(ilp.nodes));
+    assert_eq!(
+        counters.get("ilp.lp_iterations").copied(),
+        Some(ilp.lp_iterations)
+    );
+    assert_eq!(
+        counters.get("ilp.lp_warm_starts").copied(),
+        Some(ilp.lp_warm_starts)
+    );
+    // One B&B node span per visited node (the root relaxation included).
+    let spans = collector.span_totals();
+    assert_eq!(spans.get("ilp.node").map(|t| t.count), Some(ilp.nodes));
+    // The codegen counter agrees with the emitted plan.
+    assert_eq!(
+        counters.get("codegen.kernels").copied(),
+        Some(compiled.plan.kernels.len() as u64)
+    );
+    // The whole pipeline left one span each for its single-shot stages.
+    for stage in ["graph.build", "pdg.build", "map", "codegen", "execute"] {
+        assert_eq!(spans.get(stage).map(|t| t.count), Some(1), "span {stage}");
+    }
+}

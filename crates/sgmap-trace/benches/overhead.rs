@@ -1,0 +1,56 @@
+//! Span overhead micro-benchmarks backing the numbers cited in the README:
+//! a disabled-collector span is a no-op (a few ns — one branch, no clock
+//! read, no allocation) and an enabled span costs on the order of 150 ns
+//! (two clock reads plus one mutex-guarded Vec push); enabled counters and
+//! histograms sit near 20 ns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sgmap_trace::Collector;
+use std::sync::Arc;
+
+fn bench_overhead(c: &mut Criterion) {
+    let enabled = Arc::new(Collector::new());
+
+    c.bench_function("span_disabled", |b| {
+        let trace: Option<&Arc<Collector>> = None;
+        b.iter(|| {
+            let guard = sgmap_trace::span(black_box(trace), "bench.span");
+            black_box(&guard);
+        });
+    });
+
+    c.bench_function("span_enabled", |b| {
+        // Recycle the collector every 100k spans so the measurement reflects
+        // the steady-state push, not the memory growth of a collector fed
+        // tens of millions of events it would never see in real use.
+        let mut collector = Arc::new(Collector::new());
+        let mut spans = 0u32;
+        b.iter(|| {
+            spans += 1;
+            if spans == 100_000 {
+                collector = Arc::new(Collector::new());
+                spans = 0;
+            }
+            let guard = sgmap_trace::span(black_box(Some(&collector)), "bench.span");
+            black_box(&guard);
+        });
+    });
+
+    c.bench_function("counter_disabled", |b| {
+        let trace: Option<&Arc<Collector>> = None;
+        b.iter(|| sgmap_trace::add(black_box(trace), "bench.counter", 1));
+    });
+
+    c.bench_function("counter_enabled", |b| {
+        let trace = Some(&enabled);
+        b.iter(|| sgmap_trace::add(black_box(trace), "bench.counter", 1));
+    });
+
+    c.bench_function("histogram_enabled", |b| {
+        let trace = Some(&enabled);
+        b.iter(|| sgmap_trace::record(black_box(trace), "bench.hist", black_box(17)));
+    });
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Zero-dependency structured tracing for the sgmap compile pipeline.
+//!
+//! The crate provides a [`Collector`] that records three kinds of data while a
+//! compile (or a whole sweep) runs:
+//!
+//! - **spans** — RAII-guarded durations ([`Span`]) with `&'static str` names,
+//!   nested per thread (each OS thread gets its own lane / Chrome `tid`),
+//! - **counters** — monotonic `u64` counters keyed by `&'static str`,
+//! - **histograms** — fixed log2-bucket [`Histogram`]s for value distributions,
+//! - **warnings** — structured `(code, message)` pairs for conditions that were
+//!   previously only visible as ad-hoc `eprintln!` output.
+//!
+//! Two pure-Rust exporters turn a collector into JSON:
+//!
+//! - [`Collector::chrome_trace_json`] — Chrome trace-event format, loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>,
+//! - [`Collector::metrics_json`] — a canonical aggregate-metrics document
+//!   (sorted keys, stable formatting) for machine consumption.
+//!
+//! Everything is gated on `Option`: the free helpers ([`span`], [`add`],
+//! [`record`], [`instant`], [`warn`]) take `Option<&Arc<Collector>>` and are a
+//! no-op (a single branch, no allocation, no clock read) when the option is
+//! `None`, so instrumented hot paths cost nothing when tracing is disabled.
+//!
+//! # Span / counter naming conventions
+//!
+//! Names are dotted lowercase, `<layer>.<what>`:
+//!
+//! | kind | names |
+//! |------|-------|
+//! | span | `graph.build`, `graph.analysis`, `partition`, `partition.prewarm`, `partition.phase1`..`partition.phase4`, `pdg.build`, `map`, `ilp.solve`, `ilp.node`, `codegen`, `execute`, `sweep.group`, `sweep.point` |
+//! | counter | `graph.filters`, `graph.channels`, `partition.candidates_evaluated`, `partition.merges_accepted`, `partition.feasibility_hits`, `partition.feasibility_misses`, `pee.estimate_hits`, `pee.estimate_misses`, `pee.chars_merged`, `pee.chars_from_set`, `ilp.nodes`, `ilp.lp_iterations`, `ilp.lp_warm_starts`, `ilp.lp_cold_solves`, `codegen.kernels`, `codegen.transfers`, `gpusim.kernel_launches`, `gpusim.transfers`, `sweep.compile_groups`, `sweep.points` |
+//! | histogram | `pee.chars_from_set_size`, `pee.chars_merged_size` |
+//! | instant | `sweep.cache_loaded`, `sweep.cache_saved`, `sweep.summary` |
+//!
+//! The layers only ever *write* to the collector; no computation reads it
+//! back, which is what keeps traced and untraced runs byte-identical.
+
+mod collector;
+mod export;
+mod histogram;
+
+pub use collector::{ArgValue, Collector, Span, SpanTotals, Warning};
+pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
+
+use std::sync::Arc;
+
+/// The borrowed optional-collector handle threaded through instrumented
+/// functions. `None` means tracing is disabled and every helper is a no-op.
+pub type TraceRef<'a> = Option<&'a Arc<Collector>>;
+
+/// Open a span named `name` if `trace` is enabled; otherwise return an inert
+/// guard. The span ends (and is recorded) when the guard drops.
+pub fn span<'a>(trace: Option<&'a Arc<Collector>>, name: &'static str) -> Span<'a> {
+    match trace {
+        Some(c) => c.span(name),
+        None => Span::disabled(name),
+    }
+}
+
+/// Like [`span`] but with structured arguments attached to the span event.
+pub fn span_with<'a>(
+    trace: Option<&'a Arc<Collector>>,
+    name: &'static str,
+    args: Vec<(&'static str, ArgValue)>,
+) -> Span<'a> {
+    match trace {
+        Some(c) => c.span_with(name, args),
+        None => Span::disabled(name),
+    }
+}
+
+/// Add `delta` to the monotonic counter `name` (no-op when disabled).
+pub fn add(trace: Option<&Arc<Collector>>, name: &'static str, delta: u64) {
+    if let Some(c) = trace {
+        c.add(name, delta);
+    }
+}
+
+/// Record `value` into the log2-bucket histogram `name` (no-op when disabled).
+pub fn record(trace: Option<&Arc<Collector>>, name: &'static str, value: u64) {
+    if let Some(c) = trace {
+        c.record(name, value);
+    }
+}
+
+/// Emit an instant (zero-duration) event (no-op when disabled).
+pub fn instant(
+    trace: Option<&Arc<Collector>>,
+    name: &'static str,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if let Some(c) = trace {
+        c.instant(name, args);
+    }
+}
+
+/// Route a warning through the structured API: it always reaches stderr as
+/// the legacy human-readable `warning:` line, and with a collector attached
+/// it is additionally recorded (machine-readable, exported in both formats).
+pub fn warn(trace: Option<&Arc<Collector>>, code: &'static str, message: String) {
+    eprintln!("warning: {message}");
+    if let Some(c) = trace {
+        c.warning(code, message);
+    }
+}
