@@ -34,10 +34,14 @@ pub mod des;
 pub mod fft;
 pub mod fmradio;
 pub mod matmul;
+pub mod synthetic;
 
 use sgmap_graph::{GraphError, StreamGraph};
 
-/// The eight benchmark applications of the paper's evaluation.
+/// The eight benchmark applications of the paper's evaluation, plus the
+/// seeded synthetic families used by the scaling experiments (see
+/// [`synthetic`]). For the synthetic variants `n` is the target number of
+/// leaf filters rather than a problem size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum App {
     /// DES block cipher (compute-bound).
@@ -56,6 +60,12 @@ pub enum App {
     BitonicRec,
     /// Iterative bitonic sorting network.
     Bitonic,
+    /// Seeded synthetic graph, pipeline-heavy (`n` ≈ leaf filter count).
+    SynthPipe,
+    /// Seeded synthetic graph, split-join-heavy (`n` ≈ leaf filter count).
+    SynthFan,
+    /// Seeded synthetic graph with feedback loops (`n` ≈ leaf filter count).
+    SynthLoop,
 }
 
 impl App {
@@ -79,6 +89,24 @@ impl App {
         [App::Des, App::Dct, App::Fft, App::MatMul3, App::Bitonic]
     }
 
+    /// The synthetic scaling families ([`synthetic`]). Deliberately *not*
+    /// part of [`App::all`]: the paper presets and their golden reports stay
+    /// exactly as they were, and the synthetic apps opt in via the
+    /// `synthetic` sweep preset or an explicit spec.
+    pub fn synthetic() -> [App; 3] {
+        [App::SynthPipe, App::SynthFan, App::SynthLoop]
+    }
+
+    /// Looks an application up by its display [`App::name`] (used by the
+    /// `sweep --spec` loader). Covers the paper apps and the synthetic
+    /// families.
+    pub fn by_name(name: &str) -> Option<App> {
+        App::all()
+            .into_iter()
+            .chain(App::synthetic())
+            .find(|app| app.name() == name)
+    }
+
     /// Short display name as used in the paper.
     pub fn name(&self) -> &'static str {
         match self {
@@ -90,6 +118,9 @@ impl App {
             App::MatMul3 => "MatMul3",
             App::BitonicRec => "BitonicRec",
             App::Bitonic => "Bitonic",
+            App::SynthPipe => "SynthPipe",
+            App::SynthFan => "SynthFan",
+            App::SynthLoop => "SynthLoop",
         }
     }
 
@@ -104,6 +135,9 @@ impl App {
             App::MatMul3 => vec![1, 2, 3, 4, 5, 6, 7],
             App::BitonicRec => vec![2, 4, 8, 16, 32, 64],
             App::Bitonic => vec![2, 4, 8, 16, 32, 64],
+            App::SynthPipe | App::SynthFan | App::SynthLoop => {
+                vec![1_000, 5_000, 10_000, 50_000]
+            }
         }
     }
 
@@ -120,6 +154,7 @@ impl App {
             App::MatMul3 => vec![1, 3, 5, 7],
             App::BitonicRec => vec![2, 8, 16, 32],
             App::Bitonic => vec![2, 8, 16, 32],
+            App::SynthPipe | App::SynthFan | App::SynthLoop => vec![1_000, 5_000],
         }
     }
 
@@ -156,6 +191,9 @@ impl App {
             App::MatMul3 => matmul::build_matmul3_traced(n, trace),
             App::BitonicRec => bitonic::build_recursive_traced(n, trace),
             App::Bitonic => bitonic::build_iterative_traced(n, trace),
+            App::SynthPipe => synthetic::build_traced(synthetic::Family::Pipeline, n, trace),
+            App::SynthFan => synthetic::build_traced(synthetic::Family::SplitJoin, n, trace),
+            App::SynthLoop => synthetic::build_traced(synthetic::Family::Mixed, n, trace),
         }
     }
 }
@@ -218,5 +256,18 @@ mod tests {
         assert!(!App::Bitonic.expected_compute_bound());
         assert!(!App::Fft.expected_compute_bound());
         assert_eq!(App::figure_4_3_subset().len(), 5);
+    }
+
+    #[test]
+    fn synthetic_apps_are_named_but_not_in_all() {
+        for app in App::synthetic() {
+            assert!(!App::all().contains(&app), "{app} must stay out of all()");
+            assert_eq!(App::by_name(app.name()), Some(app));
+            for n in app.quick_n_values() {
+                assert!(app.paper_n_values().contains(&n));
+            }
+        }
+        assert_eq!(App::by_name("DES"), Some(App::Des));
+        assert_eq!(App::by_name("NoSuchApp"), None);
     }
 }

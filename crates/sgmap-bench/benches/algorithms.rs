@@ -10,7 +10,7 @@ use sgmap_gpusim::{sm_layout, GpuSpec, Platform};
 use sgmap_graph::NodeSet;
 use sgmap_ilp::{Model, ObjectiveSense, Solver};
 use sgmap_mapping::{map_greedy, map_ilp, MappingOptions};
-use sgmap_partition::{build_pdg, partition_stream_graph, Pdg, PdgEdge};
+use sgmap_partition::{build_pdg, PartitionRequest, Pdg, PdgEdge};
 use sgmap_pee::Estimator;
 
 fn bench_rates_and_layout(c: &mut Criterion) {
@@ -30,7 +30,7 @@ fn bench_partitioning(c: &mut Criterion) {
     c.bench_function("partition/proposed/fmradio8", |b| {
         b.iter(|| {
             let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
-            partition_stream_graph(&est).unwrap()
+            PartitionRequest::new(&est).run().unwrap()
         })
     });
 }
@@ -95,7 +95,7 @@ fn bench_mapping(c: &mut Criterion) {
     // End-to-end PDG construction from a real application.
     let graph = App::Des.build(8).unwrap();
     let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
-    let partitioning = partition_stream_graph(&est).unwrap();
+    let partitioning = PartitionRequest::new(&est).run().unwrap();
     let reps = graph.repetition_vector().unwrap();
     c.bench_function("pdg/build/des8", |b| {
         b.iter(|| build_pdg(&graph, &reps, &partitioning))

@@ -2,9 +2,11 @@
 //!
 //! Times the phases of single compiles (graph build, estimator/profile
 //! construction, the partition search, mapping + code generation) on a fixed
-//! set of compile targets, then times a full sweep preset, and emits the
-//! results as `BENCH.json` — the canonical perf artefact CI uploads so the
-//! project accumulates a wall-clock trajectory to optimise against.
+//! set of compile targets, then the multilevel partitioner's scaling curve
+//! on seeded synthetic graphs (1k–10k filters), then a full sweep preset,
+//! and emits the results as `BENCH.json` — the canonical perf artefact CI
+//! uploads so the project accumulates a wall-clock trajectory to optimise
+//! against.
 //!
 //! ```text
 //! perfbench [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]
@@ -39,7 +41,8 @@ use std::time::Instant;
 
 use sgmap_apps::App;
 use sgmap_core::{
-    compile_from_stage, execute, partition_graph, FlowConfig, PartitionSearchOptions,
+    compile_from_stage, execute, partition_graph, Algorithm, FlowConfig, MultilevelOptions,
+    PartitionSearchOptions,
 };
 use sgmap_pee::{EstimateCache, Estimator};
 use sgmap_sweep::{
@@ -50,8 +53,10 @@ use sgmap_trace::Collector;
 
 const USAGE: &str = "usage: perfbench [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE] [--trace FILE] [--metrics FILE]\n       perfbench --check BENCH.json";
 
-/// Schema version of the emitted `BENCH.json`.
-const BENCH_FORMAT_VERSION: u64 = 1;
+/// Schema version of the emitted `BENCH.json`. Version 2 added the
+/// `synthetic_scaling` section (the multilevel partitioner's scaling curve on
+/// generated graphs); version-1 reports no longer validate.
+const BENCH_FORMAT_VERSION: u64 = 2;
 
 /// The fixed single-compile targets: one representative (app, N) per
 /// application family, sized so one compile takes long enough to time
@@ -62,6 +67,16 @@ const COMPILE_TARGETS: &[(App, u32)] = &[
     (App::Fft, 64),
     (App::Bitonic, 16),
     (App::MatMul2, 4),
+];
+
+/// The synthetic scaling curve: seeded generated pipelines far past the
+/// paper's benchmark sizes, compiled with the multilevel partitioner. The
+/// largest point is the scaling gate — a 10k-filter graph must partition and
+/// map end-to-end on a single core within CI's patience.
+const SYNTHETIC_TARGETS: &[(App, u32)] = &[
+    (App::SynthPipe, 1_000),
+    (App::SynthPipe, 5_000),
+    (App::SynthPipe, 10_000),
 ];
 
 struct Args {
@@ -215,6 +230,91 @@ fn bench_compile(app: App, n: u32, collector: &Arc<Collector>) -> JsonValue {
     ])
 }
 
+/// Total recorded duration of one span name, milliseconds.
+fn span_total_ms(collector: &Collector, name: &str) -> f64 {
+    collector
+        .span_totals()
+        .get(name)
+        .map_or(0.0, |t| t.total_us / 1000.0)
+}
+
+/// Times one point of the synthetic scaling curve: a seeded generated graph
+/// compiled with the multilevel partitioner (single-threaded, serial
+/// search). The multilevel phase breakdown — coarsening, initial
+/// partitioning of the coarsest graph, refinement — is read back from the
+/// collector's span totals, and the level count from its counters.
+fn bench_synthetic(app: App, n: u32, collector: &Arc<Collector>) -> JsonValue {
+    let trace = Some(collector);
+    let config = FlowConfig::new()
+        .with_gpu_count(2)
+        .with_algorithm(Algorithm::Multilevel(MultilevelOptions::default()))
+        .with_partition_search(PartitionSearchOptions::serial())
+        .with_trace(collector.clone());
+
+    let t0 = Instant::now();
+    let graph = app.build_traced(n, trace).expect("synthetic targets build");
+    let build_ms = ms(t0);
+
+    let t1 = Instant::now();
+    let estimator = Estimator::new(&graph, config.estimation_gpu().clone())
+        .expect("synthetic targets have consistent rates")
+        .with_trace(Some(collector.clone()));
+    let estimator_ms = ms(t1);
+
+    let spans_before: Vec<f64> = ["partition.coarsen", "partition.initial", "partition.refine"]
+        .iter()
+        .map(|name| span_total_ms(collector, name))
+        .collect();
+    let levels_before = collector.counter("partition.coarsen_levels");
+    let t2 = Instant::now();
+    let stage = partition_graph(&graph, &config, &estimator).expect("partitioning succeeds");
+    let partition_ms = ms(t2);
+    let spans_after: Vec<f64> = ["partition.coarsen", "partition.initial", "partition.refine"]
+        .iter()
+        .map(|name| span_total_ms(collector, name))
+        .collect();
+    let coarsen_levels = collector.counter("partition.coarsen_levels") - levels_before;
+
+    let t3 = Instant::now();
+    let compiled =
+        compile_from_stage(&graph, &config, &estimator, &stage).expect("mapping succeeds");
+    let map_ms = ms(t3);
+
+    let total_ms = build_ms + estimator_ms + partition_ms + map_ms;
+    eprintln!(
+        "synthetic {:>9} N={:<6} {:8.1} ms (build {:.1}, estimator {:.1}, partition {:.1}, map+plan {:.1}) — {} filters -> {} partitions over {} coarsen levels",
+        app.name(), n, total_ms, build_ms, estimator_ms, partition_ms, map_ms,
+        graph.filter_count(), compiled.partition_count(), coarsen_levels,
+    );
+    JsonValue::object(vec![
+        ("app", JsonValue::str(app.name())),
+        ("n", JsonValue::Uint(u64::from(n))),
+        ("filters", JsonValue::Uint(graph.filter_count() as u64)),
+        (
+            "partitions",
+            JsonValue::Uint(compiled.partition_count() as u64),
+        ),
+        ("coarsen_levels", JsonValue::Uint(coarsen_levels)),
+        ("build_ms", JsonValue::Float(build_ms)),
+        ("estimator_ms", JsonValue::Float(estimator_ms)),
+        (
+            "coarsen_ms",
+            JsonValue::Float((spans_after[0] - spans_before[0]).max(0.0)),
+        ),
+        (
+            "initial_ms",
+            JsonValue::Float((spans_after[1] - spans_before[1]).max(0.0)),
+        ),
+        (
+            "refine_ms",
+            JsonValue::Float((spans_after[2] - spans_before[2]).max(0.0)),
+        ),
+        ("partition_ms", JsonValue::Float(partition_ms)),
+        ("map_ms", JsonValue::Float(map_ms)),
+        ("total_ms", JsonValue::Float(total_ms)),
+    ])
+}
+
 /// Runs the sweep preset against `cache` and returns its JSON record.
 fn bench_sweep(
     spec: &SweepSpec,
@@ -358,6 +458,13 @@ fn main() -> ExitCode {
         .map(|&(app, n)| bench_compile(app, n, &collector))
         .collect();
 
+    // The synthetic scaling curve: each point gets its own estimator (no
+    // shared cache) so the timings measure the multilevel partitioner cold.
+    let synthetic: Vec<JsonValue> = SYNTHETIC_TARGETS
+        .iter()
+        .map(|&(app, n)| bench_synthetic(app, n, &collector))
+        .collect();
+
     // The sweep phase: cold against a fresh cache, or warm-started from (and
     // saved back to) --cache-file.
     let sweep = bench_sweep(&spec, args.threads, &cache, &collector);
@@ -378,6 +485,7 @@ fn main() -> ExitCode {
         ("version", JsonValue::Uint(BENCH_FORMAT_VERSION)),
         ("preset", JsonValue::str(&*spec.name)),
         ("compiles", JsonValue::Array(compiles)),
+        ("synthetic_scaling", JsonValue::Array(synthetic)),
         ("sweep", sweep),
     ];
     if args.cache_file.is_some() {

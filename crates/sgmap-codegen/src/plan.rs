@@ -183,7 +183,7 @@ mod tests {
     use sgmap_apps::App;
     use sgmap_gpusim::{simulate_plan, GpuSpec};
     use sgmap_mapping::{map_greedy, map_round_robin};
-    use sgmap_partition::{build_pdg, partition_stream_graph};
+    use sgmap_partition::{build_pdg, PartitionRequest};
 
     fn setup(app: App, n: u32, gpus: usize) -> (sgmap_graph::StreamGraph, Platform) {
         (
@@ -197,7 +197,7 @@ mod tests {
         let (graph, platform) = setup(App::Des, 8, 2);
         let est = Estimator::new(&graph, platform.primary_gpu().clone()).unwrap();
         let reps = graph.repetition_vector().unwrap();
-        let partitioning = partition_stream_graph(&est).unwrap();
+        let partitioning = PartitionRequest::new(&est).run().unwrap();
         let pdg = build_pdg(&graph, &reps, &partitioning);
         let mapping = map_greedy(&pdg, &platform);
         let (plan, specs) = build_execution_plan(
@@ -226,7 +226,7 @@ mod tests {
         let (graph, platform) = setup(App::Dct, 10, 4);
         let est = Estimator::new(&graph, platform.primary_gpu().clone()).unwrap();
         let reps = graph.repetition_vector().unwrap();
-        let partitioning = partition_stream_graph(&est).unwrap();
+        let partitioning = PartitionRequest::new(&est).run().unwrap();
         let pdg = build_pdg(&graph, &reps, &partitioning);
         let good = map_greedy(&pdg, &platform);
         let naive = map_round_robin(&pdg, &platform);
@@ -248,7 +248,7 @@ mod tests {
         let (graph, platform) = setup(App::FmRadio, 8, 1);
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
         let reps = graph.repetition_vector().unwrap();
-        let partitioning = partition_stream_graph(&est).unwrap();
+        let partitioning = PartitionRequest::new(&est).run().unwrap();
         let pdg = build_pdg(&graph, &reps, &partitioning);
         let mapping = map_greedy(&pdg, &platform);
         let measured_opts = PlanOptions::default();

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use sgmap_codegen::PlanOptions;
 use sgmap_gpusim::{GpuSpec, InterconnectSpec, Platform, PlatformSpec, TransferMode};
 use sgmap_mapping::{MappingMethod, MappingOptions};
-use sgmap_partition::{PartitionSearchOptions, PartitionerKind};
+use sgmap_partition::{Algorithm, PartitionSearchOptions, PartitionerKind};
 use sgmap_pee::EstimateCache;
 
 /// Everything the flow needs to know besides the stream graph itself.
@@ -16,6 +16,10 @@ pub struct FlowConfig {
     pub platform: PlatformSpec,
     /// Which partitioner to run.
     pub partitioner: PartitionerKind,
+    /// The proposed partitioner's algorithm: the paper's flat four-phase
+    /// search (default) or the multilevel coarsen-partition-refine scheme
+    /// for very large graphs. Ignored by the baseline and SPSG partitioners.
+    pub algorithm: Algorithm,
     /// Thread count and batch size of the proposed partitioner's candidate
     /// search. Any value yields the identical partitioning; threads only
     /// change how fast one compile finishes.
@@ -48,6 +52,7 @@ impl FlowConfig {
         FlowConfig {
             platform: PlatformSpec::paper(),
             partitioner: PartitionerKind::Proposed,
+            algorithm: Algorithm::Flat,
             // Serial early-exit search: a single interactive compile should
             // not pay for speculative batches. Batch drivers (the sweep
             // runner) override this with `with_partition_search`.
@@ -113,6 +118,12 @@ impl FlowConfig {
     /// Selects the partitioner.
     pub fn with_partitioner(mut self, partitioner: PartitionerKind) -> Self {
         self.partitioner = partitioner;
+        self
+    }
+
+    /// Selects the proposed partitioner's algorithm (flat or multilevel).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
         self
     }
 

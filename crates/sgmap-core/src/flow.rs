@@ -7,9 +7,7 @@ use sgmap_gpusim::{simulate_plan_traced, ExecutionPlan, KernelSpec, Platform};
 use sgmap_graph::{GraphError, StreamGraph};
 use sgmap_ilp::IlpError;
 use sgmap_mapping::{map_with_traced, Mapping};
-use sgmap_partition::{
-    build_pdg, partition_with_options_traced, PartitionError, Partitioning, Pdg,
-};
+use sgmap_partition::{build_pdg, PartitionError, PartitionRequest, Partitioning, Pdg};
 use sgmap_pee::Estimator;
 
 use crate::config::FlowConfig;
@@ -236,12 +234,12 @@ pub fn partition_graph(
     };
     let partitioning = {
         let mut span = sgmap_trace::span(trace, "partition");
-        let partitioning = partition_with_options_traced(
-            estimator,
-            config.partitioner,
-            &config.partition_search,
-            trace,
-        )?;
+        let partitioning = PartitionRequest::new(estimator)
+            .with_kind(config.partitioner)
+            .with_algorithm(config.algorithm.clone())
+            .with_search(config.partition_search.clone())
+            .with_trace(trace)
+            .run()?;
         span.arg("partitions", partitioning.len());
         partitioning
     };

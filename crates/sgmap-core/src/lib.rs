@@ -31,4 +31,4 @@ pub use flow::{
     CompileResult, FlowError, PartitionStage,
 };
 pub use report::{speedup, RunReport};
-pub use sgmap_partition::PartitionSearchOptions;
+pub use sgmap_partition::{Algorithm, MultilevelOptions, PartitionRequest, PartitionSearchOptions};

@@ -140,6 +140,27 @@ impl NodeSet {
         NodeSet::from_sorted(members)
     }
 
+    /// Returns a new set with the members of `self` that are not in `other`.
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut members = Vec::with_capacity(self.members.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.members.len() && j < other.members.len() {
+            match self.members[i].cmp(&other.members[j]) {
+                std::cmp::Ordering::Less => {
+                    members.push(self.members[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        members.extend_from_slice(&self.members[i..]);
+        NodeSet::from_sorted(members)
+    }
+
     /// Returns `true` if the two sets share at least one filter.
     pub fn intersects(&self, other: &NodeSet) -> bool {
         let (mut i, mut j) = (0, 0);
@@ -369,6 +390,12 @@ mod tests {
         assert!(s.insert(FilterId::from_index(0)));
         assert!(!s.insert(FilterId::from_index(0)));
         assert_eq!(s.as_slice()[0], FilterId::from_index(0));
+        let d = u.difference(&s2);
+        assert_eq!(d, NodeSet::singleton(FilterId::from_index(0)));
+        assert_eq!(s1.difference(&s1), NodeSet::new());
+        assert_eq!(u.difference(&NodeSet::new()), u);
+        // Hashes of derived sets match freshly built ones (cache-key contract).
+        assert_eq!(d, NodeSet::from_ids([FilterId::from_index(0)]));
     }
 
     #[test]

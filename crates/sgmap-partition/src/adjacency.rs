@@ -88,6 +88,13 @@ impl AdjacencyIndex {
         self.rows[p].keys().copied()
     }
 
+    /// Number of channels crossing between parts `i` and `j` (either
+    /// direction, feedback included); 0 when not adjacent. This is the edge
+    /// weight the multilevel coarsener's heavy-edge matching maximises.
+    pub fn weight(&self, i: usize, j: usize) -> u32 {
+        self.rows[i].get(&j).copied().unwrap_or(0)
+    }
+
     /// Applies the partitioner's merge bookkeeping to the index: part `hi`
     /// is merged into part `lo` (`lo < hi`), then the part list is compacted
     /// with `swap_remove(hi)` — the last part moves into position `hi`.
@@ -135,6 +142,73 @@ impl AdjacencyIndex {
             }
         }
         self.rows.pop();
+    }
+
+    /// Applies the phase-4 triple-merge bookkeeping to the index: the three
+    /// distinct parts are merged into one, the part list is compacted with
+    /// `Vec::remove` from the highest index down (shifting every later part
+    /// two or three positions towards the front), and the merged part is
+    /// pushed at the end — exactly the order-preserving sequence
+    /// `remove(r2); remove(r1); remove(r0); push(merged)` the partitioner
+    /// performs on its part vector. Replaces the full index rebuild that
+    /// used to follow every accepted triple merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are not distinct or out of bounds.
+    pub fn merge_remove_push(&mut self, a: usize, b: usize, c: usize) {
+        let mut removed = [a, b, c];
+        removed.sort_unstable();
+        assert!(
+            removed[0] < removed[1] && removed[1] < removed[2] && removed[2] < self.rows.len(),
+            "bad triple merge {a}, {b}, {c}"
+        );
+        let new_last = self.rows.len() - 3;
+        // Old index → new index for surviving parts.
+        let shift = |k: usize| k - removed.iter().filter(|&&r| r < k).count();
+        // The merged part's row: the union of the three rows, internal links
+        // dropped, survivor keys remapped, parallel link counts summed.
+        let mut merged: BTreeMap<usize, u32> = BTreeMap::new();
+        for &r in &removed {
+            for (&k, &w) in &self.rows[r] {
+                if !removed.contains(&k) {
+                    *merged.entry(shift(k)).or_insert(0) += w;
+                }
+            }
+        }
+        // Every surviving row: drop links to the removed parts (re-pointing
+        // their summed weight at the merged part), remap the rest.
+        let old_rows = std::mem::take(&mut self.rows);
+        self.rows.reserve(new_last + 1);
+        for (idx, row) in old_rows.into_iter().enumerate() {
+            if removed.contains(&idx) {
+                continue;
+            }
+            let mut out = BTreeMap::new();
+            let mut to_merged = 0u32;
+            for (k, w) in row {
+                if removed.contains(&k) {
+                    to_merged += w;
+                } else {
+                    out.insert(shift(k), w);
+                }
+            }
+            if to_merged > 0 {
+                out.insert(new_last, to_merged);
+            }
+            self.rows.push(out);
+        }
+        self.rows.push(merged);
+        for p in &mut self.part_of {
+            if *p == usize::MAX {
+                continue;
+            }
+            *p = if removed.contains(p) {
+                new_last
+            } else {
+                shift(*p)
+            };
+        }
     }
 }
 
@@ -232,5 +306,119 @@ mod tests {
         parts.swap_remove(hi);
         parts[0] = union;
         assert_matches_naive(&g, &parts, &index);
+    }
+
+    #[test]
+    fn merge_remove_push_tracks_the_triple_merge_bookkeeping() {
+        let (g, ids) = fixture();
+        let mut parts: Vec<NodeSet> = ids.iter().map(|&id| NodeSet::from_ids([id])).collect();
+        let mut index = AdjacencyIndex::build(&g, &parts);
+        // Merge {a, b, e} (indices 0, 1, 4) the way phase 4 does.
+        let union = parts[0].union(&parts[1]).union(&parts[4]);
+        index.merge_remove_push(0, 1, 4);
+        parts.remove(4);
+        parts.remove(1);
+        parts.remove(0);
+        parts.push(union);
+        assert_matches_naive(&g, &parts, &index);
+        assert_eq!(index.part_of(ids[0]), Some(parts.len() - 1));
+        // The incremental result equals a fresh build.
+        let rebuilt = AdjacencyIndex::build(&g, &parts);
+        for i in 0..parts.len() {
+            assert_eq!(
+                index.neighbors(i).collect::<Vec<_>>(),
+                rebuilt.neighbors(i).collect::<Vec<_>>()
+            );
+            for j in 0..parts.len() {
+                assert_eq!(index.weight(i, j), rebuilt.weight(i, j), "({i},{j})");
+            }
+        }
+        // A second triple merge including the freshly pushed part.
+        let union = parts[0].union(&parts[1]).union(&parts[2]);
+        index.merge_remove_push(2, 0, 1);
+        parts.remove(2);
+        parts.remove(1);
+        parts.remove(0);
+        parts.push(union);
+        assert_matches_naive(&g, &parts, &index);
+    }
+
+    /// Asserts the incremental index equals one rebuilt from scratch,
+    /// weights included (`assert_matches_naive` only checks adjacency).
+    fn assert_matches_rebuild(graph: &StreamGraph, parts: &[NodeSet], index: &AdjacencyIndex) {
+        let rebuilt = AdjacencyIndex::build(graph, parts);
+        assert_eq!(index.len(), rebuilt.len());
+        for i in 0..parts.len() {
+            assert_eq!(
+                index.neighbors(i).collect::<Vec<_>>(),
+                rebuilt.neighbors(i).collect::<Vec<_>>(),
+                "neighbours of part {i}"
+            );
+            for j in 0..parts.len() {
+                assert_eq!(index.weight(i, j), rebuilt.weight(i, j), "({i},{j})");
+            }
+        }
+        for id in graph.filter_ids() {
+            assert_eq!(index.part_of(id), rebuilt.part_of(id));
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Random interleavings of pair merges (`merge_swap_remove`, phase
+        /// 3's bookkeeping) and triple merges (`merge_remove_push`, phase
+        /// 4's) on a random synthetic graph always leave the incremental
+        /// index identical to a from-scratch rebuild.
+        #[test]
+        fn random_merge_sequences_match_a_fresh_rebuild(
+            seed in proptest::prelude::any::<u64>(),
+            n in 20u32..60,
+            picks in proptest::prop::collection::vec((0usize..1000, 0usize..1000, 0usize..1000), 1..12),
+        ) {
+            let graph = sgmap_graph::GraphBuilder::new("prop")
+                .build(sgmap_apps::synthetic::spec(
+                    sgmap_apps::synthetic::Family::Mixed,
+                    n,
+                    seed,
+                ))
+                .expect("synthetic specs build");
+            let mut parts: Vec<NodeSet> = graph
+                .filter_ids()
+                .map(|id| NodeSet::from_ids([id]))
+                .collect();
+            let mut index = AdjacencyIndex::build(&graph, &parts);
+            for (a, b, triple) in picks {
+                if parts.len() < 4 {
+                    break;
+                }
+                let a = a % parts.len();
+                let b = b % parts.len();
+                if a == b {
+                    continue;
+                }
+                if triple % 2 == 0 {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let union = parts[lo].union(&parts[hi]);
+                    index.merge_swap_remove(lo, hi);
+                    parts.swap_remove(hi);
+                    parts[lo] = union;
+                } else {
+                    let c = triple % parts.len();
+                    if c == a || c == b {
+                        continue;
+                    }
+                    let union = parts[a].union(&parts[b]).union(&parts[c]);
+                    index.merge_remove_push(a, b, c);
+                    let mut removed = [a, b, c];
+                    removed.sort_unstable();
+                    for r in removed.into_iter().rev() {
+                        parts.remove(r);
+                    }
+                    parts.push(union);
+                }
+                assert_matches_rebuild(&graph, &parts, &index);
+            }
+        }
     }
 }

@@ -61,7 +61,7 @@ pub fn partition_baseline(est: &Estimator<'_>) -> Result<Partitioning, Partition
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proposed::partition_stream_graph;
+    use crate::PartitionRequest;
     use sgmap_apps::App;
     use sgmap_gpusim::GpuSpec;
 
@@ -88,7 +88,7 @@ mod tests {
             let graph = app.build(n).unwrap();
             let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
             let baseline = partition_baseline(&est).unwrap();
-            let proposed = partition_stream_graph(&est).unwrap();
+            let proposed = PartitionRequest::new(&est).run().unwrap();
             assert!(
                 baseline.len() <= proposed.len(),
                 "{app} N={n}: baseline {} > proposed {}",

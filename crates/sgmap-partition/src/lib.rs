@@ -5,12 +5,13 @@
 //!
 //! * [`Partition`] / [`Partitioning`] — the result types, each partition
 //!   carrying the PEE's [`Estimate`](sgmap_pee::Estimate) for it,
-//! * [`partition_stream_graph`] — the paper's four-phase heuristic
-//!   (Algorithm 1), which merges filters only when the performance model
-//!   predicts the merge reduces total runtime; its candidate search can run
-//!   on worker threads via [`partition_stream_graph_with`] and
-//!   [`PartitionSearchOptions`] while producing the identical result at any
-//!   thread count,
+//! * [`PartitionRequest`] — the single entry point: a builder selecting the
+//!   partitioner ([`PartitionerKind`]), the proposed partitioner's
+//!   [`Algorithm`] (the paper's four-phase search, or the multilevel
+//!   coarsen-partition-refine scheme with [`MultilevelOptions`] for 10k+
+//!   filter graphs), the candidate-search options
+//!   ([`PartitionSearchOptions`] — identical result at any thread count) and
+//!   an optional trace collector,
 //! * [`partition_baseline`] — the prior work's heuristic, which merges while
 //!   the shared-memory requirement is satisfied and ignores time,
 //! * [`single_partition`] — the single-partition (SPSG) mapping of the whole
@@ -18,6 +19,10 @@
 //!   exceeds shared memory,
 //! * [`Pdg`] — the Partition Dependence Graph (Figure 3.4) consumed by the
 //!   multi-GPU mapping step.
+//!
+//! The historical free functions (`partition_stream_graph*`,
+//! `partition_with*`) remain as hidden thin wrappers over
+//! [`PartitionRequest`] for source compatibility.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,20 +30,24 @@
 mod adjacency;
 mod baseline;
 mod error;
+mod multilevel;
 mod partitioning;
 mod pdg;
 mod proposed;
+mod request;
 mod search;
 mod spsg;
 
 pub use adjacency::AdjacencyIndex;
 pub use baseline::partition_baseline;
 pub use error::PartitionError;
+pub use multilevel::MultilevelOptions;
 pub use partitioning::{Partition, Partitioning};
 pub use pdg::{build_pdg, Pdg, PdgEdge};
 pub use proposed::{
     partition_stream_graph, partition_stream_graph_traced, partition_stream_graph_with,
 };
+pub use request::{Algorithm, PartitionRequest};
 pub use search::PartitionSearchOptions;
 pub use spsg::single_partition;
 
@@ -55,50 +64,52 @@ pub enum PartitionerKind {
     Single,
 }
 
-/// Runs the selected partitioner with the serial candidate search.
+/// Legacy entry point; use [`PartitionRequest::with_kind`].
 ///
 /// # Errors
 ///
 /// Returns an error if some filter cannot fit into shared memory even on its
 /// own, or if the graph's rates are inconsistent.
+#[doc(hidden)]
 pub fn partition_with(
     estimator: &Estimator<'_>,
     kind: PartitionerKind,
 ) -> Result<Partitioning, PartitionError> {
-    partition_with_options(estimator, kind, &PartitionSearchOptions::serial())
+    PartitionRequest::new(estimator).with_kind(kind).run()
 }
 
-/// Runs the selected partitioner with a configurable candidate search. The
-/// options only apply to the proposed partitioner — the baseline and SPSG
-/// partitioners have no candidate enumeration worth parallelising.
+/// Legacy entry point; use [`PartitionRequest::with_search`].
 ///
 /// # Errors
 ///
-/// Returns an error if some filter cannot fit into shared memory even on its
-/// own, or if the graph's rates are inconsistent.
+/// Same as [`partition_with`].
+#[doc(hidden)]
 pub fn partition_with_options(
     estimator: &Estimator<'_>,
     kind: PartitionerKind,
     options: &PartitionSearchOptions,
 ) -> Result<Partitioning, PartitionError> {
-    partition_with_options_traced(estimator, kind, options, None)
+    PartitionRequest::new(estimator)
+        .with_kind(kind)
+        .with_search(options.clone())
+        .run()
 }
 
-/// [`partition_with_options`] with an optional trace collector (spans per
-/// phase and search counters; see [`partition_stream_graph_traced`]).
+/// Legacy entry point; use [`PartitionRequest::with_trace`].
 ///
 /// # Errors
 ///
-/// Same as [`partition_with_options`].
+/// Same as [`partition_with`].
+#[doc(hidden)]
 pub fn partition_with_options_traced(
     estimator: &Estimator<'_>,
     kind: PartitionerKind,
     options: &PartitionSearchOptions,
     trace: sgmap_trace::TraceRef<'_>,
 ) -> Result<Partitioning, PartitionError> {
-    match kind {
-        PartitionerKind::Proposed => partition_stream_graph_traced(estimator, options, trace),
-        PartitionerKind::Baseline => partition_baseline(estimator),
-        PartitionerKind::Single => Ok(Partitioning::new(vec![single_partition(estimator)])),
-    }
+    PartitionRequest::new(estimator)
+        .with_kind(kind)
+        .with_search(options.clone())
+        .with_trace(trace)
+        .run()
 }

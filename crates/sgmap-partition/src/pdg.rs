@@ -154,8 +154,8 @@ pub fn build_pdg(graph: &StreamGraph, reps: &RepetitionVector, partitioning: &Pa
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proposed::partition_stream_graph;
     use crate::spsg::single_partition;
+    use crate::PartitionRequest;
     use crate::Partitioning;
     use sgmap_apps::App;
     use sgmap_gpusim::GpuSpec;
@@ -180,7 +180,7 @@ mod tests {
         let graph = App::FmRadio.build(8).unwrap();
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
         let reps = graph.repetition_vector().unwrap();
-        let partitioning = partition_stream_graph(&est).unwrap();
+        let partitioning = PartitionRequest::new(&est).run().unwrap();
         let pdg = build_pdg(&graph, &reps, &partitioning);
         assert_eq!(pdg.len(), partitioning.len());
         // Edge volumes equal the sum of crossing channel volumes.

@@ -29,12 +29,13 @@ use crate::search::{first_accepted, par_map, PartitionSearchOptions};
 
 /// A partition under construction: its node set, the PEE's estimate, and the
 /// characteristics bundle the estimator uses to derive union characteristics
-/// incrementally when this part is a merge operand.
+/// incrementally when this part is a merge operand. Shared with the
+/// multilevel partitioner, whose coarse clusters are `Part`s too.
 #[derive(Debug, Clone)]
-struct Part {
-    nodes: NodeSet,
-    estimate: Estimate,
-    chars: Arc<SetChars>,
+pub(crate) struct Part {
+    pub(crate) nodes: NodeSet,
+    pub(crate) estimate: Estimate,
+    pub(crate) chars: Arc<SetChars>,
 }
 
 /// Memoised structural-feasibility answers (weak connectivity over forward
@@ -49,22 +50,22 @@ struct Part {
 /// Benign racing (two threads computing the same pure predicate) cannot
 /// change any decision.
 #[derive(Debug, Default)]
-struct FeasibilityCache<'t> {
+pub(crate) struct FeasibilityCache<'t> {
     map: RwLock<HashMap<NodeSet, bool>>,
     /// Trace handle shared with the whole search; the cache carries it so
     /// `try_merge` and the phases can count without extra parameters.
-    trace: sgmap_trace::TraceRef<'t>,
+    pub(crate) trace: sgmap_trace::TraceRef<'t>,
 }
 
 impl<'t> FeasibilityCache<'t> {
-    fn new(trace: sgmap_trace::TraceRef<'t>) -> Self {
+    pub(crate) fn new(trace: sgmap_trace::TraceRef<'t>) -> Self {
         FeasibilityCache {
             map: RwLock::new(HashMap::new()),
             trace,
         }
     }
 
-    fn is_mergeable(&self, graph: &StreamGraph, set: &NodeSet) -> bool {
+    pub(crate) fn is_mergeable(&self, graph: &StreamGraph, set: &NodeSet) -> bool {
         if let Some(&known) = self
             .map
             .read()
@@ -93,48 +94,67 @@ impl<'t> FeasibilityCache<'t> {
 /// data-transfer time substantially, keep merging.
 pub const MERGE_GAIN_FACTOR: f64 = 0.98;
 
-/// Runs Algorithm 1 on the estimator's graph with the exact serial search
-/// (the historical behaviour; equivalent to
-/// [`partition_stream_graph_with`] under [`PartitionSearchOptions::serial`]).
+/// Legacy entry point; use [`PartitionRequest`](crate::PartitionRequest).
+///
+/// Runs Algorithm 1 on the estimator's graph with the exact serial search.
 ///
 /// # Errors
 ///
 /// Returns [`PartitionError::FilterTooLarge`] if a filter does not fit in
 /// shared memory on its own, or a graph error if the rates are inconsistent.
+#[doc(hidden)]
 pub fn partition_stream_graph(est: &Estimator<'_>) -> Result<Partitioning, PartitionError> {
-    partition_stream_graph_with(est, &PartitionSearchOptions::serial())
+    crate::PartitionRequest::new(est).run()
 }
 
-/// Runs Algorithm 1 with a configurable candidate search.
+/// Legacy entry point; use
+/// [`PartitionRequest::with_search`](crate::PartitionRequest::with_search).
+///
+/// # Errors
+///
+/// Same as [`partition_stream_graph`].
+#[doc(hidden)]
+pub fn partition_stream_graph_with(
+    est: &Estimator<'_>,
+    options: &PartitionSearchOptions,
+) -> Result<Partitioning, PartitionError> {
+    crate::PartitionRequest::new(est)
+        .with_search(options.clone())
+        .run()
+}
+
+/// Legacy entry point; use
+/// [`PartitionRequest::with_trace`](crate::PartitionRequest::with_trace).
+///
+/// # Errors
+///
+/// Same as [`partition_stream_graph`].
+#[doc(hidden)]
+pub fn partition_stream_graph_traced<'t>(
+    est: &Estimator<'_>,
+    options: &PartitionSearchOptions,
+    trace: sgmap_trace::TraceRef<'t>,
+) -> Result<Partitioning, PartitionError> {
+    crate::PartitionRequest::new(est)
+        .with_search(options.clone())
+        .with_trace(trace)
+        .run()
+}
+
+/// The flat (non-multilevel) four-phase search: the historical Algorithm 1
+/// driver behind [`Algorithm::Flat`](crate::Algorithm::Flat).
 ///
 /// The result is identical — same partitions, same order, bit-equal
 /// estimates — for every `options` value: candidate batches are evaluated
 /// speculatively but the accepted merge is always the first one in serial
 /// order, so threads only change how fast the answer arrives, never the
 /// answer. With equal batch sizes, even the estimator-cache counters are
-/// independent of the thread count.
-///
-/// # Errors
-///
-/// Returns [`PartitionError::FilterTooLarge`] if a filter does not fit in
-/// shared memory on its own, or a graph error if the rates are inconsistent.
-pub fn partition_stream_graph_with(
-    est: &Estimator<'_>,
-    options: &PartitionSearchOptions,
-) -> Result<Partitioning, PartitionError> {
-    partition_stream_graph_traced(est, options, None)
-}
-
-/// [`partition_stream_graph_with`] with an optional trace collector: each
-/// phase runs under its own span (`partition.prewarm`,
-/// `partition.phase1`..`partition.phase4`) and the search records candidate /
-/// merge / feasibility-cache counters. The collector is write-only, so the
-/// resulting [`Partitioning`] is bit-identical with and without it.
-///
-/// # Errors
-///
-/// Same as [`partition_stream_graph_with`].
-pub fn partition_stream_graph_traced(
+/// independent of the thread count. Each phase runs under its own span
+/// (`partition.prewarm`, `partition.phase1`..`partition.phase4`) and the
+/// search records candidate / merge / feasibility-cache counters; the
+/// collector is write-only, so the resulting [`Partitioning`] is
+/// bit-identical with and without it.
+pub(crate) fn flat_partition(
     est: &Estimator<'_>,
     options: &PartitionSearchOptions,
     trace: sgmap_trace::TraceRef<'_>,
@@ -165,7 +185,9 @@ pub fn partition_stream_graph_traced(
     }
     // From here on every filter is assigned, so the part-adjacency index
     // covers the graph; it replaces the per-candidate channel scans of
-    // phases 3 and 4 and is maintained incrementally across merges.
+    // phases 3 and 4 and is maintained incrementally across merges — this
+    // build is the only full construction of the flat search.
+    sgmap_trace::add(trace, "partition.adjacency_rebuilds", 1);
     let mut adjacency = AdjacencyIndex::build(graph, parts.iter().map(|p| &p.nodes));
     {
         let mut span = sgmap_trace::span(trace, "partition.phase3");
@@ -201,7 +223,7 @@ pub fn partition_stream_graph_traced(
 /// error the phases later report — it moves the dominant parameter-search
 /// cost onto the worker threads and keeps the evaluated set fixed even when
 /// a phase aborts early on a too-large filter.
-fn prewarm_singletons(est: &Estimator<'_>, graph: &StreamGraph, threads: usize) {
+pub(crate) fn prewarm_singletons(est: &Estimator<'_>, graph: &StreamGraph, threads: usize) {
     let ids: Vec<FilterId> = graph.filter_ids().collect();
     par_map(threads, &ids, |&id| {
         est.estimate(&NodeSet::singleton(id));
@@ -210,7 +232,7 @@ fn prewarm_singletons(est: &Estimator<'_>, graph: &StreamGraph, threads: usize) 
 
 /// Creates the singleton partition of a filter, failing if it cannot fit in
 /// shared memory on its own.
-fn singleton(est: &Estimator<'_>, id: FilterId) -> Result<Part, PartitionError> {
+pub(crate) fn singleton(est: &Estimator<'_>, id: FilterId) -> Result<Part, PartitionError> {
     let set = NodeSet::singleton(id);
     match est.estimate_with_chars(&set) {
         (Some(estimate), chars) => Ok(Part {
@@ -225,7 +247,7 @@ fn singleton(est: &Estimator<'_>, id: FilterId) -> Result<Part, PartitionError> 
 /// The conditional merge of Algorithm 1: the merge happens only if the two
 /// sets are connected once unified, the union is convex, it fits in shared
 /// memory, and its estimated time strictly improves on the sum of the parts.
-fn try_merge(
+pub(crate) fn try_merge(
     est: &Estimator<'_>,
     feasible: &FeasibilityCache<'_>,
     a: &Part,
@@ -408,7 +430,7 @@ fn phase2_remaining(
 /// merge is always the one the serial scan would accept first. Adjacency is
 /// answered by the incrementally maintained index instead of a channel scan
 /// per candidate pair.
-fn phase3_partition_merging(
+pub(crate) fn phase3_partition_merging(
     est: &Estimator<'_>,
     feasible: &FeasibilityCache<'_>,
     threads: usize,
@@ -472,10 +494,10 @@ fn phase3_partition_merging(
 /// serial scan order and evaluated in deterministic batches. Neighbour lists
 /// come from the adjacency index (whose iteration order is the ascending
 /// part order the serial scan used); accepted triple merges compact the part
-/// list with `Vec::remove`, which shifts later indices, so the index is
-/// rebuilt rather than patched — triple merges are rare, candidate checks
-/// are not.
-fn phase4_simultaneous(
+/// list with `Vec::remove`, and the index follows that exact bookkeeping
+/// incrementally via [`AdjacencyIndex::merge_remove_push`] instead of a full
+/// rebuild.
+pub(crate) fn phase4_simultaneous(
     est: &Estimator<'_>,
     graph: &StreamGraph,
     feasible: &FeasibilityCache<'_>,
@@ -547,7 +569,7 @@ fn phase4_simultaneous(
                     parts.remove(remove[1]);
                     parts.remove(remove[0]);
                     parts.push(m);
-                    *adjacency = AdjacencyIndex::build(graph, parts.iter().map(|p| &p.nodes));
+                    adjacency.merge_remove_push(p, a, b);
                 }
                 None => break,
             }
@@ -583,7 +605,7 @@ mod tests {
         let graph = app.build(n).unwrap();
         let filters = graph.filter_count();
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
-        let p = partition_stream_graph(&est).unwrap();
+        let p = crate::PartitionRequest::new(&est).run().unwrap();
         (p, filters)
     }
 
@@ -591,7 +613,7 @@ mod tests {
     fn des_partitioning_covers_the_graph_and_merges_filters() {
         let graph = App::Des.build(8).unwrap();
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
-        let p = partition_stream_graph(&est).unwrap();
+        let p = crate::PartitionRequest::new(&est).run().unwrap();
         p.validate_cover(&graph).unwrap();
         assert!(!p.is_empty());
         assert!(
@@ -639,12 +661,15 @@ mod tests {
             let n = if app == App::Fft { 64 } else { 8 };
             let graph = app.build(n).unwrap();
             let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
-            let serial = partition_stream_graph(&est).unwrap();
+            let serial = crate::PartitionRequest::new(&est).run().unwrap();
             for (threads, batch) in [(1, 32), (2, 32), (4, 7), (4, 1)] {
                 let opts = PartitionSearchOptions::new()
                     .with_threads(threads)
                     .with_batch(batch);
-                let parallel = partition_stream_graph_with(&est, &opts).unwrap();
+                let parallel = crate::PartitionRequest::new(&est)
+                    .with_search(opts)
+                    .run()
+                    .unwrap();
                 assert_eq!(
                     serial.len(),
                     parallel.len(),
@@ -666,7 +691,7 @@ mod tests {
     fn total_time_never_exceeds_sum_of_singletons() {
         let graph = App::Fft.build(64).unwrap();
         let est = Estimator::new(&graph, GpuSpec::m2090()).unwrap();
-        let p = partition_stream_graph(&est).unwrap();
+        let p = crate::PartitionRequest::new(&est).run().unwrap();
         let singleton_total: f64 = graph
             .filter_ids()
             .map(|id| est.estimate(&NodeSet::singleton(id)).unwrap().normalized_us)

@@ -2,13 +2,17 @@
 //! validate an existing report.
 //!
 //! ```text
-//! sweep [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE]
-//!       [--canonical] [--trace FILE] [--metrics FILE] [--list]
+//! sweep [--preset NAME | --spec FILE] [--threads N] [--out FILE]
+//!       [--cache-file FILE] [--canonical] [--trace FILE] [--metrics FILE]
+//!       [--list]
 //! sweep --check REPORT.json
 //! sweep --check-trace TRACE.json
 //! ```
 //!
 //! * `--preset NAME` — which grid to run (default `quick`); see `--list`.
+//! * `--spec FILE` — run a sweep described by a JSON spec file instead of a
+//!   named preset (see the `sgmap-sweep` spec-JSON docs for the format).
+//!   Mutually exclusive with `--preset`.
 //! * `--threads N` — worker threads (default: available parallelism, max 8).
 //!   The same count drives the sweep workers *and* the partition search
 //!   inside each compile; any value produces byte-identical canonical JSON.
@@ -37,12 +41,15 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use sgmap_sweep::{check_report, check_trace, default_threads, run_sweep_traced, SweepSpec};
+use sgmap_sweep::{
+    check_report, check_trace, default_threads, run_sweep_traced, sweep_spec_from_json, SweepSpec,
+};
 
-const USAGE: &str = "usage: sweep [--preset NAME] [--threads N] [--out FILE] [--cache-file FILE] [--canonical] [--trace FILE] [--metrics FILE] [--list]\n       sweep --check REPORT.json\n       sweep --check-trace TRACE.json";
+const USAGE: &str = "usage: sweep [--preset NAME | --spec FILE] [--threads N] [--out FILE] [--cache-file FILE] [--canonical] [--trace FILE] [--metrics FILE] [--list]\n       sweep --check REPORT.json\n       sweep --check-trace TRACE.json";
 
 struct Args {
-    preset: String,
+    preset: Option<String>,
+    spec: Option<String>,
     threads: usize,
     out: Option<String>,
     cache_file: Option<String>,
@@ -57,7 +64,8 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        preset: "quick".to_string(),
+        preset: None,
+        spec: None,
         threads: 0,
         out: None,
         cache_file: None,
@@ -73,7 +81,10 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--preset" => {
-                args.preset = it.next().ok_or("--preset needs a value")?;
+                args.preset = Some(it.next().ok_or("--preset needs a value")?);
+            }
+            "--spec" => {
+                args.spec = Some(it.next().ok_or("--spec needs a file")?);
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
@@ -104,6 +115,11 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
+    }
+    if args.preset.is_some() && args.spec.is_some() {
+        return Err(format!(
+            "--preset and --spec are mutually exclusive\n{USAGE}"
+        ));
     }
     Ok(args)
 }
@@ -176,11 +192,35 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let spec = match SweepSpec::preset(&args.preset) {
-        Ok(spec) => spec,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let spec = match &args.spec {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match sweep_spec_from_json(&src).and_then(|spec| {
+                spec.validate().map_err(|e| e.to_string())?;
+                Ok(spec)
+            }) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let name = args.preset.as_deref().unwrap_or("quick");
+            match SweepSpec::preset(name) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
     let spec = match &args.cache_file {

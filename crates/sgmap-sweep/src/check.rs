@@ -171,6 +171,10 @@ pub struct BenchCheckSummary {
     pub compiles: usize,
     /// Total wall-clock of the timed compiles, milliseconds.
     pub compile_total_ms: f64,
+    /// Number of points on the synthetic scaling curve.
+    pub synthetic_points: usize,
+    /// Filter count of the largest synthetic scaling point.
+    pub synthetic_max_filters: u64,
     /// Number of points in the timed sweep.
     pub sweep_points: u64,
     /// Wall-clock of the timed sweep, milliseconds.
@@ -181,8 +185,12 @@ impl fmt::Display for BenchCheckSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} compiles in {:.1} ms; sweep of {} points in {:.1} ms",
-            self.compiles, self.compile_total_ms, self.sweep_points, self.sweep_wall_ms
+            "{} compiles in {:.1} ms; scaling curve to {} filters; sweep of {} points in {:.1} ms",
+            self.compiles,
+            self.compile_total_ms,
+            self.synthetic_max_filters,
+            self.sweep_points,
+            self.sweep_wall_ms
         )
     }
 }
@@ -245,13 +253,16 @@ fn check_bench_sweep(
 }
 
 /// Validates the JSON text of a `perfbench` report (`BENCH.json`): format
-/// version 1, a non-empty list of timed compiles with positive wall-clocks,
+/// version 2, a non-empty list of timed compiles with positive wall-clocks,
 /// non-zero estimate counts and live ILP solver counters (`ilp_nodes` and
 /// `lp_iterations` per compile, at least one `lp_warm_starts` across the
-/// suite — the revised simplex must actually be warm-starting), and a
-/// healthy sweep section. A report whose sweep was warm-started from a
-/// persistent cache file (`cache_preloaded_entries > 0`) must additionally
-/// report zero shared-cache misses — the contract of cache persistence.
+/// suite — the revised simplex must actually be warm-starting), a
+/// `synthetic_scaling` curve whose largest point partitioned a graph of at
+/// least 10 000 filters through the multilevel pipeline (non-zero coarsen
+/// levels, non-negative phase timings), and a healthy sweep section. A
+/// report whose sweep was warm-started from a persistent cache file
+/// (`cache_preloaded_entries > 0`) must additionally report zero
+/// shared-cache misses — the contract of cache persistence.
 ///
 /// # Errors
 ///
@@ -259,7 +270,7 @@ fn check_bench_sweep(
 pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
     let report = Value::parse(src).map_err(CheckError::Parse)?;
     match report.get("version").and_then(Value::as_u64) {
-        Some(1) => {}
+        Some(2) => {}
         other => {
             return Err(CheckError::Shape(format!(
                 "unsupported BENCH.json version {other:?}"
@@ -325,6 +336,61 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
             "no lp_warm_starts recorded across any compile".to_string(),
         ));
     }
+    let synthetic = report
+        .get("synthetic_scaling")
+        .and_then(Value::as_array)
+        .ok_or_else(|| CheckError::Shape("missing synthetic_scaling array".to_string()))?;
+    if synthetic.is_empty() {
+        return Err(CheckError::Shape(
+            "empty synthetic_scaling curve".to_string(),
+        ));
+    }
+    let mut synthetic_max_filters = 0u64;
+    for (i, point) in synthetic.iter().enumerate() {
+        let at = format!("synthetic point {i}");
+        match point.get("app").and_then(Value::as_str) {
+            Some(app) if !app.is_empty() => {}
+            _ => return Err(CheckError::Shape(format!("{at}: missing app name"))),
+        }
+        let filters = bench_u64(point, "filters", &at)?;
+        if filters == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero filters")));
+        }
+        synthetic_max_filters = synthetic_max_filters.max(filters);
+        if bench_u64(point, "partitions", &at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero partitions")));
+        }
+        // A synthetic graph is far larger than the coarsening target, so the
+        // multilevel pipeline must actually have coarsened.
+        if bench_u64(point, "coarsen_levels", &at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero coarsen levels")));
+        }
+        for field in [
+            "build_ms",
+            "estimator_ms",
+            "coarsen_ms",
+            "initial_ms",
+            "refine_ms",
+            "partition_ms",
+            "map_ms",
+        ] {
+            let v = bench_f64(point, field, &at)?;
+            if v < 0.0 {
+                return Err(CheckError::Shape(format!("{at}: negative {field}")));
+            }
+        }
+        let total = bench_f64(point, "total_ms", &at)?;
+        if !total.is_finite() || total <= 0.0 {
+            return Err(CheckError::Shape(format!("{at}: non-positive total_ms")));
+        }
+    }
+    // The whole point of the curve is to exercise the partitioner past the
+    // paper's benchmark sizes.
+    if synthetic_max_filters < 10_000 {
+        return Err(CheckError::Shape(format!(
+            "synthetic_scaling tops out at {synthetic_max_filters} filters (need >= 10000)"
+        )));
+    }
     let sweep = report
         .get("sweep")
         .ok_or_else(|| CheckError::Shape("missing sweep section".to_string()))?;
@@ -338,6 +404,8 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
     Ok(BenchCheckSummary {
         compiles: compiles.len(),
         compile_total_ms,
+        synthetic_points: synthetic.len(),
+        synthetic_max_filters,
         sweep_points,
         sweep_wall_ms,
     })
@@ -700,7 +768,7 @@ mod tests {
         };
         format!(
             concat!(
-                "{{\"version\":1,\"preset\":\"quick\",\"compiles\":[",
+                "{{\"version\":2,\"preset\":\"quick\",\"compiles\":[",
                 "{{\"app\":\"DES\",\"n\":8,\"platform\":\"Tesla M2090x2\",",
                 "\"filters\":34,\"partitions\":8,",
                 "\"ilp_nodes\":57,\"lp_iterations\":412,\"lp_warm_starts\":56,",
@@ -710,6 +778,13 @@ mod tests {
                 "\"finish_ms\":30.0,\"execute_ms\":0.1,\"total_ms\":31.8,",
                 "\"estimate_queries\":126,\"estimate_misses\":88,",
                 "\"estimates_per_sec\":84000.0,\"time_per_iteration_us\":12.5}}],",
+                "\"synthetic_scaling\":[",
+                "{{\"app\":\"SynthPipe\",\"n\":10000,\"filters\":11498,",
+                "\"partitions\":67,\"coarsen_levels\":8,",
+                "\"build_ms\":5.6,\"estimator_ms\":1.9,\"coarsen_ms\":2200.0,",
+                "\"initial_ms\":110.0,\"refine_ms\":900.0,",
+                "\"partition_ms\":5608.8,\"map_ms\":88.8,",
+                "\"total_ms\":5705.1}}],",
                 "\"sweep\":{{\"preset\":\"quick\",\"points\":48,\"failed_points\":0,",
                 "\"wall_ms\":26000.0,\"cache\":{{\"hits\":1102,\"misses\":{misses},",
                 "\"entries\":624,\"hit_rate\":0.64}},",
@@ -792,8 +867,11 @@ mod tests {
     fn a_healthy_bench_report_passes() {
         let summary = check_bench_report(&bench_json(624, None)).unwrap();
         assert_eq!(summary.compiles, 1);
+        assert_eq!(summary.synthetic_points, 1);
+        assert_eq!(summary.synthetic_max_filters, 11498);
         assert_eq!(summary.sweep_points, 48);
         assert!(summary.to_string().contains("48 points"));
+        assert!(summary.to_string().contains("11498 filters"));
         // A warm-started report with zero misses passes too.
         check_bench_report(&bench_json(0, Some(624))).unwrap();
     }
@@ -808,8 +886,13 @@ mod tests {
             check_bench_report("{\"version\":9}"),
             Err(CheckError::Shape(_))
         ));
+        // Version-1 reports (no synthetic_scaling section) no longer pass.
         assert!(matches!(
-            check_bench_report("{\"version\":1,\"compiles\":[]}"),
+            check_bench_report("{\"version\":1}"),
+            Err(CheckError::Shape(_))
+        ));
+        assert!(matches!(
+            check_bench_report("{\"version\":2,\"compiles\":[]}"),
             Err(CheckError::Shape(_))
         ));
         // A warm-started sweep that still misses violates the persistence
@@ -842,9 +925,22 @@ mod tests {
                 "\"partition_phase3_ms\":0.5",
                 "\"partition_phase3_ms\":-0.5",
             ),
+            // The synthetic scaling curve is mandatory and must be healthy:
+            // present, coarsened, and reaching at least 10k filters.
+            bench_json(624, None).replace("\"synthetic_scaling\":[", "\"synthetic_scaling_x\":["),
+            bench_json(624, None).replace("\"filters\":11498", "\"filters\":9000"),
+            bench_json(624, None).replace("\"coarsen_levels\":8", "\"coarsen_levels\":0"),
+            bench_json(624, None).replace("\"coarsen_ms\":2200.0", "\"coarsen_ms\":-1.0"),
+            bench_json(624, None).replace("\"refine_ms\":900.0,", ""),
         ] {
             let err = check_bench_report(&broken).unwrap_err();
             assert!(matches!(err, CheckError::Shape(_)), "{err}");
         }
+        let empty_curve = bench_json(624, None).replace(
+            "\"synthetic_scaling\":[{\"app\":\"SynthPipe\"",
+            "\"synthetic_scaling\":[],\"ignored\":[{\"app\":\"SynthPipe\"",
+        );
+        let err = check_bench_report(&empty_curve).unwrap_err();
+        assert!(err.to_string().contains("empty synthetic_scaling"), "{err}");
     }
 }

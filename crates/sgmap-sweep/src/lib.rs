@@ -59,6 +59,7 @@ mod platform_json;
 mod report;
 mod runner;
 mod spec;
+mod spec_json;
 
 pub use cache_io::{
     cache_from_json, cache_to_json, load_cache_file, load_cache_file_if_exists, save_cache_file,
@@ -80,4 +81,7 @@ pub use runner::{
 pub use spec::{
     mapper_name, partitioner_name, transfer_name, AppSweep, GpuModel, PointFilter, StackConfig,
     SweepError, SweepPoint, SweepSpec,
+};
+pub use spec_json::{
+    sweep_spec_from_json, sweep_spec_from_value, sweep_spec_to_json, sweep_spec_to_value,
 };

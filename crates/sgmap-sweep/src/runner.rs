@@ -270,6 +270,7 @@ fn point_config(
     let mut config = FlowConfig::new()
         .with_platform(point.platform.clone())
         .with_partitioner(point.stack.partitioner)
+        .with_algorithm(point.stack.algorithm.clone())
         .with_mapper(point.stack.mapper)
         .with_enhancement(point.enhanced)
         .with_partition_search(search.clone());

@@ -8,7 +8,7 @@ use sgmap_apps::App;
 use sgmap_codegen::PlanOptions;
 use sgmap_gpusim::{GpuSpec, PlatformSpec, TransferMode};
 use sgmap_mapping::{MappingMethod, MappingOptions};
-use sgmap_partition::PartitionerKind;
+use sgmap_partition::{Algorithm, MultilevelOptions, PartitionerKind};
 
 /// Errors produced while validating or expanding a [`SweepSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +111,9 @@ pub struct StackConfig {
     pub label: String,
     /// Which partitioner to run.
     pub partitioner: PartitionerKind,
+    /// The proposed partitioner's algorithm (flat four-phase search or the
+    /// multilevel scheme). Ignored by the baseline and SPSG partitioners.
+    pub algorithm: Algorithm,
     /// Which mapper to run.
     pub mapper: MappingMethod,
     /// How inter-GPU transfers are routed.
@@ -127,6 +130,21 @@ impl StackConfig {
         StackConfig {
             label: "ours".to_string(),
             partitioner: PartitionerKind::Proposed,
+            algorithm: Algorithm::Flat,
+            mapper: MappingMethod::Ilp,
+            transfer_mode: TransferMode::PeerToPeer,
+            gpu_counts: None,
+        }
+    }
+
+    /// The scaling stack: the proposed partitioner running its multilevel
+    /// algorithm (default options), communication-aware ILP, peer-to-peer
+    /// transfers. This is the stack the `synthetic` preset runs.
+    pub fn multilevel() -> Self {
+        StackConfig {
+            label: "ml".to_string(),
+            partitioner: PartitionerKind::Proposed,
+            algorithm: Algorithm::Multilevel(MultilevelOptions::default()),
             mapper: MappingMethod::Ilp,
             transfer_mode: TransferMode::PeerToPeer,
             gpu_counts: None,
@@ -139,6 +157,7 @@ impl StackConfig {
         StackConfig {
             label: "previous".to_string(),
             partitioner: PartitionerKind::Baseline,
+            algorithm: Algorithm::Flat,
             mapper: MappingMethod::RoundRobin,
             transfer_mode: TransferMode::ViaHost,
             gpu_counts: None,
@@ -150,6 +169,7 @@ impl StackConfig {
         StackConfig {
             label: "spsg".to_string(),
             partitioner: PartitionerKind::Single,
+            algorithm: Algorithm::Flat,
             mapper: MappingMethod::Greedy,
             transfer_mode: TransferMode::PeerToPeer,
             gpu_counts: Some(vec![1]),
@@ -175,6 +195,7 @@ impl StackConfig {
                             transfer_name(transfer_mode)
                         ),
                         partitioner,
+                        algorithm: Algorithm::Flat,
                         mapper,
                         transfer_mode,
                         gpu_counts: None,
@@ -321,13 +342,14 @@ pub struct SweepPoint {
 
 impl SweepSpec {
     /// Names accepted by [`SweepSpec::preset`], in display order.
-    pub const PRESETS: [&'static str; 6] = [
+    pub const PRESETS: [&'static str; 7] = [
         "quick",
         "scaling",
         "compare",
         "enhancement",
         "paper",
         "hier",
+        "synthetic",
     ];
 
     /// A sweep with the given name and axes, deterministic ILP budget and
@@ -424,6 +446,7 @@ impl SweepSpec {
             "enhancement" => Ok(Self::enhancement()),
             "paper" => Ok(Self::scaling(true).with_name("paper")),
             "hier" => Ok(Self::hier()),
+            "synthetic" => Ok(Self::synthetic()),
             other => Err(SweepError::UnknownPreset(other.to_string())),
         }
     }
@@ -529,6 +552,24 @@ impl SweepSpec {
                 PlatformSpec::mixed_m2090_c2070(),
             ],
             vec![StackConfig::ours()],
+        )
+    }
+
+    /// The synthetic scaling grid: the three seeded synthetic families
+    /// ([`App::synthetic`]) at 1k filters, 2 and 4 GPUs, under the multilevel
+    /// stack. Deliberately separate from the paper presets so their golden
+    /// reports never change; larger sizes run through the perf bench's
+    /// `synthetic_scaling` target or an explicit `--spec` file.
+    pub fn synthetic() -> Self {
+        SweepSpec::new(
+            "synthetic",
+            App::synthetic()
+                .into_iter()
+                .map(|app| AppSweep::explicit(app, vec![1_000]))
+                .collect(),
+            vec![GpuModel::M2090],
+            vec![2, 4],
+            vec![StackConfig::multilevel()],
         )
     }
 

@@ -56,3 +56,25 @@ fn multithreaded_reports_are_byte_identical_to_single_threaded() {
     assert_eq!(summary.points, 24);
     assert_eq!(summary.compile_groups, 8);
 }
+
+#[test]
+fn synthetic_multilevel_reports_are_byte_identical_across_threads() {
+    // The multilevel stack on a generated app: the whole pipeline —
+    // coarsening, initial partitioning, batched refinement — must produce
+    // the same bytes no matter how the search threads race.
+    let spec = SweepSpec::new(
+        "synthetic-determinism",
+        vec![AppSweep::explicit(App::SynthPipe, vec![300])],
+        vec![GpuModel::M2090],
+        vec![2, 4],
+        vec![StackConfig::multilevel()],
+    );
+    let single = run_sweep(&spec, 1).unwrap();
+    let multi = run_sweep(&spec, 4).unwrap();
+    assert!(single.records.iter().all(|r| r.is_ok()));
+    assert_eq!(
+        single.canonical_json(),
+        multi.canonical_json(),
+        "synthetic multilevel report depends on thread count"
+    );
+}
