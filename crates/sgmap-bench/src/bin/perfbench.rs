@@ -55,8 +55,11 @@ const USAGE: &str = "usage: perfbench [--preset NAME] [--threads N] [--out FILE]
 
 /// Schema version of the emitted `BENCH.json`. Version 2 added the
 /// `synthetic_scaling` section (the multilevel partitioner's scaling curve on
-/// generated graphs); version-1 reports no longer validate.
-const BENCH_FORMAT_VERSION: u64 = 2;
+/// generated graphs); version 3 added the per-compile `lp_refactorizations` /
+/// `ilp_gap` fields and the `budget_bounded` section (a node-capped large
+/// mapping solve recording its reported optimality gap). Older reports no
+/// longer validate.
+const BENCH_FORMAT_VERSION: u64 = 3;
 
 /// The fixed single-compile targets: one representative (app, N) per
 /// application family, sized so one compile takes long enough to time
@@ -210,6 +213,8 @@ fn bench_compile(app: App, n: u32, collector: &Arc<Collector>) -> JsonValue {
         ("ilp_nodes", JsonValue::Uint(ilp.nodes)),
         ("lp_iterations", JsonValue::Uint(ilp.lp_iterations)),
         ("lp_warm_starts", JsonValue::Uint(ilp.lp_warm_starts)),
+        ("lp_refactorizations", JsonValue::Uint(ilp.refactorizations)),
+        ("ilp_gap", JsonValue::Float(ilp.optimality_gap)),
         ("build_ms", JsonValue::Float(build_ms)),
         ("estimator_ms", JsonValue::Float(estimator_ms)),
         ("partition_ms", JsonValue::Float(partition_ms)),
@@ -312,6 +317,61 @@ fn bench_synthetic(app: App, n: u32, collector: &Arc<Collector>) -> JsonValue {
         ("partition_ms", JsonValue::Float(partition_ms)),
         ("map_ms", JsonValue::Float(map_ms)),
         ("total_ms", JsonValue::Float(total_ms)),
+    ])
+}
+
+/// Times a budget-bounded large mapping solve: a synthetic split-join graph
+/// whose branch-and-bound is capped to a small node budget, so the solve is
+/// answered by the best-bound frontier with a reported optimality gap — the
+/// configuration time/node-limited production solves run in. Records the
+/// gap so the perf trajectory tracks *solution quality under budget*, not
+/// just wall-clock.
+fn bench_budget_bounded(
+    app: App,
+    n: u32,
+    max_nodes: usize,
+    collector: &Arc<Collector>,
+) -> JsonValue {
+    let trace = Some(collector);
+    let mut config = FlowConfig::new()
+        .with_gpu_count(4)
+        .with_algorithm(Algorithm::Multilevel(MultilevelOptions::default()))
+        .with_partition_search(PartitionSearchOptions::serial())
+        .with_trace(collector.clone());
+    config.mapping_options.max_nodes = max_nodes;
+
+    let graph = app.build_traced(n, trace).expect("synthetic targets build");
+    let estimator = Estimator::new(&graph, config.estimation_gpu().clone())
+        .expect("synthetic targets have consistent rates")
+        .with_trace(Some(collector.clone()));
+    let stage = partition_graph(&graph, &config, &estimator).expect("partitioning succeeds");
+
+    let t = Instant::now();
+    let compiled =
+        compile_from_stage(&graph, &config, &estimator, &stage).expect("mapping succeeds");
+    let map_ms = ms(t);
+    let ilp = compiled.mapping.ilp_stats;
+    eprintln!(
+        "budget {:>9} N={:<6} map+plan {:7.1} ms under max_nodes={} — ilp {} nodes, gap {:.4}",
+        app.name(),
+        n,
+        map_ms,
+        max_nodes,
+        ilp.nodes,
+        ilp.optimality_gap,
+    );
+    JsonValue::object(vec![
+        ("app", JsonValue::str(app.name())),
+        ("n", JsonValue::Uint(u64::from(n))),
+        ("max_nodes", JsonValue::Uint(max_nodes as u64)),
+        (
+            "partitions",
+            JsonValue::Uint(compiled.partition_count() as u64),
+        ),
+        ("ilp_nodes", JsonValue::Uint(ilp.nodes)),
+        ("ilp_gap", JsonValue::Float(ilp.optimality_gap)),
+        ("lp_iterations", JsonValue::Uint(ilp.lp_iterations)),
+        ("map_ms", JsonValue::Float(map_ms)),
     ])
 }
 
@@ -465,6 +525,10 @@ fn main() -> ExitCode {
         .map(|&(app, n)| bench_synthetic(app, n, &collector))
         .collect();
 
+    // The budget-bounded point: a large mapping solve under a hard node cap,
+    // recording the optimality gap the truncated search reports.
+    let budget_bounded = bench_budget_bounded(App::SynthPipe, 5_000, 40, &collector);
+
     // The sweep phase: cold against a fresh cache, or warm-started from (and
     // saved back to) --cache-file.
     let sweep = bench_sweep(&spec, args.threads, &cache, &collector);
@@ -486,6 +550,7 @@ fn main() -> ExitCode {
         ("preset", JsonValue::str(&*spec.name)),
         ("compiles", JsonValue::Array(compiles)),
         ("synthetic_scaling", JsonValue::Array(synthetic)),
+        ("budget_bounded", budget_bounded),
         ("sweep", sweep),
     ];
     if args.cache_file.is_some() {

@@ -1,15 +1,24 @@
 //! Basis bookkeeping for the revised simplex: which variable is basic in
 //! which row, the nonbasic-at-lower/upper states of everything else, and a
-//! dense row-major basis inverse maintained by product-form updates.
+//! factorised representation of the basis matrix behind a common
+//! ftran/btran/pivot interface.
 //!
-//! The mapping LPs top out at a few hundred to ~1000 rows, where a dense
-//! `m × m` inverse (O(m²) per pivot) beats factored forms by simplicity and
-//! cache behaviour. Drift from the product-form updates is bounded by
-//! replay-refactorising every [`REFACTOR_INTERVAL`] pivots: the inverse is
-//! rebuilt from the identity by re-pivoting the structural basic columns in
-//! row order, which costs O(k·m²) for k structural basics instead of a full
-//! O(m³) inversion.
+//! Two interchangeable backends implement that interface:
+//!
+//! * [`BasisBackend::SparseLu`] (the default) — a sparse LU factorisation
+//!   with Markowitz pivot selection and an eta-update file
+//!   ([`crate::lu::LuFactor`]); solves cost `O(nnz)` of the factors, so
+//!   large sparse bases stay cheap,
+//! * [`BasisBackend::DenseInverse`] — the dense row-major `m × m` inverse
+//!   maintained by product-form updates that PR 5 shipped, kept as the
+//!   reference backend for equivalence proptests and the
+//!   dense-vs-LU benchmarks; every pivot costs `O(m²)`.
+//!
+//! Both backends bound drift the same way: the factors are rebuilt after a
+//! fixed number of updates, and the LU backend additionally refactorises
+//! early when an update shows large pivot growth.
 
+use crate::lu::LuFactor;
 use crate::sparse::SparseCols;
 
 /// Where a variable currently lives.
@@ -23,55 +32,44 @@ pub(crate) enum VarState {
     AtUpper,
 }
 
-/// Rebuild the inverse from scratch after this many product-form updates.
-const REFACTOR_INTERVAL: u32 = 512;
+/// Which factorised representation of the basis matrix the LP engine keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BasisBackend {
+    /// Sparse LU factors (Markowitz pivoting, eta updates) — the default.
+    #[default]
+    SparseLu,
+    /// Dense `m × m` basis inverse with product-form updates — the
+    /// reference backend for equivalence tests and benchmarks.
+    DenseInverse,
+}
 
-/// The current basis together with its dense inverse.
+/// Rebuild the dense inverse from scratch after this many product-form
+/// updates.
+const DENSE_REFACTOR_INTERVAL: u32 = 512;
+
+/// The dense row-major inverse backend.
 #[derive(Debug, Clone)]
-pub(crate) struct Basis {
-    /// Basic variable of each row.
-    pub(crate) basic: Vec<u32>,
-    /// State of every column (structural + logical).
-    pub(crate) state: Vec<VarState>,
+struct DenseFactor {
     /// Row-major `m × m` basis inverse.
     binv: Vec<f64>,
     m: usize,
     pivots_since_refactor: u32,
 }
 
-impl Basis {
-    /// An all-logical basis (`B = I`) with every structural column at its
-    /// lower bound.
-    pub(crate) fn logical(m: usize, n_struct: usize) -> Basis {
-        let mut state = vec![VarState::AtLower; n_struct + m];
-        let mut basic = Vec::with_capacity(m);
-        for i in 0..m {
-            basic.push((n_struct + i) as u32);
-            state[n_struct + i] = VarState::Basic(i as u32);
-        }
+impl DenseFactor {
+    fn identity(m: usize) -> DenseFactor {
         let mut binv = vec![0.0; m * m];
         for i in 0..m {
             binv[i * m + i] = 1.0;
         }
-        Basis {
-            basic,
-            state,
+        DenseFactor {
             binv,
             m,
             pivots_since_refactor: 0,
         }
     }
 
-    /// Resets this basis in place to the all-logical configuration.
-    pub(crate) fn reset_logical(&mut self) {
-        let n_struct = self.state.len() - self.m;
-        for s in self.state.iter_mut() {
-            *s = VarState::AtLower;
-        }
-        for i in 0..self.m {
-            self.basic[i] = (n_struct + i) as u32;
-            self.state[n_struct + i] = VarState::Basic(i as u32);
-        }
+    fn reset_identity(&mut self) {
         self.binv.fill(0.0);
         for i in 0..self.m {
             self.binv[i * self.m + i] = 1.0;
@@ -79,73 +77,9 @@ impl Basis {
         self.pivots_since_refactor = 0;
     }
 
-    /// Row `r` of the inverse (the `btran` of a unit vector).
     #[inline]
-    pub(crate) fn row(&self, r: usize) -> &[f64] {
+    fn row(&self, r: usize) -> &[f64] {
         &self.binv[r * self.m..(r + 1) * self.m]
-    }
-
-    /// `w = B⁻¹·a_j` for a structural or logical column.
-    pub(crate) fn ftran(&self, cols: &SparseCols, j: usize, w: &mut Vec<f64>) {
-        w.clear();
-        w.resize(self.m, 0.0);
-        match cols.logical_row(j) {
-            Some(r) => {
-                for (i, wi) in w.iter_mut().enumerate() {
-                    *wi = self.binv[i * self.m + r];
-                }
-            }
-            None => {
-                for (r, v) in cols.col(j) {
-                    if v != 0.0 {
-                        for (i, wi) in w.iter_mut().enumerate() {
-                            *wi += v * self.binv[i * self.m + r];
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// `y = c_B'·B⁻¹` accumulated from the rows whose basic cost is
-    /// non-zero. `cost` is indexed by *variable*; logical columns carry
-    /// implicit zero cost when `cost.len() <= var`.
-    pub(crate) fn btran_costs(&self, cost: &[f64], y: &mut Vec<f64>) {
-        y.clear();
-        y.resize(self.m, 0.0);
-        for (i, &bv) in self.basic.iter().enumerate() {
-            let cb = cost.get(bv as usize).copied().unwrap_or(0.0);
-            if cb != 0.0 {
-                let row = self.row(i);
-                for (yk, &rk) in y.iter_mut().zip(row) {
-                    *yk += cb * rk;
-                }
-            }
-        }
-    }
-
-    /// Replaces the basic variable of row `r` by column `j`, whose `ftran`
-    /// direction is `w` (so `w[r]` is the pivot element), and updates the
-    /// inverse by a product-form step.
-    ///
-    /// Returns `false` (leaving the basis untouched) when the pivot element
-    /// is numerically unusable.
-    pub(crate) fn pivot(&mut self, cols_m: usize, r: usize, j: usize, w: &[f64]) -> bool {
-        debug_assert_eq!(cols_m, self.m);
-        if !self.eliminate(r, w) {
-            return false;
-        }
-        let old = self.basic[r] as usize;
-        self.basic[r] = j as u32;
-        // The caller decides which bound the leaving variable lands on; give
-        // it a definite (possibly overwritten) state so the invariant "every
-        // non-basic column has a nonbasic state" always holds.
-        if self.state[old] == VarState::Basic(r as u32) {
-            self.state[old] = VarState::AtLower;
-        }
-        self.state[j] = VarState::Basic(r as u32);
-        self.pivots_since_refactor += 1;
-        true
     }
 
     /// The product-form update of the inverse for a pivot at `(r, w[r])`:
@@ -159,14 +93,12 @@ impl Basis {
         }
         let m = self.m;
         let inv = 1.0 / pivot;
-        // Scale the pivot row of the inverse ...
         {
             let row_r = &mut self.binv[r * m..(r + 1) * m];
             for v in row_r.iter_mut() {
                 *v *= inv;
             }
         }
-        // ... and eliminate the direction from every other row.
         let (before, rest) = self.binv.split_at_mut(r * m);
         let (row_r, after) = rest.split_at_mut(m);
         for (i, chunk) in before.chunks_exact_mut(m).enumerate() {
@@ -187,37 +119,284 @@ impl Basis {
         }
         true
     }
+}
 
-    /// Whether enough product-form updates accumulated to warrant a rebuild.
-    pub(crate) fn wants_refactor(&self) -> bool {
-        self.pivots_since_refactor >= REFACTOR_INTERVAL
+/// The current basis together with its factorised matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct Basis {
+    /// Basic variable of each row.
+    pub(crate) basic: Vec<u32>,
+    /// State of every column (structural + logical).
+    pub(crate) state: Vec<VarState>,
+    m: usize,
+    factor: Factor,
+}
+
+#[derive(Debug, Clone)]
+enum Factor {
+    Dense(DenseFactor),
+    Lu(Box<LuFactor>),
+}
+
+impl Basis {
+    /// An all-logical basis (`B = I`) with every structural column at its
+    /// lower bound, factored by the given backend.
+    pub(crate) fn logical(m: usize, n_struct: usize, backend: BasisBackend) -> Basis {
+        let mut state = vec![VarState::AtLower; n_struct + m];
+        let mut basic = Vec::with_capacity(m);
+        for i in 0..m {
+            basic.push((n_struct + i) as u32);
+            state[n_struct + i] = VarState::Basic(i as u32);
+        }
+        let factor = match backend {
+            BasisBackend::DenseInverse => Factor::Dense(DenseFactor::identity(m)),
+            BasisBackend::SparseLu => Factor::Lu(Box::new(LuFactor::identity(m))),
+        };
+        Basis {
+            basic,
+            state,
+            m,
+            factor,
+        }
     }
 
-    /// Rebuilds the inverse from the identity by replaying a pivot for every
-    /// structural basic column, in row order.
+    /// Resets this basis in place to the all-logical configuration.
+    pub(crate) fn reset_logical(&mut self) {
+        let n_struct = self.state.len() - self.m;
+        for s in self.state.iter_mut() {
+            *s = VarState::AtLower;
+        }
+        for i in 0..self.m {
+            self.basic[i] = (n_struct + i) as u32;
+            self.state[n_struct + i] = VarState::Basic(i as u32);
+        }
+        match &mut self.factor {
+            Factor::Dense(d) => d.reset_identity(),
+            Factor::Lu(lu) => lu.reset_identity(),
+        }
+    }
+
+    /// `w = B⁻¹·a_j` for a structural or logical column.
+    pub(crate) fn ftran(&mut self, cols: &SparseCols, j: usize, w: &mut Vec<f64>) {
+        w.clear();
+        w.resize(self.m, 0.0);
+        match &mut self.factor {
+            Factor::Dense(d) => match cols.logical_row(j) {
+                Some(r) => {
+                    for (i, wi) in w.iter_mut().enumerate() {
+                        *wi = d.binv[i * d.m + r];
+                    }
+                }
+                None => {
+                    for (r, v) in cols.col(j) {
+                        if v != 0.0 {
+                            for (i, wi) in w.iter_mut().enumerate() {
+                                *wi += v * d.binv[i * d.m + r];
+                            }
+                        }
+                    }
+                }
+            },
+            Factor::Lu(lu) => {
+                match cols.logical_row(j) {
+                    Some(r) => w[r] = 1.0,
+                    None => {
+                        for (r, v) in cols.col(j) {
+                            w[r] = v;
+                        }
+                    }
+                }
+                lu.ftran(w);
+            }
+        }
+    }
+
+    /// `out = B⁻¹·rhs` for a dense right-hand side indexed by constraint
+    /// row; the result is indexed by basis position.
+    pub(crate) fn ftran_dense(&mut self, rhs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        match &mut self.factor {
+            Factor::Dense(d) => {
+                out.resize(self.m, 0.0);
+                for (i, oi) in out.iter_mut().enumerate() {
+                    let row = d.row(i);
+                    let mut acc = 0.0;
+                    for (rk, uk) in row.iter().zip(rhs) {
+                        acc += rk * uk;
+                    }
+                    *oi = acc;
+                }
+            }
+            Factor::Lu(lu) => {
+                out.extend_from_slice(rhs);
+                lu.ftran(out);
+            }
+        }
+    }
+
+    /// `y' = c' · B⁻¹` for a dense vector `c` indexed by basis position;
+    /// the result is indexed by constraint row.
+    pub(crate) fn btran_dense(&mut self, c: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        match &mut self.factor {
+            Factor::Dense(d) => {
+                out.resize(self.m, 0.0);
+                for (i, &ci) in c.iter().enumerate() {
+                    if ci != 0.0 {
+                        let row = d.row(i);
+                        for (yk, &rk) in out.iter_mut().zip(row) {
+                            *yk += ci * rk;
+                        }
+                    }
+                }
+            }
+            Factor::Lu(lu) => {
+                out.extend_from_slice(c);
+                lu.btran(out);
+            }
+        }
+    }
+
+    /// Row `r` of the inverse (the btran of a unit vector): the pivot row
+    /// `ρ` with `α_j = ρ·a_j` in the dual simplex.
+    pub(crate) fn btran_unit(&mut self, r: usize, out: &mut Vec<f64>) {
+        match &mut self.factor {
+            Factor::Dense(d) => {
+                out.clear();
+                out.extend_from_slice(d.row(r));
+            }
+            Factor::Lu(lu) => {
+                out.clear();
+                out.resize(self.m, 0.0);
+                out[r] = 1.0;
+                lu.btran(out);
+            }
+        }
+    }
+
+    /// `y = c_B'·B⁻¹` accumulated from the rows whose basic cost is
+    /// non-zero. `cost` is indexed by *variable*; logical columns carry
+    /// implicit zero cost when `cost.len() <= var`.
+    pub(crate) fn btran_costs(&mut self, cost: &[f64], y: &mut Vec<f64>) {
+        match &mut self.factor {
+            Factor::Dense(d) => {
+                y.clear();
+                y.resize(self.m, 0.0);
+                for (i, &bv) in self.basic.iter().enumerate() {
+                    let cb = cost.get(bv as usize).copied().unwrap_or(0.0);
+                    if cb != 0.0 {
+                        let row = d.row(i);
+                        for (yk, &rk) in y.iter_mut().zip(row) {
+                            *yk += cb * rk;
+                        }
+                    }
+                }
+            }
+            Factor::Lu(lu) => {
+                y.clear();
+                y.resize(self.m, 0.0);
+                for (i, &bv) in self.basic.iter().enumerate() {
+                    y[i] = cost.get(bv as usize).copied().unwrap_or(0.0);
+                }
+                lu.btran(y);
+            }
+        }
+    }
+
+    /// Replaces the basic variable of row `r` by column `j`, whose `ftran`
+    /// direction is `w` (so `w[r]` is the pivot element), and updates the
+    /// factors by a product-form / eta step.
     ///
-    /// Returns `false` if the basis matrix turned out singular (a replay
-    /// pivot element vanished) — the caller should fall back to a cold
-    /// logical-basis restart.
-    pub(crate) fn refactorize(&mut self, cols: &SparseCols, scratch: &mut Vec<f64>) -> bool {
-        let m = self.m;
-        self.binv.fill(0.0);
-        for i in 0..m {
-            self.binv[i * m + i] = 1.0;
-        }
-        self.pivots_since_refactor = 0;
-        for r in 0..m {
-            let j = self.basic[r] as usize;
-            if cols.logical_row(j) == Some(r) {
-                continue; // identity column, nothing to eliminate
+    /// Returns `false` (leaving the basis untouched) when the pivot element
+    /// is numerically unusable.
+    pub(crate) fn pivot(&mut self, cols_m: usize, r: usize, j: usize, w: &[f64]) -> bool {
+        debug_assert_eq!(cols_m, self.m);
+        let ok = match &mut self.factor {
+            Factor::Dense(d) => {
+                let ok = d.eliminate(r, w);
+                if ok {
+                    d.pivots_since_refactor += 1;
+                }
+                ok
             }
-            // w = current-partial-inverse · a_j, then pivot at row r.
-            self.ftran(cols, j, scratch);
-            if !self.eliminate(r, scratch) {
-                return false;
-            }
+            Factor::Lu(lu) => lu.update(r, w),
+        };
+        if !ok {
+            return false;
         }
+        let old = self.basic[r] as usize;
+        self.basic[r] = j as u32;
+        // The caller decides which bound the leaving variable lands on; give
+        // it a definite (possibly overwritten) state so the invariant "every
+        // non-basic column has a nonbasic state" always holds.
+        if self.state[old] == VarState::Basic(r as u32) {
+            self.state[old] = VarState::AtLower;
+        }
+        self.state[j] = VarState::Basic(r as u32);
         true
+    }
+
+    /// Whether enough updates accumulated (or stability degraded enough) to
+    /// warrant a rebuild of the factors.
+    pub(crate) fn wants_refactor(&self) -> bool {
+        match &self.factor {
+            Factor::Dense(d) => d.pivots_since_refactor >= DENSE_REFACTOR_INTERVAL,
+            Factor::Lu(lu) => lu.wants_refactor(),
+        }
+    }
+
+    /// Whether the factors carry no updates since the last rebuild. Fresh
+    /// factors produce accurate directions; stale ones may overstate a tiny
+    /// pivot, so callers should refactorise before trusting one.
+    pub(crate) fn is_fresh(&self) -> bool {
+        match &self.factor {
+            Factor::Dense(d) => d.pivots_since_refactor == 0,
+            Factor::Lu(lu) => lu.is_fresh(),
+        }
+    }
+
+    /// Rebuilds the factors from the current `basic[]` assignment.
+    ///
+    /// Returns `false` if the basis matrix turned out singular — the caller
+    /// should fall back to a cold logical-basis restart.
+    pub(crate) fn refactorize(&mut self, cols: &SparseCols, scratch: &mut Vec<f64>) -> bool {
+        match &mut self.factor {
+            Factor::Dense(d) => {
+                let m = d.m;
+                d.reset_identity();
+                for r in 0..m {
+                    let j = self.basic[r] as usize;
+                    if cols.logical_row(j) == Some(r) {
+                        continue; // identity column, nothing to eliminate
+                    }
+                    // w = current-partial-inverse · a_j, then pivot at row r.
+                    scratch.clear();
+                    scratch.resize(m, 0.0);
+                    match cols.logical_row(j) {
+                        Some(lr) => {
+                            for (i, wi) in scratch.iter_mut().enumerate() {
+                                *wi = d.binv[i * m + lr];
+                            }
+                        }
+                        None => {
+                            for (lr, v) in cols.col(j) {
+                                if v != 0.0 {
+                                    for (i, wi) in scratch.iter_mut().enumerate() {
+                                        *wi += v * d.binv[i * m + lr];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !d.eliminate(r, scratch) {
+                        return false;
+                    }
+                }
+                d.pivots_since_refactor = 0;
+                true
+            }
+            Factor::Lu(lu) => lu.refactorize(cols, &self.basic),
+        }
     }
 }
 
@@ -235,49 +414,69 @@ mod tests {
         (SparseCols::from_model(&m), m)
     }
 
+    fn binv_row(basis: &mut Basis, r: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        basis.btran_unit(r, &mut out);
+        out
+    }
+
     #[test]
     fn pivoting_tracks_the_true_inverse() {
-        let (cols, _m) = toy();
-        let mut basis = Basis::logical(2, 2);
-        let mut w = Vec::new();
-        // Bring x (col 0) into row 0: B = [[2, 0], [1, 1]].
-        basis.ftran(&cols, 0, &mut w);
-        assert_eq!(w, vec![2.0, 1.0]);
-        assert!(basis.pivot(2, 0, 0, &w.clone()));
-        // B^{-1} = [[0.5, 0], [-0.5, 1]].
-        assert_eq!(basis.row(0), &[0.5, 0.0]);
-        assert_eq!(basis.row(1), &[-0.5, 1.0]);
-        // Bring y (col 1) into row 1: B = [[2, 1], [1, 3]], det 5.
-        basis.ftran(&cols, 1, &mut w);
-        let w2 = w.clone();
-        assert!(basis.pivot(2, 1, 1, &w2));
-        let expect = [[0.6, -0.2], [-0.2, 0.4]];
-        for (r, want) in expect.iter().enumerate() {
-            for (c, w) in want.iter().enumerate() {
-                assert!((basis.row(r)[c] - w).abs() < 1e-12, "binv[{r}][{c}]");
+        for backend in [BasisBackend::DenseInverse, BasisBackend::SparseLu] {
+            let (cols, _m) = toy();
+            let mut basis = Basis::logical(2, 2, backend);
+            let mut w = Vec::new();
+            // Bring x (col 0) into row 0: B = [[2, 0], [1, 1]].
+            basis.ftran(&cols, 0, &mut w);
+            assert_eq!(w, vec![2.0, 1.0]);
+            assert!(basis.pivot(2, 0, 0, &w.clone()));
+            // B^{-1} = [[0.5, 0], [-0.5, 1]].
+            assert_eq!(binv_row(&mut basis, 0), &[0.5, 0.0]);
+            assert_eq!(binv_row(&mut basis, 1), &[-0.5, 1.0]);
+            // Bring y (col 1) into row 1: B = [[2, 1], [1, 3]], det 5.
+            basis.ftran(&cols, 1, &mut w);
+            let w2 = w.clone();
+            assert!(basis.pivot(2, 1, 1, &w2));
+            let expect = [[0.6, -0.2], [-0.2, 0.4]];
+            for (r, want) in expect.iter().enumerate() {
+                let row = binv_row(&mut basis, r);
+                for (c, w) in want.iter().enumerate() {
+                    assert!((row[c] - w).abs() < 1e-12, "{backend:?} binv[{r}][{c}]");
+                }
             }
-        }
-        // Refactorisation reproduces the same inverse from scratch.
-        let mut scratch = Vec::new();
-        assert!(basis.refactorize(&cols, &mut scratch));
-        for (r, want) in expect.iter().enumerate() {
-            for (c, w) in want.iter().enumerate() {
-                assert!(
-                    (basis.row(r)[c] - w).abs() < 1e-12,
-                    "refactor binv[{r}][{c}]"
-                );
+            // Refactorisation reproduces the same inverse from scratch.
+            let mut scratch = Vec::new();
+            assert!(basis.refactorize(&cols, &mut scratch));
+            for (r, want) in expect.iter().enumerate() {
+                let row = binv_row(&mut basis, r);
+                for (c, w) in want.iter().enumerate() {
+                    assert!(
+                        (row[c] - w).abs() < 1e-12,
+                        "{backend:?} refactor binv[{r}][{c}]"
+                    );
+                }
             }
+            // ftran of a dense rhs and btran of a cost vector agree with the
+            // explicit inverse.
+            let mut out = Vec::new();
+            basis.ftran_dense(&[4.0, 6.0], &mut out);
+            assert!((out[0] - 1.2).abs() < 1e-12 && (out[1] - 1.6).abs() < 1e-12);
+            let mut y = Vec::new();
+            basis.btran_costs(&[1.0, 1.0], &mut y);
+            assert!((y[0] - 0.4).abs() < 1e-12 && (y[1] - 0.2).abs() < 1e-12);
         }
     }
 
     #[test]
     fn vanishing_pivot_is_rejected() {
-        let (cols, _m) = toy();
-        let mut basis = Basis::logical(2, 2);
-        let w = vec![0.0, 1.0];
-        assert!(!basis.pivot(2, 0, 0, &w));
-        // Basis unchanged.
-        assert_eq!(basis.basic, vec![2, 3]);
-        let _ = cols;
+        for backend in [BasisBackend::DenseInverse, BasisBackend::SparseLu] {
+            let (cols, _m) = toy();
+            let mut basis = Basis::logical(2, 2, backend);
+            let w = vec![0.0, 1.0];
+            assert!(!basis.pivot(2, 0, 0, &w));
+            // Basis unchanged.
+            assert_eq!(basis.basic, vec![2, 3]);
+            let _ = &cols;
+        }
     }
 }

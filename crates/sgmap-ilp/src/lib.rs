@@ -9,15 +9,23 @@
 //!   binary) with **native bounds**, linear constraints and a linear
 //!   objective,
 //! * a **bounded-variable revised simplex** for the LP relaxation: sparse
-//!   column-major constraint storage, a dense basis inverse, a primal
-//!   two-phase method for cold solves and a dual simplex that warm-starts
-//!   from the previous basis when only bounds changed ([`simplex`],
-//!   [`LpSolver`]),
-//! * **branch-and-bound** over the binary variables with incumbent pruning,
-//!   warm-start incumbents, node/time budgets and per-node dual
-//!   reoptimisation ([`Solver`]) — a branch only tightens one bound, so the
-//!   parent basis stays dual feasible and a child relaxation typically costs
-//!   a handful of pivots instead of a full solve,
+//!   column-major constraint storage, a **sparse LU basis factorisation**
+//!   (Markowitz pivoting, product-form eta updates, stability-triggered
+//!   refactorisation) with a dense-inverse backend kept for comparison
+//!   ([`BasisBackend`]), a primal two-phase method for cold solves and a
+//!   dual simplex with **devex pricing** and a **bound-flipping ratio test**
+//!   that warm-starts from the previous basis when only bounds changed
+//!   ([`simplex`], [`LpSolver`]),
+//! * a **presolve pass** — fixed-variable substitution, singleton-row →
+//!   bound conversion, empty-row/column elimination — with a postsolve map
+//!   back to the original variable space, run before the constraint matrix
+//!   is built,
+//! * **branch-and-bound** over the binary variables with **best-bound node
+//!   ordering** plus early-incumbent dives, incumbent pruning, warm-start
+//!   incumbents, node/time budgets, a reported optimality gap and per-node
+//!   dual reoptimisation ([`Solver`]) — a branch only tightens one bound, so
+//!   the parent basis stays dual feasible and a child relaxation typically
+//!   costs a handful of pivots instead of a full solve,
 //! * the original dense two-phase tableau, kept as the reference
 //!   implementation for equivalence tests and benches ([`dense`]).
 //!
@@ -47,13 +55,17 @@ mod basis;
 pub mod dense;
 mod dual;
 mod error;
+mod lu;
 mod model;
+mod presolve;
+mod pricing;
 mod primal;
 pub mod simplex;
 mod solver;
 mod sparse;
 mod workspace;
 
+pub use basis::BasisBackend;
 pub use error::IlpError;
 pub use model::{ConstraintSense, Model, ObjectiveSense, VarId, VarKind};
 pub use simplex::{LpSolution, LpSolver, VarBound};

@@ -1,0 +1,526 @@
+//! Sparse LU factorisation of the simplex basis with Markowitz pivoting.
+//!
+//! The basis matrix `B` (columns gathered from the shared [`SparseCols`]
+//! store according to the current `basic[]` assignment) is factorised by
+//! Gaussian elimination with Markowitz-style pivot selection: at each step
+//! the pivot minimises the fill-in estimate `(r_i − 1)·(c_j − 1)` among
+//! entries that pass a relative column-threshold stability test. Candidate
+//! search is restricted to the active columns of minimum count (widening to
+//! a full scan only when none of them is numerically usable), which keeps a
+//! refactorisation close to `O(nnz)` on the mapper's near-triangular bases.
+//!
+//! Between refactorisations, basis changes are absorbed as *eta updates*
+//! (product-form): replacing the basic variable of row `r` by a column with
+//! ftran direction `w` appends the eta `(r, w)`, so
+//! `B_k = B_0 · E_1 ⋯ E_k` and
+//!
+//! * **ftran** (`B w = a`) runs the LU solve then applies `E_i⁻¹` oldest to
+//!   newest,
+//! * **btran** (`Bᵀ y = c`) applies the transposed `E_i⁻¹` newest to oldest,
+//!   then runs the LU-transpose solve.
+//!
+//! The factorisation is rebuilt every [`ETA_LIMIT`] updates, or earlier when
+//! an update shows large pivot growth (`|w_r|` tiny against `‖w‖∞`), which
+//! is the classical stability trigger for product-form files.
+//!
+//! All tie-breaks (pivot choice, candidate order) are by lowest index, so a
+//! given basis always factorises the same way — part of the crate-wide
+//! determinism contract.
+
+use crate::sparse::SparseCols;
+
+/// Refactorise after this many eta updates.
+const ETA_LIMIT: usize = 64;
+/// Relative Markowitz threshold: a pivot must be at least this fraction of
+/// the largest entry in its column.
+const MARKOWITZ_TAU: f64 = 0.01;
+/// Smallest pivot magnitude usable at all.
+const ABS_PIVOT_TOL: f64 = 1e-11;
+/// Pivot-growth trigger: an eta pivot below this fraction of the direction's
+/// max-norm forces an early refactorisation.
+const GROWTH_TOL: f64 = 1e-7;
+/// Entries cancelled below this magnitude during elimination are dropped.
+const DROP_TOL: f64 = 1e-12;
+
+/// One product-form update: the basic variable of position `r` was replaced
+/// by a column whose ftran direction had pivot `pivot` at `r` and the stored
+/// off-pivot entries elsewhere.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: u32,
+    pivot: f64,
+    ix: Vec<u32>,
+    val: Vec<f64>,
+}
+
+/// Sparse LU factors of the basis plus the eta file of updates since the
+/// last refactorisation.
+///
+/// Row/column conventions: the basis matrix has *constraint rows* as matrix
+/// rows and *basis positions* as matrix columns, so ftran maps row space to
+/// position space and btran the other way around (matching the dense
+/// inverse, whose rows are positions and columns are constraint rows).
+#[derive(Debug, Clone)]
+pub(crate) struct LuFactor {
+    m: usize,
+    /// Constraint row pivoted at elimination step `k`.
+    perm_row: Vec<u32>,
+    /// Basis position pivoted at elimination step `k`.
+    perm_col: Vec<u32>,
+    /// Pivot values `u_kk`.
+    udiag: Vec<f64>,
+    // L multipliers of each step: `(row, l)` means that row was reduced by
+    // `l ×` the step's pivot row.
+    l_ptr: Vec<u32>,
+    l_ix: Vec<u32>,
+    l_val: Vec<f64>,
+    // Off-diagonal U entries of each step's pivot row: `(position, u)`.
+    u_ptr: Vec<u32>,
+    u_ix: Vec<u32>,
+    u_val: Vec<f64>,
+    etas: Vec<Eta>,
+    force_refactor: bool,
+    work: Vec<f64>,
+}
+
+impl LuFactor {
+    /// The identity factorisation (all-logical basis in natural order).
+    pub(crate) fn identity(m: usize) -> LuFactor {
+        let mut f = LuFactor {
+            m,
+            perm_row: Vec::new(),
+            perm_col: Vec::new(),
+            udiag: Vec::new(),
+            l_ptr: Vec::new(),
+            l_ix: Vec::new(),
+            l_val: Vec::new(),
+            u_ptr: Vec::new(),
+            u_ix: Vec::new(),
+            u_val: Vec::new(),
+            etas: Vec::new(),
+            force_refactor: false,
+            work: Vec::new(),
+        };
+        f.reset_identity();
+        f
+    }
+
+    /// Resets to the identity factorisation in place.
+    pub(crate) fn reset_identity(&mut self) {
+        let m = self.m;
+        self.perm_row.clear();
+        self.perm_col.clear();
+        self.udiag.clear();
+        for k in 0..m {
+            self.perm_row.push(k as u32);
+            self.perm_col.push(k as u32);
+            self.udiag.push(1.0);
+        }
+        self.l_ptr.clear();
+        self.l_ptr.resize(m + 1, 0);
+        self.l_ix.clear();
+        self.l_val.clear();
+        self.u_ptr.clear();
+        self.u_ptr.resize(m + 1, 0);
+        self.u_ix.clear();
+        self.u_val.clear();
+        self.etas.clear();
+        self.force_refactor = false;
+    }
+
+    /// Whether the eta file is long (or unstable) enough to warrant a
+    /// rebuild.
+    pub(crate) fn wants_refactor(&self) -> bool {
+        self.force_refactor || self.etas.len() >= ETA_LIMIT
+    }
+
+    /// Whether the factors carry no updates since the last rebuild (so the
+    /// directions they produce are as accurate as a fresh factorisation).
+    pub(crate) fn is_fresh(&self) -> bool {
+        self.etas.is_empty()
+    }
+
+    /// Appends the eta update for a pivot at position `r` with ftran
+    /// direction `w`. Returns `false` (factors untouched) when the pivot
+    /// element is numerically unusable.
+    pub(crate) fn update(&mut self, r: usize, w: &[f64]) -> bool {
+        let pivot = w[r];
+        if pivot.abs() < ABS_PIVOT_TOL {
+            return false;
+        }
+        let mut ix = Vec::new();
+        let mut val = Vec::new();
+        let mut wmax = pivot.abs();
+        for (i, &wi) in w.iter().enumerate() {
+            if i != r && wi != 0.0 {
+                ix.push(i as u32);
+                val.push(wi);
+                if wi.abs() > wmax {
+                    wmax = wi.abs();
+                }
+            }
+        }
+        if pivot.abs() < GROWTH_TOL * wmax {
+            // Large pivot growth: accept the update but rebuild soon.
+            self.force_refactor = true;
+        }
+        self.etas.push(Eta {
+            r: r as u32,
+            pivot,
+            ix,
+            val,
+        });
+        true
+    }
+
+    /// Factorises the basis selected by `basic` from scratch, emptying the
+    /// eta file. Returns `false` when the basis matrix is (numerically)
+    /// singular; the factors are unusable then and the caller must restart
+    /// from a logical basis.
+    pub(crate) fn refactorize(&mut self, cols: &SparseCols, basic: &[u32]) -> bool {
+        let m = self.m;
+        debug_assert_eq!(basic.len(), m);
+        self.perm_row.clear();
+        self.perm_col.clear();
+        self.udiag.clear();
+        self.l_ptr.clear();
+        self.l_ptr.push(0);
+        self.l_ix.clear();
+        self.l_val.clear();
+        self.u_ptr.clear();
+        self.u_ptr.push(0);
+        self.u_ix.clear();
+        self.u_val.clear();
+        self.etas.clear();
+        self.force_refactor = false;
+
+        // Gather B by rows: rows[i] = sorted (position, value) entries.
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        for (t, &bv) in basic.iter().enumerate() {
+            match cols.logical_row(bv as usize) {
+                Some(r) => rows[r].push((t as u32, 1.0)),
+                None => {
+                    for (r, v) in cols.col(bv as usize) {
+                        rows[r].push((t as u32, v));
+                    }
+                }
+            }
+        }
+        // Column → candidate row lists (kept sorted/compact lazily) and
+        // exact active-entry counts per column.
+        let mut col_rows: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut col_count = vec![0u32; m];
+        for (i, row) in rows.iter().enumerate() {
+            for &(t, _) in row {
+                col_rows[t as usize].push(i as u32);
+                col_count[t as usize] += 1;
+            }
+        }
+        let mut row_active = vec![true; m];
+        let mut col_active = vec![true; m];
+        let mut merged: Vec<(u32, f64)> = Vec::new();
+
+        for _step in 0..m {
+            // Minimum active column count (structural singularity when an
+            // active column has no entries left).
+            let mut cmin = u32::MAX;
+            for t in 0..m {
+                if col_active[t] {
+                    if col_count[t] == 0 {
+                        return false;
+                    }
+                    if col_count[t] < cmin {
+                        cmin = col_count[t];
+                    }
+                }
+            }
+            // Pivot search: the min-count columns first, everything on the
+            // rare second pass where none of them is numerically usable.
+            let mut best: Option<(u64, u32, u32, f64)> = None; // (cost, t, i, val)
+            'pass: for pass in 0..2 {
+                for t in 0..m {
+                    if !col_active[t] || (pass == 0 && col_count[t] != cmin) {
+                        continue;
+                    }
+                    // Compact the candidate list: drop rows that went
+                    // inactive or whose entry cancelled out, and dedup —
+                    // an entry that cancelled and was later refilled leaves
+                    // its row in the list twice.
+                    let list = &mut col_rows[t];
+                    list.retain(|&i| {
+                        row_active[i as usize]
+                            && rows[i as usize]
+                                .binary_search_by_key(&(t as u32), |e| e.0)
+                                .is_ok()
+                    });
+                    list.sort_unstable();
+                    list.dedup();
+                    col_count[t] = list.len() as u32;
+                    let mut cmax = 0.0f64;
+                    for &i in list.iter() {
+                        let row = &rows[i as usize];
+                        let v = row[row.binary_search_by_key(&(t as u32), |e| e.0).unwrap()].1;
+                        if v.abs() > cmax {
+                            cmax = v.abs();
+                        }
+                    }
+                    for &i in col_rows[t].iter() {
+                        let row = &rows[i as usize];
+                        let v = row[row.binary_search_by_key(&(t as u32), |e| e.0).unwrap()].1;
+                        if v.abs() < ABS_PIVOT_TOL || v.abs() < MARKOWITZ_TAU * cmax {
+                            continue;
+                        }
+                        let cost = (rows[i as usize].len() as u64 - 1) * (col_count[t] as u64 - 1);
+                        let take = match best {
+                            None => true,
+                            Some((bc, bt, bi, _)) => {
+                                cost < bc
+                                    || (cost == bc
+                                        && ((t as u32) < bt || ((t as u32) == bt && i < bi)))
+                            }
+                        };
+                        if take {
+                            best = Some((cost, t as u32, i, v));
+                        }
+                    }
+                    if matches!(best, Some((0, ..))) {
+                        // Zero fill and lowest column index: can't improve.
+                        break 'pass;
+                    }
+                }
+                if best.is_some() {
+                    break;
+                }
+            }
+            let (_, tq, p, pivot) = match best {
+                Some(b) => b,
+                None => return false, // numerically singular
+            };
+            let (t, p) = (tq as usize, p as usize);
+            self.perm_row.push(p as u32);
+            self.perm_col.push(t as u32);
+            self.udiag.push(pivot);
+            row_active[p] = false;
+            col_active[t] = false;
+            // Record the pivot row as a U row and take it out of the
+            // active column counts.
+            for &(c, v) in &rows[p] {
+                if c as usize != t {
+                    self.u_ix.push(c);
+                    self.u_val.push(v);
+                    col_count[c as usize] -= 1;
+                }
+            }
+            self.u_ptr.push(self.u_ix.len() as u32);
+            col_count[t] = 0;
+            // Eliminate the pivot column from the remaining active rows.
+            let elim: Vec<u32> = col_rows[t]
+                .iter()
+                .copied()
+                .filter(|&i| i as usize != p)
+                .collect();
+            let pivot_row = std::mem::take(&mut rows[p]);
+            for &iu in &elim {
+                let i = iu as usize;
+                let e = rows[i]
+                    .binary_search_by_key(&(t as u32), |e| e.0)
+                    .expect("candidate lists were just compacted");
+                let factor = rows[i][e].1 / pivot;
+                self.l_ix.push(iu);
+                self.l_val.push(factor);
+                // rows[i] ← rows[i] − factor·pivot_row, dropping column t.
+                merged.clear();
+                let (a, b) = (&rows[i], &pivot_row);
+                let (mut ia, mut ib) = (0, 0);
+                while ia < a.len() || ib < b.len() {
+                    let ca = a.get(ia).map_or(u32::MAX, |e| e.0);
+                    let cb = b.get(ib).map_or(u32::MAX, |e| e.0);
+                    if ca < cb {
+                        merged.push(a[ia]);
+                        ia += 1;
+                    } else if cb < ca {
+                        // Fill-in: register the new entry's row candidacy.
+                        let v = -factor * b[ib].1;
+                        if cb as usize != t && v.abs() > DROP_TOL {
+                            merged.push((cb, v));
+                            col_rows[cb as usize].push(iu);
+                            col_count[cb as usize] += 1;
+                        }
+                        ib += 1;
+                    } else {
+                        if ca as usize != t {
+                            let v = a[ia].1 - factor * b[ib].1;
+                            if v.abs() > DROP_TOL {
+                                merged.push((ca, v));
+                            } else {
+                                col_count[ca as usize] -= 1;
+                            }
+                        }
+                        ia += 1;
+                        ib += 1;
+                    }
+                }
+                std::mem::swap(&mut rows[i], &mut merged);
+            }
+            self.l_ptr.push(self.l_ix.len() as u32);
+        }
+        true
+    }
+
+    /// Solves `B w = a` in place: on entry `x` holds the right-hand side
+    /// indexed by constraint row, on exit the solution indexed by basis
+    /// position.
+    pub(crate) fn ftran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(x.len(), m);
+        // L solve (apply the elimination steps to the rhs).
+        for k in 0..m {
+            let xp = x[self.perm_row[k] as usize];
+            if xp != 0.0 {
+                let (lo, hi) = (self.l_ptr[k] as usize, self.l_ptr[k + 1] as usize);
+                for (ix, lv) in self.l_ix[lo..hi].iter().zip(&self.l_val[lo..hi]) {
+                    x[*ix as usize] -= lv * xp;
+                }
+            }
+        }
+        // U back-substitution into position space.
+        self.work.clear();
+        self.work.resize(m, 0.0);
+        for k in (0..m).rev() {
+            let mut v = x[self.perm_row[k] as usize];
+            let (lo, hi) = (self.u_ptr[k] as usize, self.u_ptr[k + 1] as usize);
+            for (ix, uv) in self.u_ix[lo..hi].iter().zip(&self.u_val[lo..hi]) {
+                v -= uv * self.work[*ix as usize];
+            }
+            self.work[self.perm_col[k] as usize] = v / self.udiag[k];
+        }
+        x.copy_from_slice(&self.work);
+        // Eta file, oldest to newest.
+        for eta in &self.etas {
+            let r = eta.r as usize;
+            let xr = x[r] / eta.pivot;
+            x[r] = xr;
+            if xr != 0.0 {
+                for (ix, wv) in eta.ix.iter().zip(&eta.val) {
+                    x[*ix as usize] -= wv * xr;
+                }
+            }
+        }
+    }
+
+    /// Solves `Bᵀ y = c` in place: on entry `x` holds the right-hand side
+    /// indexed by basis position, on exit the solution indexed by
+    /// constraint row.
+    pub(crate) fn btran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(x.len(), m);
+        // Eta file transposed, newest to oldest.
+        for eta in self.etas.iter().rev() {
+            let r = eta.r as usize;
+            let mut acc = x[r];
+            for (ix, wv) in eta.ix.iter().zip(&eta.val) {
+                acc -= wv * x[*ix as usize];
+            }
+            x[r] = acc / eta.pivot;
+        }
+        // Uᵀ forward solve (scatter form over the U rows).
+        self.work.clear();
+        self.work.resize(m, 0.0);
+        for k in 0..m {
+            let vk = x[self.perm_col[k] as usize] / self.udiag[k];
+            self.work[self.perm_row[k] as usize] = vk;
+            if vk != 0.0 {
+                let (lo, hi) = (self.u_ptr[k] as usize, self.u_ptr[k + 1] as usize);
+                for (ix, uv) in self.u_ix[lo..hi].iter().zip(&self.u_val[lo..hi]) {
+                    x[*ix as usize] -= uv * vk;
+                }
+            }
+        }
+        x.copy_from_slice(&self.work);
+        // Lᵀ solve (apply the transposed elimination steps in reverse).
+        for k in (0..m).rev() {
+            let (lo, hi) = (self.l_ptr[k] as usize, self.l_ptr[k + 1] as usize);
+            let mut acc = x[self.perm_row[k] as usize];
+            for (ix, lv) in self.l_ix[lo..hi].iter().zip(&self.l_val[lo..hi]) {
+                acc -= lv * x[*ix as usize];
+            }
+            x[self.perm_row[k] as usize] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, ObjectiveSense};
+
+    fn toy() -> SparseCols {
+        // Rows: 2x + y <= 4, x + 3y <= 6 (logical cols 2 and 3).
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_continuous("x", 1.0);
+        let y = m.add_continuous("y", 1.0);
+        m.add_constraint_le(vec![(x, 2.0), (y, 1.0)], 4.0);
+        m.add_constraint_le(vec![(x, 1.0), (y, 3.0)], 6.0);
+        SparseCols::from_model(&m)
+    }
+
+    #[test]
+    fn factorises_and_solves_a_structural_basis() {
+        let cols = toy();
+        let mut lu = LuFactor::identity(2);
+        // Basis = {x, y}: B = [[2, 1], [1, 3]], det 5.
+        assert!(lu.refactorize(&cols, &[0, 1]));
+        // ftran of b = (4, 6): solution of B w = b is (6/5, 8/5).
+        let mut v = vec![4.0, 6.0];
+        lu.ftran(&mut v);
+        assert!((v[0] - 1.2).abs() < 1e-12 && (v[1] - 1.6).abs() < 1e-12);
+        // btran of c = (1, 1): y with B'y = c is (2/5, 1/5).
+        let mut c = vec![1.0, 1.0];
+        lu.btran(&mut c);
+        assert!((c[0] - 0.4).abs() < 1e-12 && (c[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_updates_track_the_dense_product_form() {
+        let cols = toy();
+        let mut lu = LuFactor::identity(2);
+        // Start logical (B = I), bring x into position 0: w = B⁻¹a_x = a_x.
+        let w = vec![2.0, 1.0];
+        assert!(lu.update(0, &w));
+        // B = [[2, 0], [1, 1]] now; ftran of e_0 = first column of B⁻¹,
+        // which is (0.5, -0.5).
+        let mut v = vec![1.0, 0.0];
+        lu.ftran(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-12 && (v[1] + 0.5).abs() < 1e-12);
+        // btran of e_1 = second row of B⁻¹ = (-0.5, 1).
+        let mut c = vec![0.0, 1.0];
+        lu.btran(&mut c);
+        assert!((c[0] + 0.5).abs() < 1e-12 && (c[1] - 1.0).abs() < 1e-12);
+        // Refactorising the same basis gives identical solves.
+        assert!(lu.refactorize(&cols, &[0, 3]));
+        let mut v2 = vec![1.0, 0.0];
+        lu.ftran(&mut v2);
+        assert!((v2[0] - 0.5).abs() < 1e-12 && (v2[1] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_basis_is_reported() {
+        // Two identical columns cannot form a basis.
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_continuous("x", 1.0);
+        m.add_constraint_le(vec![(x, 1.0)], 1.0);
+        m.add_constraint_le(vec![(x, 1.0)], 2.0);
+        let cols = SparseCols::from_model(&m);
+        let mut lu = LuFactor::identity(2);
+        assert!(!lu.refactorize(&cols, &[0, 0]));
+    }
+
+    #[test]
+    fn vanishing_eta_pivot_is_rejected_and_growth_triggers_refactor() {
+        let mut lu = LuFactor::identity(2);
+        assert!(!lu.update(0, &[0.0, 1.0]));
+        assert!(!lu.wants_refactor());
+        assert!(lu.update(0, &[1e-9, 1.0]));
+        assert!(lu.wants_refactor(), "pivot growth must force a rebuild");
+    }
+}

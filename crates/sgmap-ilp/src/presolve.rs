@@ -1,0 +1,381 @@
+//! Presolve: shrink a model before the constraint matrix is built.
+//!
+//! The mapper's ILP models carry a lot of structure a simplex never needs to
+//! see: branch-fixed binaries, singleton rows that are really just bounds,
+//! and rows/columns emptied by either. Presolve runs the classical cheap
+//! reductions to a fixpoint:
+//!
+//! * **fixed-variable substitution** — a variable with `lo == hi` leaves the
+//!   model; its contribution moves into the row right-hand sides and the
+//!   objective offset,
+//! * **singleton-row → bound conversion** — a row with one term becomes a
+//!   native bound on its variable (with integral rounding of the tightened
+//!   bounds for binaries, which can prove integer infeasibility early),
+//! * **empty-row elimination** — a row with no terms left is a pure
+//!   feasibility check on its right-hand side,
+//! * **empty-column elimination** — a variable appearing in no row is fixed
+//!   at its objective-best bound when that bound is finite (an infinite
+//!   improving bound keeps the column, so the simplex itself certifies
+//!   unboundedness exactly as it would without presolve).
+//!
+//! The result is a reduced [`Model`] plus a [`PresolveMap`] that restores
+//! solutions back to the original variable space (*postsolve*). Everything
+//! is deterministic: passes scan variables and rows in index order.
+
+use crate::model::{ConstraintSense, Model, ObjectiveSense, VarKind};
+use crate::simplex::TOL;
+
+/// What presolve concluded about the model.
+#[derive(Debug)]
+pub(crate) enum Presolved {
+    /// The reduced model plus the postsolve map. The reduced model may have
+    /// zero variables left, in which case the fixed values *are* the unique
+    /// solution.
+    Reduced(PresolveMap),
+    /// Presolve proved the model has no (integer-)feasible point.
+    Infeasible,
+}
+
+/// The postsolve map from reduced variable space back to the original.
+#[derive(Debug, Clone)]
+pub(crate) struct PresolveMap {
+    /// The reduced model (possibly with tightened bounds).
+    pub(crate) model: Model,
+    /// Original index of each reduced variable.
+    pub(crate) var_map: Vec<usize>,
+    /// Fixed value of each *removed* original variable (`None` = kept).
+    pub(crate) fixed: Vec<Option<f64>>,
+    /// Objective contribution of the removed variables.
+    pub(crate) offset: f64,
+    /// Rows eliminated (empty and singleton rows).
+    pub(crate) removed_rows: usize,
+    /// Columns eliminated (fixed and empty-column variables).
+    pub(crate) removed_cols: usize,
+}
+
+impl PresolveMap {
+    /// Maps a reduced-space solution back to the original variable space.
+    pub(crate) fn restore(&self, reduced: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(reduced.len(), self.var_map.len());
+        let mut values: Vec<f64> = self.fixed.iter().map(|f| f.unwrap_or(0.0)).collect();
+        for (r, &orig) in self.var_map.iter().enumerate() {
+            values[orig] = reduced[r];
+        }
+        values
+    }
+}
+
+/// Runs the presolve reductions on `model`. `int_tol` is the integrality
+/// tolerance used when a binary variable gets fixed or bound-tightened.
+pub(crate) fn presolve(model: &Model, int_tol: f64) -> Presolved {
+    let n = model.num_vars();
+    let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
+    let mut hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+
+    // Working rows with per-row merged terms (duplicate variable mentions
+    // collapse so a singleton row really has one variable).
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        sense: ConstraintSense,
+        rhs: f64,
+        alive: bool,
+    }
+    let mut rows: Vec<Row> = model
+        .constraints
+        .iter()
+        .map(|c| {
+            let mut terms: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len());
+            for &(v, coef) in &c.terms {
+                terms.push((v.0, coef));
+            }
+            terms.sort_by_key(|&(v, _)| v);
+            terms.dedup_by(|b, a| {
+                if a.0 == b.0 {
+                    a.1 += b.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            terms.retain(|&(_, coef)| coef != 0.0);
+            Row {
+                terms,
+                sense: c.sense,
+                rhs: c.rhs,
+                alive: true,
+            }
+        })
+        .collect();
+    let mut removed_rows = 0usize;
+
+    // Fixes variable `j` at its (collapsed) lower bound, rejecting
+    // fractional binaries.
+    let fix = |j: usize, lo: &[f64], fixed: &mut [Option<f64>]| -> bool {
+        let mut v = lo[j];
+        if model.vars[j].kind == VarKind::Binary {
+            let r = v.round();
+            if (v - r).abs() > int_tol {
+                return false; // fractional fixed binary: integer infeasible
+            }
+            v = r.clamp(0.0, 1.0);
+        }
+        fixed[j] = Some(v);
+        true
+    };
+
+    loop {
+        let mut changed = false;
+
+        // Fixed-variable detection.
+        for j in 0..n {
+            if fixed[j].is_none() && lo[j] == hi[j] {
+                if !fix(j, &lo, &mut fixed) {
+                    return Presolved::Infeasible;
+                }
+                changed = true;
+            }
+        }
+
+        // Row pass: substitute fixed variables, then eliminate empty and
+        // singleton rows.
+        for row in rows.iter_mut().filter(|r| r.alive) {
+            let before = row.terms.len();
+            let mut rhs = row.rhs;
+            row.terms.retain(|&(j, coef)| match fixed[j] {
+                Some(v) => {
+                    rhs -= coef * v;
+                    false
+                }
+                None => true,
+            });
+            row.rhs = rhs;
+            if row.terms.len() != before {
+                changed = true;
+            }
+            match row.terms.len() {
+                0 => {
+                    let ok = match row.sense {
+                        ConstraintSense::Le => rhs >= -TOL,
+                        ConstraintSense::Ge => rhs <= TOL,
+                        ConstraintSense::Eq => rhs.abs() <= TOL,
+                    };
+                    if !ok {
+                        return Presolved::Infeasible;
+                    }
+                    row.alive = false;
+                    removed_rows += 1;
+                    changed = true;
+                }
+                1 => {
+                    let (j, a) = row.terms[0];
+                    let v = rhs / a;
+                    let (mut nlo, mut nhi) = (lo[j], hi[j]);
+                    match (row.sense, a > 0.0) {
+                        (ConstraintSense::Eq, _) => {
+                            nlo = nlo.max(v);
+                            nhi = nhi.min(v);
+                        }
+                        (ConstraintSense::Le, true) | (ConstraintSense::Ge, false) => {
+                            nhi = nhi.min(v);
+                        }
+                        (ConstraintSense::Le, false) | (ConstraintSense::Ge, true) => {
+                            nlo = nlo.max(v);
+                        }
+                    }
+                    if model.vars[j].kind == VarKind::Binary {
+                        // Integral rounding of the tightened box.
+                        nlo = (nlo - int_tol).ceil().max(0.0);
+                        nhi = (nhi + int_tol).floor().min(1.0);
+                    }
+                    if nlo > nhi + TOL {
+                        return Presolved::Infeasible;
+                    }
+                    if nhi < nlo {
+                        nhi = nlo; // within tolerance: collapse, don't fail
+                    }
+                    lo[j] = nlo;
+                    hi[j] = nhi;
+                    row.alive = false;
+                    removed_rows += 1;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+
+        // Empty-column elimination: a live variable in no live row moves to
+        // its objective-best bound when that bound is finite.
+        let mut appears = vec![false; n];
+        for row in rows.iter().filter(|r| r.alive) {
+            for &(j, _) in &row.terms {
+                appears[j] = true;
+            }
+        }
+        for j in 0..n {
+            if fixed[j].is_some() || appears[j] {
+                continue;
+            }
+            let c = model.vars[j].objective;
+            let toward_lo = match model.sense {
+                ObjectiveSense::Minimize => c >= 0.0,
+                ObjectiveSense::Maximize => c <= 0.0,
+            };
+            let best = if toward_lo { lo[j] } else { hi[j] };
+            if best.is_finite() {
+                lo[j] = best;
+                hi[j] = best;
+                if !fix(j, &lo, &mut fixed) {
+                    return Presolved::Infeasible;
+                }
+                changed = true;
+            }
+            // An infinite improving bound stays in the model so the simplex
+            // itself reports Unbounded/Infeasible exactly as without
+            // presolve.
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Assemble the reduced model.
+    let mut var_map = Vec::new();
+    let mut reduced_ix = vec![usize::MAX; n];
+    let mut offset = 0.0;
+    let mut reduced = Model::new(model.sense);
+    for (j, var) in model.vars.iter().enumerate() {
+        match fixed[j] {
+            Some(v) => offset += var.objective * v,
+            None => {
+                reduced_ix[j] = var_map.len();
+                var_map.push(j);
+                let id = match var.kind {
+                    VarKind::Continuous => reduced.add_continuous(var.name.clone(), var.objective),
+                    VarKind::Binary => reduced.add_binary(var.name.clone(), var.objective),
+                };
+                reduced.set_bounds(id, lo[j], hi[j]);
+            }
+        }
+    }
+    for row in rows.iter().filter(|r| r.alive) {
+        let terms: Vec<_> = row
+            .terms
+            .iter()
+            .map(|&(j, coef)| (crate::model::VarId(reduced_ix[j]), coef))
+            .collect();
+        reduced.add_constraint(terms, row.sense, row.rhs);
+    }
+    let removed_cols = fixed.iter().filter(|f| f.is_some()).count();
+    Presolved::Reduced(PresolveMap {
+        model: reduced,
+        var_map,
+        fixed,
+        offset,
+        removed_rows,
+        removed_cols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ObjectiveSense;
+
+    fn map(p: Presolved) -> PresolveMap {
+        match p {
+            Presolved::Reduced(m) => m,
+            Presolved::Infeasible => panic!("expected a reduced model"),
+        }
+    }
+
+    #[test]
+    fn fixed_variables_move_into_rhs_and_offset() {
+        // min 2x + 3y, x fixed at 2 by bounds, x + y >= 5 → y >= 3.
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_continuous("x", 2.0);
+        let y = m.add_continuous("y", 3.0);
+        m.set_bounds(x, 2.0, 2.0);
+        m.add_constraint_ge(vec![(x, 1.0), (y, 1.0)], 5.0);
+        let p = map(presolve(&m, 1e-6));
+        // x is fixed by bounds; the singleton remainder (y >= 3) becomes a
+        // bound; y is then an empty column fixed at its objective-best
+        // (lower) bound. The whole model presolves away.
+        assert_eq!(p.model.num_vars(), 0);
+        assert_eq!(p.model.num_constraints(), 0);
+        assert_eq!(p.offset, 4.0 + 9.0);
+        assert_eq!(p.removed_rows, 1);
+        assert_eq!(p.removed_cols, 2);
+        assert_eq!(p.restore(&[]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn singleton_rows_round_binary_bounds_to_integrality() {
+        // 2b <= 1 for a binary forces b = 0.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let b = m.add_binary("b", 1.0);
+        let c = m.add_binary("c", 1.0);
+        m.add_constraint_le(vec![(b, 2.0)], 1.0);
+        m.add_constraint_le(vec![(b, 1.0), (c, 1.0)], 2.0);
+        let p = map(presolve(&m, 1e-6));
+        // b got fixed at 0; c's row became a singleton (c <= 2 → no-op
+        // bound) and was eliminated; c is then an empty column fixed at its
+        // best bound 1.
+        assert_eq!(p.model.num_vars(), 0);
+        assert_eq!(p.restore(&[]), vec![0.0, 1.0]);
+        assert_eq!(p.offset, 1.0);
+    }
+
+    #[test]
+    fn conflicting_singletons_are_infeasible() {
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_continuous("x", 1.0);
+        m.add_constraint_ge(vec![(x, 1.0)], 4.0);
+        m.add_constraint_le(vec![(x, 1.0)], 3.0);
+        assert!(matches!(presolve(&m, 1e-6), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn fractional_forced_binary_is_integer_infeasible() {
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let b = m.add_binary("b", 1.0);
+        m.add_constraint_eq(vec![(b, 2.0)], 1.0); // b = 0.5
+        assert!(matches!(presolve(&m, 1e-6), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn empty_rows_check_feasibility() {
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_continuous("x", 1.0);
+        m.set_bounds(x, 1.0, 1.0);
+        m.add_constraint_le(vec![(x, 1.0)], 0.5); // 1 <= 0.5 after substitution
+        assert!(matches!(presolve(&m, 1e-6), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn empty_column_with_infinite_best_bound_is_kept() {
+        // Maximising an unconstrained, unbounded variable: presolve must
+        // leave it so the LP reports Unbounded itself.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_continuous("x", 1.0);
+        let y = m.add_continuous("y", -1.0);
+        m.add_constraint_le(vec![(y, 1.0), (x, 0.0)], 1.0);
+        let p = map(presolve(&m, 1e-6));
+        assert_eq!(p.model.num_vars(), 1, "x must survive presolve");
+        assert_eq!(p.var_map, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_terms_merge_before_singleton_detection() {
+        // x + x <= 4 is the singleton 2x <= 4 → hi = 2.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_continuous("x", 1.0);
+        let y = m.add_continuous("y", 1.0);
+        m.add_constraint_le(vec![(x, 1.0), (x, 1.0)], 4.0);
+        m.add_constraint_le(vec![(x, 1.0), (y, 1.0)], 10.0);
+        let p = map(presolve(&m, 1e-6));
+        assert_eq!(p.model.num_constraints(), 1);
+        assert_eq!(p.model.var_bounds(crate::model::VarId(0)), (0.0, 2.0));
+    }
+}

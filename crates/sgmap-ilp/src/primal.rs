@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use crate::basis::VarState;
-use crate::workspace::{LoopEnd, LpWorkspace, DUAL_TOL, PIVOT_TOL, PRIMAL_TOL};
+use crate::workspace::{LoopEnd, LpWorkspace, DUAL_TOL, PIVOT_TOL, PRIMAL_TOL, STABLE_PIVOT_REL};
 
 /// What blocks the entering variable's march.
 enum Block {
@@ -45,30 +45,31 @@ impl LpWorkspace {
                 return LoopEnd::Stalled;
             }
 
-            // Phase-1 costs from the current bound violations.
+            // Phase-1 costs from the current bound violations: one btran of
+            // the violation-sign vector yields the phase-1 simplex
+            // multipliers.
             let mut infeasible = false;
-            let mut y = std::mem::take(&mut self.y);
-            y.clear();
-            y.resize(m, 0.0);
-            for i in 0..m {
+            let mut sign = std::mem::take(&mut self.rho);
+            sign.clear();
+            sign.resize(m, 0.0);
+            for (i, s) in sign.iter_mut().enumerate() {
                 let bv = self.basis.basic[i] as usize;
                 let v = self.xb[i];
-                let s = if v < self.lo[bv] - PRIMAL_TOL {
-                    -1.0
+                if v < self.lo[bv] - PRIMAL_TOL {
+                    *s = -1.0;
+                    infeasible = true;
                 } else if v > self.hi[bv] + PRIMAL_TOL {
-                    1.0
-                } else {
-                    continue;
-                };
-                infeasible = true;
-                let row = self.basis.row(i);
-                for (yk, &rk) in y.iter_mut().zip(row) {
-                    *yk += s * rk;
+                    *s = 1.0;
+                    infeasible = true;
                 }
             }
-            if !infeasible {
+            let mut y = std::mem::take(&mut self.y);
+            if infeasible {
+                self.basis.btran_dense(&sign, &mut y);
+            } else {
                 self.basis.btran_costs(&self.cost, &mut y);
             }
+            self.rho = sign;
 
             // Price the nonbasic columns.
             let use_bland = iter > bland_after;
@@ -199,9 +200,24 @@ impl LpWorkspace {
                         VarState::AtLower => VarState::AtUpper,
                         _ => VarState::AtLower,
                     };
+                    self.stats.bound_flips += 1;
                     self.w = w;
                 }
                 Block::Row(r, leave_to) => {
+                    if !self.basis.is_fresh() {
+                        // A pivot that is tiny relative to its direction may
+                        // be eta-file drift masking a true zero; refactorise
+                        // and re-price before trusting it (see
+                        // [`STABLE_PIVOT_REL`]).
+                        let winf = w.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+                        if w[r].abs() < STABLE_PIVOT_REL * winf {
+                            self.w = w;
+                            if !self.refactor_and_sync() {
+                                return LoopEnd::Stalled;
+                            }
+                            continue;
+                        }
+                    }
                     let entering_value = self.nb_value(q) + sigma * t_best;
                     let leaving = self.basis.basic[r] as usize;
                     if !self.basis.pivot(m, r, q, &w) {

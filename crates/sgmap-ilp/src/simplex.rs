@@ -1,11 +1,13 @@
 //! Shared LP types and the one-shot LP entry point.
 //!
 //! The actual LP engine is the bounded-variable revised simplex in
-//! [`crate::workspace`] (sparse column storage, dense basis inverse, primal
-//! two-phase for cold solves and dual reoptimisation for warm starts). The
-//! original dense tableau lives on in [`crate::dense`] as the reference
-//! implementation for the equivalence property tests and benches.
+//! [`crate::workspace`] (sparse column storage, sparse LU basis
+//! factorisation, primal two-phase for cold solves and devex-priced dual
+//! reoptimisation for warm starts). The original dense tableau lives on in
+//! [`crate::dense`] as the reference implementation for the equivalence
+//! property tests and benches.
 
+use crate::basis::BasisBackend;
 use crate::workspace::LpWorkspace;
 use crate::Result;
 
@@ -56,9 +58,22 @@ impl LpSolver {
     ///
     /// Returns a validation error if the model is malformed.
     pub fn new(model: &crate::Model) -> Result<Self> {
+        Self::with_backend(model, BasisBackend::default())
+    }
+
+    /// Builds the solver with an explicit basis factorisation backend.
+    ///
+    /// [`BasisBackend::SparseLu`] is the default;
+    /// [`BasisBackend::DenseInverse`] keeps the dense explicit-inverse code
+    /// path alive for equivalence tests and benchmark comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error if the model is malformed.
+    pub fn with_backend(model: &crate::Model, backend: BasisBackend) -> Result<Self> {
         model.validate()?;
         Ok(LpSolver {
-            ws: LpWorkspace::new(model),
+            ws: LpWorkspace::with_backend(model, backend),
         })
     }
 
@@ -88,6 +103,16 @@ impl LpSolver {
     /// Number of solves that ran the primal simplex from a cold basis.
     pub fn cold_solves(&self) -> u64 {
         self.ws.stats.cold_solves
+    }
+
+    /// Number of basis refactorisations (periodic and stability-triggered).
+    pub fn refactorizations(&self) -> u64 {
+        self.ws.stats.refactorizations
+    }
+
+    /// Number of bound flips (primal flip steps and dual BFRT flips).
+    pub fn bound_flips(&self) -> u64 {
+        self.ws.stats.bound_flips
     }
 }
 

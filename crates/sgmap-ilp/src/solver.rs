@@ -1,17 +1,33 @@
 //! Branch-and-bound over the binary variables of a [`Model`].
 //!
+//! The model first runs through [`crate::presolve`] (fixed-variable
+//! substitution, singleton-row → bound conversion, empty-row/column
+//! elimination), and the search operates on the reduced model; solutions are
+//! mapped back to the original variable space through the postsolve map.
+//!
 //! All nodes share one [`LpWorkspace`]: the root relaxation is solved cold
 //! by the primal simplex, and every subsequent node — which only tightens
 //! variable bounds — inherits the basis left behind by the previously solved
 //! node and reoptimises with the bounded-variable dual simplex, typically in
-//! a handful of pivots. The wall-clock budget is enforced *inside* the LP
-//! loops too, so a single pathological reoptimisation cannot blow past
+//! a handful of pivots.
+//!
+//! The search is **budget-aware**: open nodes live in a best-bound priority
+//! queue, while each branching also starts a depth-first *dive* on the
+//! preferred (rounded) child so an early incumbent appears even under tiny
+//! node budgets. When the node or wall-clock budget runs out, the best
+//! remaining open bound yields a reported [`SolveStats::optimality_gap`]
+//! alongside the best incumbent, so a truncated solve still says *how good*
+//! its mapping is. The wall-clock budget is enforced *inside* the LP loops
+//! too, so a single pathological reoptimisation cannot blow past
 //! [`SolverOptions::time_limit`].
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use crate::error::IlpError;
 use crate::model::{Model, ObjectiveSense};
+use crate::presolve::{presolve, PresolveMap, Presolved};
 use crate::simplex::{LpSolution, VarBound, TOL};
 use crate::workspace::{LpOutcome, LpWorkspace};
 use crate::Result;
@@ -19,7 +35,8 @@ use crate::Result;
 /// How the search terminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolutionStatus {
-    /// The returned solution is proven optimal.
+    /// The returned solution is proven optimal (possibly within
+    /// [`SolverOptions::relative_gap`]).
     Optimal,
     /// The search hit its node or time budget; the returned solution is the
     /// best integer-feasible solution found so far.
@@ -27,7 +44,7 @@ pub enum SolutionStatus {
 }
 
 /// Counters describing the work a solve performed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolveStats {
     /// Branch-and-bound nodes whose relaxation was (re)optimised.
     pub nodes: u64,
@@ -37,6 +54,19 @@ pub struct SolveStats {
     pub lp_warm_starts: u64,
     /// Node relaxations that ran the primal simplex from a cold basis.
     pub lp_cold_solves: u64,
+    /// Basis refactorisations (periodic and stability-triggered).
+    pub refactorizations: u64,
+    /// Bound flips (primal flip steps and dual BFRT flips).
+    pub bound_flips: u64,
+    /// Constraint rows eliminated by presolve.
+    pub presolve_removed_rows: u64,
+    /// Variables eliminated by presolve.
+    pub presolve_removed_cols: u64,
+    /// Relative gap between the returned solution and the best remaining
+    /// bound: `0.0` when optimality was proven, finite and positive when a
+    /// budget-limited search still had open nodes (or a valid static bound),
+    /// `f64::INFINITY` when no bound was available.
+    pub optimality_gap: f64,
 }
 
 /// An integer-feasible solution of a [`Model`].
@@ -74,10 +104,16 @@ pub struct SolverOptions {
     /// Wall-clock limit for the whole solve, enforced both between nodes and
     /// inside long LP reoptimisations.
     pub time_limit: Duration,
-    /// Relative optimality gap at which the search stops early.
+    /// Relative optimality gap at which the search stops early with status
+    /// [`SolutionStatus::Optimal`]. `0.0` (the default) disables the early
+    /// stop: the search only ends when the tree is exhausted or a budget is
+    /// hit.
     pub relative_gap: f64,
     /// Absolute tolerance for considering a relaxation value integral.
     pub integrality_tol: f64,
+    /// Whether to run the presolve reductions before building the constraint
+    /// matrix. On by default; mainly disabled by equivalence tests.
+    pub presolve: bool,
 }
 
 impl Default for SolverOptions {
@@ -85,8 +121,9 @@ impl Default for SolverOptions {
         SolverOptions {
             max_nodes: 20_000,
             time_limit: Duration::from_secs(30),
-            relative_gap: 1e-6,
+            relative_gap: 0.0,
             integrality_tol: 1e-6,
+            presolve: true,
         }
     }
 }
@@ -99,10 +136,41 @@ pub struct Solver {
     trace: Option<std::sync::Arc<sgmap_trace::Collector>>,
 }
 
-struct Node {
+/// An open node of the search tree. `bound` is the parent's LP objective in
+/// the *original* model space — a valid bound on every solution below this
+/// node — and `seq` is the insertion number that makes heap order total and
+/// deterministic.
+struct OpenNode {
     bounds: Vec<VarBound>,
-    /// LP bound of the parent (used for pruning before the re-solve).
-    parent_bound: f64,
+    bound: f64,
+    seq: u64,
+}
+
+/// Max-heap adapter: pops the open node with the best bound; ties pop the
+/// oldest node first.
+struct ByBound {
+    node: OpenNode,
+    /// Larger is better-to-explore: the bound negated for minimisation.
+    score: f64,
+}
+
+impl PartialEq for ByBound {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for ByBound {}
+impl PartialOrd for ByBound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByBound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(other.node.seq.cmp(&self.node.seq))
+    }
 }
 
 impl Solver {
@@ -131,8 +199,9 @@ impl Solver {
     /// span, every branch-and-bound relaxation under an `ilp.node` span, and
     /// the [`SolveStats`] of each successful solve are accumulated into the
     /// `ilp.nodes` / `ilp.lp_iterations` / `ilp.lp_warm_starts` /
-    /// `ilp.lp_cold_solves` counters. The collector is write-only: it cannot
-    /// change the solution.
+    /// `ilp.lp_cold_solves` / `ilp.refactorizations` / `ilp.bound_flips` /
+    /// `ilp.presolve_removed_rows` counters. The collector is write-only: it
+    /// cannot change the solution.
     pub fn with_trace(mut self, trace: Option<std::sync::Arc<sgmap_trace::Collector>>) -> Self {
         self.trace = trace;
         self
@@ -142,9 +211,10 @@ impl Solver {
     ///
     /// # Errors
     ///
-    /// Returns [`IlpError::Infeasible`] / [`IlpError::Unbounded`] when the
-    /// root relaxation already fails, and [`IlpError::NoIntegerSolution`]
-    /// when the budget is exhausted without any integer-feasible point.
+    /// Returns [`IlpError::Infeasible`] / [`IlpError::Unbounded`] when
+    /// presolve or the root relaxation already fails, and
+    /// [`IlpError::NoIntegerSolution`] when the budget is exhausted without
+    /// any integer-feasible point.
     pub fn solve(&self, model: &Model) -> Result<Solution> {
         let _solve_span = sgmap_trace::span(self.trace.as_ref(), "ilp.solve");
         let result = self.solve_inner(model);
@@ -154,6 +224,13 @@ impl Solver {
             sgmap_trace::add(trace, "ilp.lp_iterations", s.stats.lp_iterations);
             sgmap_trace::add(trace, "ilp.lp_warm_starts", s.stats.lp_warm_starts);
             sgmap_trace::add(trace, "ilp.lp_cold_solves", s.stats.lp_cold_solves);
+            sgmap_trace::add(trace, "ilp.refactorizations", s.stats.refactorizations);
+            sgmap_trace::add(trace, "ilp.bound_flips", s.stats.bound_flips);
+            sgmap_trace::add(
+                trace,
+                "ilp.presolve_removed_rows",
+                s.stats.presolve_removed_rows,
+            );
         }
         result
     }
@@ -172,6 +249,52 @@ impl Solver {
             }
         };
 
+        // Presolve. The search runs on the reduced model; `offset` converts
+        // reduced LP objectives back to the original space and `pre` maps
+        // solutions back.
+        let pre: Option<PresolveMap> = if self.options.presolve {
+            match presolve(model, self.options.integrality_tol) {
+                Presolved::Infeasible => return Err(IlpError::Infeasible),
+                Presolved::Reduced(map) => Some(map),
+            }
+        } else {
+            None
+        };
+        let (search_model, offset) = match &pre {
+            Some(map) => (&map.model, map.offset),
+            None => (model, 0.0),
+        };
+        let (removed_rows, removed_cols) = match &pre {
+            Some(map) => (map.removed_rows as u64, map.removed_cols as u64),
+            None => (0, 0),
+        };
+        let restore = |values: &[f64]| -> Vec<f64> {
+            match &pre {
+                Some(map) => map.restore(values),
+                None => values.to_vec(),
+            }
+        };
+
+        // Presolve solved the whole model: the fixed values are the unique
+        // (and hence optimal) solution.
+        if search_model.num_vars() == 0 {
+            let values = restore(&[]);
+            let objective = model.evaluate_objective(&values);
+            return Ok(Solution {
+                values,
+                objective,
+                status: SolutionStatus::Optimal,
+                nodes_explored: 0,
+                stats: SolveStats {
+                    presolve_removed_rows: removed_rows,
+                    presolve_removed_cols: removed_cols,
+                    ..SolveStats::default()
+                },
+            });
+        }
+
+        // The incumbent lives in *original* variable space; bounds from the
+        // reduced search are converted with `offset` before any comparison.
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
         if let Some(ws) = &self.warm_start {
             if ws.len() == model.num_vars()
@@ -184,29 +307,18 @@ impl Solver {
 
         // The LP workspace every node shares: one sparse matrix, one basis
         // warm-started from node to node.
-        let mut lp = LpWorkspace::new(model);
+        let mut lp = LpWorkspace::new(search_model);
         let mut nodes_explored = 0usize;
         let mut budget_hit = false;
+        let mut gap_stop = false;
 
-        let finish = |incumbent: Option<(Vec<f64>, f64)>,
-                      budget_hit: bool,
-                      nodes_explored: usize,
-                      lp: &LpWorkspace| {
-            match incumbent {
-                Some((values, objective)) => Ok(Solution {
-                    values,
-                    objective,
-                    status: if budget_hit {
-                        SolutionStatus::Feasible
-                    } else {
-                        SolutionStatus::Optimal
-                    },
-                    nodes_explored,
-                    stats: stats_of(nodes_explored, lp),
-                }),
-                None => Err(IlpError::NoIntegerSolution),
-            }
-        };
+        // Open nodes: a best-bound heap plus a dive stack holding the
+        // preferred child of the last branching, so the search plunges for an
+        // early incumbent and then continues from the best bound.
+        let mut heap: BinaryHeap<ByBound> = BinaryHeap::new();
+        let mut dive: Vec<OpenNode> = Vec::new();
+        let mut seq = 0u64;
+        let score_of = |bound: f64| if minimize { -bound } else { bound };
 
         // Root relaxation (cold primal solve).
         nodes_explored += 1;
@@ -214,37 +326,118 @@ impl Solver {
             let _node_span = sgmap_trace::span(self.trace.as_ref(), "ilp.node");
             lp.solve(&[], deadline)
         };
+        let finish_stats = |nodes_explored: usize, lp: &LpWorkspace, gap: f64| SolveStats {
+            nodes: nodes_explored as u64,
+            lp_iterations: lp.stats.iterations,
+            lp_warm_starts: lp.stats.warm_starts,
+            lp_cold_solves: lp.stats.cold_solves,
+            refactorizations: lp.stats.refactorizations,
+            bound_flips: lp.stats.bound_flips,
+            presolve_removed_rows: removed_rows,
+            presolve_removed_cols: removed_cols,
+            optimality_gap: gap,
+        };
         let root = match root_outcome {
             LpOutcome::Optimal(s) => s,
             LpOutcome::Infeasible => return Err(IlpError::Infeasible),
             LpOutcome::Unbounded => return Err(IlpError::Unbounded),
-            LpOutcome::TimeLimit => return finish(incumbent, true, nodes_explored, &lp),
+            LpOutcome::TimeLimit => {
+                // The budget died inside the root solve: fall back to the
+                // bound-derived static objective bound for the gap.
+                return match incumbent {
+                    Some((values, objective)) => {
+                        let gap = gap_between(minimize, objective, static_bound(model));
+                        Ok(Solution {
+                            values,
+                            objective,
+                            status: SolutionStatus::Feasible,
+                            nodes_explored,
+                            stats: finish_stats(nodes_explored, &lp, gap),
+                        })
+                    }
+                    None => Err(IlpError::NoIntegerSolution),
+                };
+            }
             LpOutcome::Numerical(msg) => return Err(IlpError::Numerical(msg)),
         };
-        if is_integral(model, &root.values, self.options.integrality_tol) {
+        if is_integral(search_model, &root.values, self.options.integrality_tol) {
+            let reduced = round_binaries(search_model, root.values);
+            let values = restore(&reduced);
+            let objective = model.evaluate_objective(&values);
             return Ok(Solution {
-                objective: root.objective,
-                values: round_binaries(model, root.values),
+                values,
+                objective,
                 status: SolutionStatus::Optimal,
                 nodes_explored,
-                stats: stats_of(nodes_explored, &lp),
+                stats: finish_stats(nodes_explored, &lp, 0.0),
             });
         }
 
-        let mut stack: Vec<Node> = Vec::new();
-        push_children(&mut stack, model, &root, &[], self.options.integrality_tol);
+        push_children(
+            &mut heap,
+            &mut dive,
+            &mut seq,
+            score_of,
+            search_model,
+            &root,
+            root.objective + offset,
+            &[],
+            self.options.integrality_tol,
+        );
 
-        while let Some(node) = stack.pop() {
+        // Best remaining original-space bound among the open nodes,
+        // optionally also covering one just-popped node.
+        let peek_bound = |heap: &BinaryHeap<ByBound>, dive: &[OpenNode], extra: Option<f64>| {
+            let mut best: Option<f64> = extra;
+            if let Some(top) = heap.peek() {
+                let b = top.node.bound;
+                best = Some(match best {
+                    Some(cur) if better(cur, b) => cur,
+                    _ => b,
+                });
+            }
+            for n in dive {
+                best = Some(match best {
+                    Some(cur) if better(cur, n.bound) => cur,
+                    _ => n.bound,
+                });
+            }
+            best
+        };
+
+        loop {
+            // Dive first (plunge towards an incumbent), then best bound.
+            let node = match dive.pop() {
+                Some(n) => n,
+                None => match heap.pop() {
+                    Some(b) => b.node,
+                    None => break,
+                },
+            };
             if nodes_explored >= self.options.max_nodes
                 || deadline.is_some_and(|d| Instant::now() >= d)
             {
                 budget_hit = true;
+                // Keep the node's bound visible to the gap computation.
+                let score = score_of(node.bound);
+                heap.push(ByBound { node, score });
                 break;
             }
-            // Bound pruning against the incumbent.
+            // Bound pruning against the incumbent, and the optional early
+            // stop once the whole frontier is within `relative_gap`.
             if let Some((_, inc_obj)) = &incumbent {
-                if !better(node.parent_bound, *inc_obj) {
+                if !better(node.bound, *inc_obj) {
                     continue;
+                }
+                if self.options.relative_gap > 0.0 {
+                    if let Some(frontier) = peek_bound(&heap, &dive, Some(node.bound)) {
+                        if gap_between(minimize, *inc_obj, frontier) <= self.options.relative_gap {
+                            gap_stop = true;
+                            let score = score_of(node.bound);
+                            heap.push(ByBound { node, score });
+                            break;
+                        }
+                    }
                 }
             }
             nodes_explored += 1;
@@ -262,17 +455,21 @@ impl Solver {
                 LpOutcome::Unbounded => return Err(IlpError::Unbounded),
                 LpOutcome::TimeLimit => {
                     budget_hit = true;
+                    let score = score_of(node.bound);
+                    heap.push(ByBound { node, score });
                     break;
                 }
             };
+            let relax_bound = relax.objective + offset;
             if let Some((_, inc_obj)) = &incumbent {
-                if !better(relax.objective, *inc_obj) {
+                if !better(relax_bound, *inc_obj) {
                     continue;
                 }
             }
-            if is_integral(model, &relax.values, self.options.integrality_tol) {
+            if is_integral(search_model, &relax.values, self.options.integrality_tol) {
                 // Integer feasible: candidate incumbent.
-                let values = round_binaries(model, relax.values);
+                let reduced = round_binaries(search_model, relax.values);
+                let values = restore(&reduced);
                 let obj = model.evaluate_objective(&values);
                 let accept = match &incumbent {
                     None => true,
@@ -283,34 +480,89 @@ impl Solver {
                 }
             } else {
                 push_children(
-                    &mut stack,
-                    model,
+                    &mut heap,
+                    &mut dive,
+                    &mut seq,
+                    score_of,
+                    search_model,
                     &relax,
+                    relax_bound,
                     &node.bounds,
                     self.options.integrality_tol,
                 );
             }
         }
 
-        finish(incumbent, budget_hit, nodes_explored, &lp)
+        match incumbent {
+            Some((values, objective)) => {
+                let gap = if budget_hit {
+                    let bound =
+                        peek_bound(&heap, &dive, None).unwrap_or_else(|| static_bound(model));
+                    gap_between(minimize, objective, bound)
+                } else if gap_stop {
+                    let bound = peek_bound(&heap, &dive, None).unwrap_or(objective);
+                    gap_between(minimize, objective, bound)
+                } else {
+                    0.0
+                };
+                Ok(Solution {
+                    values,
+                    objective,
+                    status: if budget_hit {
+                        SolutionStatus::Feasible
+                    } else {
+                        SolutionStatus::Optimal
+                    },
+                    nodes_explored,
+                    stats: finish_stats(nodes_explored, &lp, gap),
+                })
+            }
+            None => Err(IlpError::NoIntegerSolution),
+        }
     }
 }
 
-fn stats_of(nodes_explored: usize, lp: &LpWorkspace) -> SolveStats {
-    SolveStats {
-        nodes: nodes_explored as u64,
-        lp_iterations: lp.stats.iterations,
-        lp_warm_starts: lp.stats.warm_starts,
-        lp_cold_solves: lp.stats.cold_solves,
-    }
+/// Relative gap between an incumbent objective and a valid bound, clamped at
+/// zero (an already-pruned frontier can trail the incumbent).
+fn gap_between(minimize: bool, incumbent: f64, bound: f64) -> f64 {
+    let diff = if minimize {
+        incumbent - bound
+    } else {
+        bound - incumbent
+    };
+    diff.max(0.0) / incumbent.abs().max(1e-9)
 }
 
-/// Branches on the most fractional binary of `relax` and pushes the two
-/// children, the "rounded" one last so depth-first search pops it first.
+/// A bound on the objective from variable bounds alone: each variable sits at
+/// whichever of its bounds is better for the objective, constraints ignored.
+/// Used as the gap fallback when the search dies before the root relaxation
+/// finishes. Infinite when some improving bound is infinite.
+fn static_bound(model: &Model) -> f64 {
+    let minimize = model.objective_sense() == ObjectiveSense::Minimize;
+    let mut total = 0.0;
+    for var in &model.vars {
+        let c = var.objective;
+        if c == 0.0 {
+            continue;
+        }
+        let (a, b) = (c * var.lo, c * var.hi);
+        total += if minimize { a.min(b) } else { a.max(b) };
+    }
+    total
+}
+
+/// Branches on the most fractional binary of `relax`: the preferred
+/// ("rounded") child goes on the dive stack so it is explored next, the
+/// other child enters the best-bound heap under the parent's bound.
+#[allow(clippy::too_many_arguments)]
 fn push_children(
-    stack: &mut Vec<Node>,
+    heap: &mut BinaryHeap<ByBound>,
+    dive: &mut Vec<OpenNode>,
+    seq: &mut u64,
+    score_of: impl Fn(f64) -> f64,
     model: &Model,
     relax: &LpSolution,
+    bound: f64,
     bounds: &[VarBound],
     tol: f64,
 ) {
@@ -333,21 +585,22 @@ fn push_children(
         lo: 1.0,
         hi: 1.0,
     });
-    let lo_node = Node {
-        bounds: lo_bounds,
-        parent_bound: relax.objective,
+    let mut node_of = |bounds: Vec<VarBound>| {
+        *seq += 1;
+        OpenNode {
+            bounds,
+            bound,
+            seq: *seq,
+        }
     };
-    let hi_node = Node {
-        bounds: hi_bounds,
-        parent_bound: relax.objective,
-    };
-    if frac >= 0.5 {
-        stack.push(lo_node);
-        stack.push(hi_node);
+    let (preferred, other) = if frac >= 0.5 {
+        (node_of(hi_bounds), node_of(lo_bounds))
     } else {
-        stack.push(hi_node);
-        stack.push(lo_node);
-    }
+        (node_of(lo_bounds), node_of(hi_bounds))
+    };
+    let score = score_of(other.bound);
+    heap.push(ByBound { node: other, score });
+    dive.push(preferred);
 }
 
 /// Returns the index of the binary variable whose relaxation value is the
@@ -410,6 +663,7 @@ mod tests {
         assert!(!s.binary_value(b));
         assert!(s.stats.nodes >= 1);
         assert!(s.stats.lp_iterations >= 1);
+        assert_eq!(s.stats.optimality_gap, 0.0);
     }
 
     #[test]
@@ -511,11 +765,26 @@ mod tests {
     }
 
     #[test]
-    fn pure_lp_model_is_returned_from_the_root() {
+    fn pure_lp_model_presolves_to_its_bound() {
+        // min x with x >= 2.5: the singleton row becomes a bound and the
+        // empty column is fixed at it — no LP runs at all.
         let mut m = Model::new(ObjectiveSense::Minimize);
         let x = m.add_continuous("x", 1.0);
         m.add_constraint_ge(vec![(x, 1.0)], 2.5);
         let s = Solver::new().solve(&m).unwrap();
+        assert_eq!(s.status, SolutionStatus::Optimal);
+        assert!((s.objective - 2.5).abs() < 1e-6);
+        assert_eq!(s.nodes_explored, 0, "presolve should solve this alone");
+        assert_eq!(s.stats.presolve_removed_rows, 1);
+        assert_eq!(s.stats.presolve_removed_cols, 1);
+        assert_eq!(s.stats.optimality_gap, 0.0);
+
+        // With presolve off the root relaxation answers instead.
+        let opts = SolverOptions {
+            presolve: false,
+            ..SolverOptions::default()
+        };
+        let s = Solver::with_options(opts).solve(&m).unwrap();
         assert_eq!(s.status, SolutionStatus::Optimal);
         assert!((s.objective - 2.5).abs() < 1e-6);
         assert_eq!(s.nodes_explored, 1);
@@ -585,5 +854,115 @@ mod tests {
             .unwrap();
         assert_eq!(s.status, SolutionStatus::Feasible);
         assert!(s.objective >= 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn zero_time_limit_reports_finite_gap() {
+        // The CI sweep gate: a budget-killed solve must still report how far
+        // its incumbent may be from optimal. All variables here are bounded,
+        // so even the static fallback bound is finite.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(format!("v{i}"), 1.0 + (i as f64) * 0.17))
+            .collect();
+        for chunk in vars.chunks(4) {
+            m.add_constraint_le(chunk.iter().map(|&v| (v, 1.0)).collect(), 2.0);
+        }
+        let warm: Vec<f64> = (0..12)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let opts = SolverOptions {
+            time_limit: Duration::ZERO,
+            ..SolverOptions::default()
+        };
+        let s = Solver::with_options(opts)
+            .warm_start(warm)
+            .solve(&m)
+            .unwrap();
+        assert_eq!(s.status, SolutionStatus::Feasible);
+        assert!(
+            s.stats.optimality_gap.is_finite(),
+            "gap must be finite, got {}",
+            s.stats.optimality_gap
+        );
+        assert!(s.stats.optimality_gap >= 0.0);
+    }
+
+    #[test]
+    fn node_budget_reports_the_frontier_gap() {
+        // Stop after a couple of nodes: open nodes remain, and their best
+        // bound yields a finite positive-or-zero gap.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_binary(format!("v{i}"), 3.0 + ((i * 7) % 5) as f64))
+            .collect();
+        m.add_constraint_le(vars.iter().map(|&v| (v, 2.0)).collect(), 9.0);
+        for pair in vars.chunks(2) {
+            m.add_constraint_le(pair.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+        }
+        let opts = SolverOptions {
+            max_nodes: 3,
+            ..SolverOptions::default()
+        };
+        let s = Solver::with_options(opts).solve(&m);
+        if let Ok(s) = s {
+            if s.status == SolutionStatus::Feasible {
+                assert!(s.stats.optimality_gap.is_finite());
+                assert!(s.stats.optimality_gap >= 0.0);
+            } else {
+                assert_eq!(s.stats.optimality_gap, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_gap_early_stop_returns_optimal_status() {
+        // With a huge allowed gap the search stops at the first incumbent
+        // but still reports Optimal (within the requested gap).
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_binary(format!("v{i}"), 5.0 + ((i * 3) % 7) as f64))
+            .collect();
+        m.add_constraint_le(vars.iter().map(|&v| (v, 3.0)).collect(), 10.0);
+        for pair in vars.chunks(2) {
+            m.add_constraint_le(pair.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+        }
+        let opts = SolverOptions {
+            relative_gap: 0.9,
+            ..SolverOptions::default()
+        };
+        let s = Solver::with_options(opts).solve(&m).unwrap();
+        assert_eq!(s.status, SolutionStatus::Optimal);
+        // The exact solve must never be worse than the gap-limited one.
+        let exact = Solver::new().solve(&m).unwrap();
+        assert!(exact.objective >= s.objective - 1e-9);
+    }
+
+    #[test]
+    fn presolve_on_and_off_agree() {
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let t = m.add_continuous("t", 1.0);
+        let a = m.add_binary("a", 0.5);
+        let b = m.add_binary("b", 0.25);
+        let fixed = m.add_continuous("fixed", 2.0);
+        m.set_bounds(fixed, 1.5, 1.5);
+        m.add_constraint_eq(vec![(a, 1.0), (b, 1.0)], 1.0);
+        m.add_constraint_ge(vec![(t, 1.0), (a, -2.0), (fixed, 1.0)], 0.5);
+        let on = Solver::new().solve(&m).unwrap();
+        let opts = SolverOptions {
+            presolve: false,
+            ..SolverOptions::default()
+        };
+        let off = Solver::with_options(opts).solve(&m).unwrap();
+        assert!(
+            (on.objective - off.objective).abs() < 1e-6,
+            "presolve on {} vs off {}",
+            on.objective,
+            off.objective
+        );
+        assert!((on.value(fixed) - 1.5).abs() < 1e-9);
+        assert!(on.stats.presolve_removed_cols >= 1);
+        assert_eq!(off.stats.presolve_removed_cols, 0);
+        assert!(m.is_feasible(&on.values, 1e-6));
     }
 }

@@ -17,16 +17,22 @@
 //!   parent basis, so a bounded-variable *dual* simplex reoptimises in a
 //!   handful of pivots ([`crate::dual`]).
 //!
-//! Both paths use fixed deterministic pivoting rules (Dantzig pricing with
-//! lowest-index tie-breaking, Bland's rule after a stall threshold), so the
-//! same model and bounds always reproduce the same vertex, independent of
-//! thread count or load.
+//! The basis matrix itself lives behind the [`Basis`] facade and is factored
+//! either as a sparse LU with eta updates (the default) or as the legacy
+//! dense inverse (kept for reference benchmarks and equivalence tests) —
+//! see [`BasisBackend`].
+//!
+//! Both paths use fixed deterministic pivoting rules (devex/Dantzig pricing
+//! with lowest-index tie-breaking, Bland's rule after a stall threshold), so
+//! the same model and bounds always reproduce the same vertex, independent
+//! of thread count or load.
 
 use std::time::Instant;
 
-use crate::basis::{Basis, VarState};
+use crate::basis::{Basis, BasisBackend, VarState};
 use crate::error::IlpError;
 use crate::model::{ConstraintSense, Model, ObjectiveSense};
+use crate::pricing::DevexWeights;
 use crate::simplex::{LpSolution, VarBound, TOL};
 use crate::sparse::SparseCols;
 use crate::Result;
@@ -40,6 +46,11 @@ pub(crate) struct LpStats {
     pub(crate) warm_starts: u64,
     /// Solves that ran the primal simplex from the all-logical basis.
     pub(crate) cold_solves: u64,
+    /// Basis refactorisations (periodic and stability-triggered rebuilds).
+    pub(crate) refactorizations: u64,
+    /// Nonbasic bound flips (primal flip steps + dual bound-flipping ratio
+    /// test passes).
+    pub(crate) bound_flips: u64,
 }
 
 /// How an LP solve ended.
@@ -94,6 +105,13 @@ pub(crate) const DUAL_TOL: f64 = TOL;
 /// Smallest usable pivot element.
 pub(crate) const PIVOT_TOL: f64 = 1e-9;
 
+/// Minimum pivot magnitude relative to the largest entry of its ftran
+/// direction for a pivot computed through *stale* (updated) factors. A
+/// relatively tiny pivot through an eta file may be pure drift — the true
+/// element can be zero, and pivoting on it makes the recorded basis
+/// genuinely singular. Callers refactorise and re-price instead.
+pub(crate) const STABLE_PIVOT_REL: f64 = 1e-7;
+
 /// The revised-simplex workspace shared across branch-and-bound nodes.
 #[derive(Debug, Clone)]
 pub(crate) struct LpWorkspace {
@@ -114,19 +132,28 @@ pub(crate) struct LpWorkspace {
     pub(crate) xb: Vec<f64>,
     /// Whether `basis` carries a usable basis from a previous solve.
     factored: bool,
+    /// Devex reference weights of the dual simplex.
+    pub(crate) devex: DevexWeights,
     // Scratch buffers, reused across iterations and solves.
     pub(crate) w: Vec<f64>,
     pub(crate) y: Vec<f64>,
     pub(crate) d: Vec<f64>,
     pub(crate) alpha: Vec<f64>,
+    /// Pivot row `ρ = e_r'B⁻¹` of the dual simplex.
+    pub(crate) rho: Vec<f64>,
     u: Vec<f64>,
     pub(crate) stats: LpStats,
 }
 
 impl LpWorkspace {
-    /// Builds the standard-form workspace. The model must already be
-    /// validated.
+    /// Builds the standard-form workspace with the default (sparse LU)
+    /// basis backend. The model must already be validated.
     pub(crate) fn new(model: &Model) -> LpWorkspace {
+        LpWorkspace::with_backend(model, BasisBackend::SparseLu)
+    }
+
+    /// Builds the standard-form workspace with an explicit basis backend.
+    pub(crate) fn with_backend(model: &Model, backend: BasisBackend) -> LpWorkspace {
         let cols = SparseCols::from_model(model);
         let m = cols.m;
         let n_struct = cols.n_struct;
@@ -156,7 +183,7 @@ impl LpWorkspace {
             base_hi.push(h);
         }
         LpWorkspace {
-            basis: Basis::logical(m, n_struct),
+            basis: Basis::logical(m, n_struct, backend),
             b,
             cost,
             maximize,
@@ -166,10 +193,12 @@ impl LpWorkspace {
             base_hi,
             xb: vec![0.0; m],
             factored: false,
+            devex: DevexWeights::default(),
             w: Vec::new(),
             y: Vec::new(),
             d: Vec::new(),
             alpha: Vec::new(),
+            rho: Vec::new(),
             u: Vec::new(),
             stats: LpStats::default(),
             cols,
@@ -303,7 +332,6 @@ impl LpWorkspace {
 
     /// Recomputes `xb = B⁻¹ (b − N·x_N)` from the current states and bounds.
     pub(crate) fn recompute_xb(&mut self) {
-        let m = self.cols.m;
         self.u.clear();
         self.u.extend_from_slice(&self.b);
         // Only structural nonbasics can sit at a non-zero value: the finite
@@ -320,16 +348,7 @@ impl LpWorkspace {
                 }
             }
         }
-        self.xb.clear();
-        self.xb.resize(m, 0.0);
-        for i in 0..m {
-            let row = self.basis.row(i);
-            let mut acc = 0.0;
-            for (rk, uk) in row.iter().zip(&self.u) {
-                acc += rk * uk;
-            }
-            self.xb[i] = acc;
-        }
+        self.basis.ftran_dense(&self.u, &mut self.xb);
     }
 
     /// Computes the reduced costs of every column into `self.d` (basic
@@ -350,12 +369,13 @@ impl LpWorkspace {
         self.y = y;
     }
 
-    /// Rebuilds the inverse and the basic values; `false` means the basis is
-    /// numerically lost and the caller must restart cold.
+    /// Rebuilds the factors and the basic values; `false` means the basis
+    /// is numerically lost and the caller must restart cold.
     pub(crate) fn refactor_and_sync(&mut self) -> bool {
         let mut scratch = std::mem::take(&mut self.w);
         let ok = self.basis.refactorize(&self.cols, &mut scratch);
         self.w = scratch;
+        self.stats.refactorizations += 1;
         if ok {
             self.recompute_xb();
         }

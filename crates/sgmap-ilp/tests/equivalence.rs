@@ -12,7 +12,9 @@
 use proptest::prelude::*;
 
 use sgmap_ilp::simplex::VarBound;
-use sgmap_ilp::{dense, simplex, IlpError, Model, ObjectiveSense, Solver};
+use sgmap_ilp::{
+    dense, simplex, BasisBackend, IlpError, LpSolver, Model, ObjectiveSense, Solver, SolverOptions,
+};
 
 /// Absolute + relative tolerance for comparing optimal objectives.
 fn close(a: f64, b: f64) -> bool {
@@ -47,8 +49,10 @@ impl Gen {
     }
 }
 
-/// A random small model with every row sense, native bounds and a mix of
-/// binary and continuous variables, plus branch-style bound restrictions.
+/// A random small model with every row sense, native bounds, a mix of
+/// binary and continuous variables — including presolve fodder: variables
+/// fixed by their bounds and singleton rows — plus branch-style bound
+/// restrictions.
 fn random_model(seed: u64) -> (Model, Vec<VarBound>) {
     let mut g = Gen(seed);
     let sense = if g.chance(50) {
@@ -64,11 +68,21 @@ fn random_model(seed: u64) -> (Model, Vec<VarBound>) {
         let cost = g.int(-5, 5) as f64;
         if g.chance(50) {
             let v = model.add_binary(format!("b{i}"), cost);
-            binaries.push(v);
+            if g.chance(15) {
+                // Bound-fixed binary: presolve substitutes it away.
+                let fix = if g.chance(50) { 1.0 } else { 0.0 };
+                model.set_bounds(v, fix, fix);
+            } else {
+                binaries.push(v);
+            }
             vars.push(v);
         } else {
             let v = model.add_continuous(format!("c{i}"), cost);
-            if g.chance(40) {
+            if g.chance(15) {
+                // Bound-fixed continuous variable.
+                let fix = g.int(0, 3) as f64;
+                model.set_bounds(v, fix, fix);
+            } else if g.chance(40) {
                 let lo = g.int(0, 2) as f64;
                 let hi = if g.chance(50) {
                     lo + g.int(0, 3) as f64
@@ -83,11 +97,20 @@ fn random_model(seed: u64) -> (Model, Vec<VarBound>) {
     let n_rows = g.below(6) as usize;
     for _ in 0..n_rows {
         let mut terms = Vec::new();
-        for &v in &vars {
-            if g.chance(70) {
-                let coef = g.int(-3, 3) as f64;
-                if coef != 0.0 {
-                    terms.push((v, coef));
+        if g.chance(25) {
+            // Singleton row: presolve turns it into a bound.
+            let v = vars[g.below(vars.len() as u64) as usize];
+            let coef = g.int(-3, 3) as f64;
+            if coef != 0.0 {
+                terms.push((v, coef));
+            }
+        } else {
+            for &v in &vars {
+                if g.chance(70) {
+                    let coef = g.int(-3, 3) as f64;
+                    if coef != 0.0 {
+                        terms.push((v, coef));
+                    }
                 }
             }
         }
@@ -255,6 +278,74 @@ proptest! {
                 prop_assume!(false);
             }
             (a, b) => prop_assert!(false, "ILP outcome differs: reference {a:?} vs revised {b:?}"),
+        }
+    }
+
+    /// Presolve level: the full solver with and without the presolve pass
+    /// agrees on classification, optimal objective and feasibility — over
+    /// models that include bound-fixed variables and singleton rows.
+    #[test]
+    fn presolve_on_and_off_agree(seed in 0u64..(1u64 << 62)) {
+        let (model, _) = random_model(seed);
+        let on = Solver::new().solve(&model);
+        let off = Solver::with_options(SolverOptions {
+            presolve: false,
+            ..SolverOptions::default()
+        })
+        .solve(&model);
+        match (on, off) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(
+                    close(a.objective, b.objective),
+                    "objectives differ: presolve on {} vs off {}",
+                    a.objective,
+                    b.objective
+                );
+                prop_assert!(satisfies(&model, &[], &a.values), "presolved point infeasible");
+                prop_assert!(satisfies(&model, &[], &b.values), "unpresolved point infeasible");
+            }
+            // Presolve proves infeasibility structurally where the search
+            // proves it by exhaustion; both mean "no solution".
+            (
+                Err(IlpError::Infeasible) | Err(IlpError::NoIntegerSolution),
+                Err(IlpError::Infeasible) | Err(IlpError::NoIntegerSolution),
+            ) => {}
+            (Err(IlpError::Unbounded), Err(IlpError::Unbounded)) => {}
+            (Err(IlpError::Numerical(_)), _) | (_, Err(IlpError::Numerical(_))) => {
+                prop_assume!(false);
+            }
+            (a, b) => prop_assert!(false, "classification differs: presolve on {a:?} vs off {b:?}"),
+        }
+    }
+
+    /// Backend level: the sparse-LU and dense-inverse basis factorisations
+    /// drive the same simplex to the same answers.
+    #[test]
+    fn sparse_lu_matches_dense_inverse_backend(seed in 0u64..(1u64 << 62)) {
+        let (model, bounds) = random_model(seed);
+        let lu = LpSolver::with_backend(&model, BasisBackend::SparseLu)
+            .unwrap()
+            .solve(&bounds);
+        let dense_inv = LpSolver::with_backend(&model, BasisBackend::DenseInverse)
+            .unwrap()
+            .solve(&bounds);
+        match (lu, dense_inv) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(
+                    close(a.objective, b.objective),
+                    "objectives differ: sparse LU {} vs dense inverse {}",
+                    a.objective,
+                    b.objective
+                );
+                prop_assert!(satisfies(&model, &bounds, &a.values), "LU point infeasible");
+                prop_assert!(satisfies(&model, &bounds, &b.values), "dense point infeasible");
+            }
+            (Err(IlpError::Infeasible), Err(IlpError::Infeasible)) => {}
+            (Err(IlpError::Unbounded), Err(IlpError::Unbounded)) => {}
+            (Err(IlpError::Numerical(_)), _) | (_, Err(IlpError::Numerical(_))) => {
+                prop_assume!(false);
+            }
+            (a, b) => prop_assert!(false, "classification differs: LU {a:?} vs dense {b:?}"),
         }
     }
 

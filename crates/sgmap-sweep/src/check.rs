@@ -253,14 +253,17 @@ fn check_bench_sweep(
 }
 
 /// Validates the JSON text of a `perfbench` report (`BENCH.json`): format
-/// version 2, a non-empty list of timed compiles with positive wall-clocks,
-/// non-zero estimate counts and live ILP solver counters (`ilp_nodes` and
-/// `lp_iterations` per compile, at least one `lp_warm_starts` across the
-/// suite — the revised simplex must actually be warm-starting), a
+/// version 3, a non-empty list of timed compiles with positive wall-clocks,
+/// non-zero estimate counts and live ILP solver counters (`ilp_nodes`,
+/// `lp_iterations`, `lp_refactorizations` and a finite non-negative
+/// `ilp_gap` per compile, at least one `lp_warm_starts` across the suite —
+/// the revised simplex must actually be warm-starting), a
 /// `synthetic_scaling` curve whose largest point partitioned a graph of at
 /// least 10 000 filters through the multilevel pipeline (non-zero coarsen
-/// levels, non-negative phase timings), and a healthy sweep section. A
-/// report whose sweep was warm-started from a persistent cache file
+/// levels, non-negative phase timings), a `budget_bounded` point whose
+/// node-capped branch-and-bound still produced a feasible mapping with a
+/// finite optimality gap, and a healthy sweep section. A report whose sweep
+/// was warm-started from a persistent cache file
 /// (`cache_preloaded_entries > 0`) must additionally report zero
 /// shared-cache misses — the contract of cache persistence.
 ///
@@ -270,7 +273,7 @@ fn check_bench_sweep(
 pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
     let report = Value::parse(src).map_err(CheckError::Parse)?;
     match report.get("version").and_then(Value::as_u64) {
-        Some(2) => {}
+        Some(3) => {}
         other => {
             return Err(CheckError::Shape(format!(
                 "unsupported BENCH.json version {other:?}"
@@ -325,6 +328,15 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
         }
         if bench_u64(compile, "lp_iterations", &at)? == 0 {
             return Err(CheckError::Shape(format!("{at}: zero lp_iterations")));
+        }
+        // The sparse-LU backend counts refactorisations (>= 1 per cold
+        // solve) and every solve reports its proven optimality gap.
+        bench_u64(compile, "lp_refactorizations", &at)?;
+        let gap = bench_f64(compile, "ilp_gap", &at)?;
+        if !gap.is_finite() || gap < 0.0 {
+            return Err(CheckError::Shape(format!(
+                "{at}: ilp_gap must be finite and non-negative, got {gap}"
+            )));
         }
         total_warm_starts += bench_u64(compile, "lp_warm_starts", &at)?;
     }
@@ -390,6 +402,33 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
         return Err(CheckError::Shape(format!(
             "synthetic_scaling tops out at {synthetic_max_filters} filters (need >= 10000)"
         )));
+    }
+    // The budget-bounded point proves a node-capped branch-and-bound still
+    // returns a feasible mapping and an honest (finite) optimality gap.
+    let budget = report
+        .get("budget_bounded")
+        .ok_or_else(|| CheckError::Shape("missing budget_bounded section".to_string()))?;
+    {
+        let at = "budget_bounded";
+        if bench_u64(budget, "max_nodes", at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero max_nodes")));
+        }
+        if bench_u64(budget, "partitions", at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero partitions")));
+        }
+        if bench_u64(budget, "ilp_nodes", at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero ilp_nodes")));
+        }
+        let gap = bench_f64(budget, "ilp_gap", at)?;
+        if !gap.is_finite() || gap < 0.0 {
+            return Err(CheckError::Shape(format!(
+                "{at}: ilp_gap must be finite and non-negative, got {gap}"
+            )));
+        }
+        let map_ms = bench_f64(budget, "map_ms", at)?;
+        if !map_ms.is_finite() || map_ms <= 0.0 {
+            return Err(CheckError::Shape(format!("{at}: non-positive map_ms")));
+        }
     }
     let sweep = report
         .get("sweep")
@@ -768,10 +807,11 @@ mod tests {
         };
         format!(
             concat!(
-                "{{\"version\":2,\"preset\":\"quick\",\"compiles\":[",
+                "{{\"version\":3,\"preset\":\"quick\",\"compiles\":[",
                 "{{\"app\":\"DES\",\"n\":8,\"platform\":\"Tesla M2090x2\",",
                 "\"filters\":34,\"partitions\":8,",
                 "\"ilp_nodes\":57,\"lp_iterations\":412,\"lp_warm_starts\":56,",
+                "\"lp_refactorizations\":9,\"ilp_gap\":0.0,",
                 "\"build_ms\":0.1,\"estimator_ms\":0.2,\"partition_ms\":1.5,",
                 "\"partition_phase1_ms\":0.4,\"partition_phase2_ms\":0.3,",
                 "\"partition_phase3_ms\":0.5,\"partition_phase4_ms\":0.3,",
@@ -785,6 +825,9 @@ mod tests {
                 "\"initial_ms\":110.0,\"refine_ms\":900.0,",
                 "\"partition_ms\":5608.8,\"map_ms\":88.8,",
                 "\"total_ms\":5705.1}}],",
+                "\"budget_bounded\":{{\"app\":\"SynthFan\",\"n\":5000,",
+                "\"max_nodes\":40,\"partitions\":61,\"ilp_nodes\":41,",
+                "\"ilp_gap\":0.0312,\"lp_iterations\":2210,\"map_ms\":120.5}},",
                 "\"sweep\":{{\"preset\":\"quick\",\"points\":48,\"failed_points\":0,",
                 "\"wall_ms\":26000.0,\"cache\":{{\"hits\":1102,\"misses\":{misses},",
                 "\"entries\":624,\"hit_rate\":0.64}},",
@@ -886,13 +929,14 @@ mod tests {
             check_bench_report("{\"version\":9}"),
             Err(CheckError::Shape(_))
         ));
-        // Version-1 reports (no synthetic_scaling section) no longer pass.
+        // Version-2 reports (no lp_refactorizations / ilp_gap / budget
+        // section) no longer pass.
         assert!(matches!(
-            check_bench_report("{\"version\":1}"),
+            check_bench_report("{\"version\":2}"),
             Err(CheckError::Shape(_))
         ));
         assert!(matches!(
-            check_bench_report("{\"version\":2,\"compiles\":[]}"),
+            check_bench_report("{\"version\":3,\"compiles\":[]}"),
             Err(CheckError::Shape(_))
         ));
         // A warm-started sweep that still misses violates the persistence
@@ -919,6 +963,14 @@ mod tests {
             bench_json(624, None).replace("\"lp_iterations\":412", "\"lp_iterations\":0"),
             bench_json(624, None).replace("\"lp_warm_starts\":56", "\"lp_warm_starts\":0"),
             bench_json(624, None).replace("\"ilp_nodes\":57,", ""),
+            bench_json(624, None).replace("\"lp_refactorizations\":9,", ""),
+            bench_json(624, None).replace("\"ilp_gap\":0.0,", ""),
+            // The budget-bounded point is mandatory and must have searched
+            // at least one node, a finite gap and a positive wall-clock.
+            bench_json(624, None).replace("\"budget_bounded\":", "\"budget_bounded_x\":"),
+            bench_json(624, None).replace("\"ilp_nodes\":41", "\"ilp_nodes\":0"),
+            bench_json(624, None).replace("\"ilp_gap\":0.0312", "\"ilp_gap\":-0.5"),
+            bench_json(624, None).replace("\"map_ms\":120.5", "\"map_ms\":0.0"),
             bench_json(624, None).replace("\"platform\":\"Tesla M2090x2\",", ""),
             bench_json(624, None).replace("\"partition_phase1_ms\":0.4,", ""),
             bench_json(624, None).replace(
