@@ -44,6 +44,7 @@ use sgmap_core::{
     compile_from_stage, execute, partition_graph, Algorithm, FlowConfig, MultilevelOptions,
     PartitionSearchOptions,
 };
+use sgmap_mapping::{map_on_survivors, repair_mapping, RepairOptions};
 use sgmap_pee::{EstimateCache, Estimator};
 use sgmap_sweep::{
     check_bench_report, load_cache_file_if_exists, run_sweep_with_cache_traced, save_cache_file,
@@ -57,9 +58,12 @@ const USAGE: &str = "usage: perfbench [--preset NAME] [--threads N] [--out FILE]
 /// `synthetic_scaling` section (the multilevel partitioner's scaling curve on
 /// generated graphs); version 3 added the per-compile `lp_refactorizations` /
 /// `ilp_gap` fields and the `budget_bounded` section (a node-capped large
-/// mapping solve recording its reported optimality gap). Older reports no
-/// longer validate.
-const BENCH_FORMAT_VERSION: u64 = 3;
+/// mapping solve recording its reported optimality gap); version 4 added the
+/// `repair` section (degradation-aware remapping after a device loss, timed
+/// against a full recompile) and the `stability` section (the robustness
+/// preset's mapping-stability summary under model perturbations). Older
+/// reports no longer validate.
+const BENCH_FORMAT_VERSION: u64 = 4;
 
 /// The fixed single-compile targets: one representative (app, N) per
 /// application family, sized so one compile takes long enough to time
@@ -375,6 +379,145 @@ fn bench_budget_bounded(
     ])
 }
 
+/// Times degradation-aware repair against a full recompile after a device
+/// loss: compiles `app` at `n` on the 4-GPU paper box, kills one device the
+/// baseline mapping actually uses, then measures (a) `repair_mapping` — the
+/// greedy patch plus tightly budgeted warm-started ILP polish — against (b)
+/// re-running the partition search and a full-budget survivor mapping from
+/// scratch. The checker enforces the acceptance bar: repair at least 5×
+/// faster while staying within 10 % of the recompile objective.
+fn bench_repair(app: App, n: u32, collector: &Arc<Collector>) -> JsonValue {
+    let trace = Some(collector);
+    let config = FlowConfig::new()
+        .with_gpu_count(4)
+        .with_partition_search(PartitionSearchOptions::serial())
+        .with_trace(collector.clone());
+    let graph = app.build_traced(n, trace).expect("compile targets build");
+    let estimator = Estimator::new(&graph, config.estimation_gpu().clone())
+        .expect("compile targets have consistent rates")
+        .with_trace(Some(collector.clone()));
+    let stage = partition_graph(&graph, &config, &estimator).expect("partitioning succeeds");
+    let compiled =
+        compile_from_stage(&graph, &config, &estimator, &stage).expect("mapping succeeds");
+    let lost_gpu = compiled.mapping.assignment[0];
+
+    let t = Instant::now();
+    let (repaired, stats) = repair_mapping(
+        &compiled.pdg,
+        &compiled.platform,
+        &compiled.mapping,
+        lost_gpu,
+        &RepairOptions::default(),
+        trace,
+    )
+    .expect("repair succeeds");
+    let repair_ms = ms(t);
+
+    // The alternative to repairing: throw the compile away and redo it for
+    // the survivors — partition search and full-budget mapping included.
+    // (The estimator cache is warm from the baseline compile, which only
+    // makes the comparison harder on the repair path.)
+    let t = Instant::now();
+    let restage = partition_graph(&graph, &config, &estimator).expect("partitioning succeeds");
+    let recompiled = map_on_survivors(
+        &restage.pdg,
+        &compiled.platform,
+        lost_gpu,
+        &config.mapping_options,
+        trace,
+    )
+    .expect("survivor mapping succeeds");
+    let recompile_ms = ms(t);
+
+    let speedup = recompile_ms / repair_ms.max(1e-9);
+    let objective_ratio = repaired.predicted_tmax_us / recompiled.predicted_tmax_us;
+    eprintln!(
+        "repair {:>9} N={:<6} lost GPU {}: {:7.2} ms vs recompile {:7.1} ms ({:.1}x), objective ratio {:.4}",
+        app.name(),
+        n,
+        lost_gpu,
+        repair_ms,
+        recompile_ms,
+        speedup,
+        objective_ratio,
+    );
+    JsonValue::object(vec![
+        ("app", JsonValue::str(app.name())),
+        ("n", JsonValue::Uint(u64::from(n))),
+        ("gpus", JsonValue::Uint(4)),
+        ("lost_gpu", JsonValue::Uint(lost_gpu as u64)),
+        (
+            "moved_partitions",
+            JsonValue::Uint(stats.moved_partitions as u64),
+        ),
+        ("repair_ms", JsonValue::Float(repair_ms)),
+        ("recompile_ms", JsonValue::Float(recompile_ms)),
+        ("speedup", JsonValue::Float(speedup)),
+        (
+            "repair_tmax_us",
+            JsonValue::Float(repaired.predicted_tmax_us),
+        ),
+        (
+            "recompile_tmax_us",
+            JsonValue::Float(recompiled.predicted_tmax_us),
+        ),
+        ("objective_ratio", JsonValue::Float(objective_ratio)),
+    ])
+}
+
+/// Runs the robustness preset and flattens its stability analysis into the
+/// BENCH record: how often the mapping survives ±5/±10/±20 % perturbations
+/// of the bandwidth/latency/throughput model unchanged, and the largest
+/// objective spread those perturbations induce.
+fn bench_stability(threads: usize, collector: &Arc<Collector>) -> JsonValue {
+    let spec = SweepSpec::robustness();
+    let cache = EstimateCache::shared();
+    let t = Instant::now();
+    let report = run_sweep_with_cache_traced(&spec, threads, cache, Some(collector))
+        .expect("robustness preset expands");
+    let wall_ms = ms(t);
+    let failed = report.records.iter().filter(|r| !r.is_ok()).count() as u64;
+    let stability = report
+        .stability
+        .as_ref()
+        .expect("robustness preset computes stability");
+    eprintln!(
+        "stability '{}': {} points in {:.0} ms; {}/{} mappings unchanged, max objective spread {:.4}",
+        spec.name,
+        report.records.len(),
+        wall_ms,
+        stability.unchanged_mappings,
+        stability.compared_points,
+        stability.max_objective_spread,
+    );
+    JsonValue::object(vec![
+        ("preset", JsonValue::str(&*spec.name)),
+        ("points", JsonValue::Uint(report.records.len() as u64)),
+        ("failed_points", JsonValue::Uint(failed)),
+        ("wall_ms", JsonValue::Float(wall_ms)),
+        (
+            "baseline_platform",
+            JsonValue::str(&*stability.baseline_platform),
+        ),
+        (
+            "compared_points",
+            JsonValue::Uint(stability.compared_points),
+        ),
+        (
+            "unchanged_mappings",
+            JsonValue::Uint(stability.unchanged_mappings),
+        ),
+        (
+            "mapping_stability",
+            JsonValue::Float(stability.mapping_stability),
+        ),
+        (
+            "max_objective_spread",
+            JsonValue::Float(stability.max_objective_spread),
+        ),
+    ])
+}
+
 /// Runs the sweep preset against `cache` and returns its JSON record.
 fn bench_sweep(
     spec: &SweepSpec,
@@ -529,6 +672,14 @@ fn main() -> ExitCode {
     // recording the optimality gap the truncated search reports.
     let budget_bounded = bench_budget_bounded(App::SynthPipe, 5_000, 40, &collector);
 
+    // The repair point: degradation-aware remapping after a device loss,
+    // timed against the full recompile it replaces.
+    let repair = bench_repair(App::FmRadio, 16, &collector);
+
+    // The stability section: the robustness preset's mapping-stability
+    // summary under model perturbations.
+    let stability = bench_stability(args.threads, &collector);
+
     // The sweep phase: cold against a fresh cache, or warm-started from (and
     // saved back to) --cache-file.
     let sweep = bench_sweep(&spec, args.threads, &cache, &collector);
@@ -551,6 +702,8 @@ fn main() -> ExitCode {
         ("compiles", JsonValue::Array(compiles)),
         ("synthetic_scaling", JsonValue::Array(synthetic)),
         ("budget_bounded", budget_bounded),
+        ("repair", repair),
+        ("stability", stability),
         ("sweep", sweep),
     ];
     if args.cache_file.is_some() {

@@ -107,6 +107,7 @@ pub fn run_mapped(
         time_limit: Duration::from_secs(3),
         max_nodes: 300,
         comm_aware: true,
+        relative_gap: 0.0,
     };
     let mapping =
         map_with(&pdg, platform, stack.mapper(), &mapping_options).expect("mapping succeeds");

@@ -88,6 +88,24 @@ impl GpuSpec {
     pub fn compute_throughput_proxy(&self) -> f64 {
         f64::from(self.sm_count) * self.core_clock_ghz
     }
+
+    /// A copy of this device with its compute clock scaled by `factor` and
+    /// `suffix` appended to the name. Robustness sweeps turn this knob to
+    /// model calibration drift in the throughput estimate; the new name keeps
+    /// perturbed devices distinct in compile-dedup keys (estimates produced
+    /// for the perturbed device are not interchangeable with the original's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn with_throughput_factor(&self, factor: f64, suffix: &str) -> GpuSpec {
+        assert!(factor > 0.0, "throughput factor must be positive: {factor}");
+        let mut spec = self.clone();
+        spec.core_clock_ghz *= factor;
+        spec.name = format!("{} {}", self.name, suffix);
+        spec
+    }
 }
 
 impl Default for GpuSpec {

@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::platform::Platform;
 use crate::topology::Endpoint;
 
@@ -92,6 +93,29 @@ pub struct ExecStats {
     pub n_fragments: u32,
 }
 
+/// The result of simulating a plan under a [`FaultPlan`]: the stats of
+/// whatever did execute, plus what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedExec {
+    /// Stats of the (possibly partial) execution. When the run was cut short
+    /// the makespan and busy times cover only the work that completed.
+    pub stats: ExecStats,
+    /// Faults that affected the run, in injection/occurrence order.
+    pub events: Vec<FaultEvent>,
+    /// Fragments whose every kernel instance finished.
+    pub completed_fragments: u32,
+    /// The GPU whose loss stopped the run, if any (set for both device
+    /// dropouts and link failures that cut a device off).
+    pub lost_device: Option<usize>,
+}
+
+impl FaultedExec {
+    /// `true` if every kernel instance of every fragment ran to completion.
+    pub fn completed(&self) -> bool {
+        self.completed_fragments == self.stats.n_fragments
+    }
+}
+
 impl ExecStats {
     /// Average time per fragment (the throughput figure of merit).
     pub fn time_per_fragment_us(&self) -> f64 {
@@ -135,6 +159,33 @@ pub fn simulate_plan_traced(
     platform: &Platform,
     trace: Option<&std::sync::Arc<sgmap_trace::Collector>>,
 ) -> ExecStats {
+    simulate_plan_with_faults_traced(plan, platform, &FaultPlan::none(), trace).stats
+}
+
+/// Simulates `plan` on `platform` under the given [`FaultPlan`].
+///
+/// With an empty plan this is exactly [`simulate_plan`]. Link degradations
+/// slow the affected hops for the whole run; a device dropout or a transfer
+/// over a failed link stops the simulation at the first point where no
+/// healthy work remains, returning partial stats and the triggering
+/// [`FaultEvent`].
+pub fn simulate_plan_with_faults(
+    plan: &ExecutionPlan,
+    platform: &Platform,
+    faults: &FaultPlan,
+) -> FaultedExec {
+    simulate_plan_with_faults_traced(plan, platform, faults, None)
+}
+
+/// [`simulate_plan_with_faults`] with an optional trace collector: records
+/// `gpusim.fault_*` counters for injected and triggered faults on top of the
+/// usual execution counters.
+pub fn simulate_plan_with_faults_traced(
+    plan: &ExecutionPlan,
+    platform: &Platform,
+    faults: &FaultPlan,
+    trace: Option<&std::sync::Arc<sgmap_trace::Collector>>,
+) -> FaultedExec {
     let mut span = sgmap_trace::span(trace, "execute");
     span.arg("kernels", plan.kernels.len());
     span.arg("fragments", plan.n_fragments as u64);
@@ -165,6 +216,25 @@ pub fn simulate_plan_traced(
         }
     }
 
+    let mut events: Vec<FaultEvent> = Vec::new();
+    for f in &faults.link_faults {
+        assert!(
+            f.link < topo.link_count(),
+            "fault on unknown link {}",
+            f.link
+        );
+        if f.bandwidth_factor > 0.0 {
+            events.push(FaultEvent::LinkDegraded {
+                link: f.link,
+                bandwidth_factor: f.bandwidth_factor,
+            });
+            sgmap_trace::add(trace, "gpusim.fault_link_degraded", 1);
+        }
+    }
+    for d in &faults.device_dropouts {
+        assert!(d.gpu < g, "dropout of unknown GPU {}", d.gpu);
+    }
+
     let fragments = plan.n_fragments as usize;
     let mut gpu_free = vec![0.0f64; g];
     let mut link_free = vec![0.0f64; topo.link_count()];
@@ -193,15 +263,17 @@ pub fn simulate_plan_traced(
     let mut finish_time = vec![0.0f64; fragments * k_count];
 
     // Dispatch a transfer whose payload becomes available at `available`.
+    // Returns the arrival time, or the index of the dead link that makes the
+    // transfer impossible (the topology is a tree, so there is no detour).
     let dispatch = |t: &PlannedTransfer,
                     available: f64,
                     link_free: &mut [f64],
                     per_link_busy: &mut [f64],
                     per_link_bytes: &mut [u64],
                     transfer_total: &mut f64|
-     -> f64 {
+     -> Result<f64, usize> {
         if t.bytes_per_fragment == 0 || t.from == t.to {
-            return available;
+            return Ok(available);
         }
         let route: Vec<_> = match (plan.transfer_mode, t.from, t.to) {
             (TransferMode::ViaHost, Endpoint::Gpu(_), Endpoint::Gpu(_)) => {
@@ -214,8 +286,20 @@ pub fn simulate_plan_traced(
         let mut head = available;
         for link in route {
             let i = link.index();
-            // Each hop runs at its own link's bandwidth and latency.
-            let hop_time = topo.link_transfer_us(link, t.bytes_per_fragment as f64);
+            let factor = faults.link_factor(i);
+            if factor <= 0.0 {
+                return Err(i);
+            }
+            // Each hop runs at its own link's bandwidth and latency; a
+            // degradation fault stretches only the bandwidth term. The
+            // healthy path goes through the exact same expression as the
+            // fault-free simulator so its floats are bit-identical.
+            let hop_time = if factor == 1.0 {
+                topo.link_transfer_us(link, t.bytes_per_fragment as f64)
+            } else {
+                topo.link_latency_us(link)
+                    + t.bytes_per_fragment as f64 / (topo.link_bytes_per_us(link) * factor)
+            };
             let start = head.max(link_free[i]);
             let end = start + hop_time;
             link_free[i] = end;
@@ -224,21 +308,37 @@ pub fn simulate_plan_traced(
             *transfer_total += hop_time;
             head = end;
         }
-        head
+        Ok(head)
     };
+
+    // The GPU a transfer over a dead link cuts off (for the report).
+    let cut_device = |t: &PlannedTransfer| match (t.to, t.from) {
+        (Endpoint::Gpu(g), _) => Some(g),
+        (_, Endpoint::Gpu(g)) => Some(g),
+        _ => None,
+    };
+
+    // A transfer over a dead link, once hit, stops the simulation.
+    let mut dead_link: Option<(usize, Option<usize>)> = None;
 
     // Primary inputs (no producer kernel) are available from the host at time
     // zero for every fragment and pipeline over the host links.
-    for frag in 0..fragments {
+    'primary: for frag in 0..fragments {
         for t in plan.transfers.iter().filter(|t| t.after_kernel.is_none()) {
-            let arrival = dispatch(
+            let arrival = match dispatch(
                 t,
                 0.0,
                 &mut link_free,
                 &mut per_link_busy,
                 &mut per_link_bytes,
                 &mut transfer_total,
-            );
+            ) {
+                Ok(arrival) => arrival,
+                Err(link) => {
+                    dead_link = Some((link, cut_device(t)));
+                    break 'primary;
+                }
+            };
             if let Some(k) = t.before_kernel {
                 let i = idx(frag, k);
                 ready_time[i] = ready_time[i].max(arrival);
@@ -250,23 +350,54 @@ pub fn simulate_plan_traced(
     }
 
     // List scheduling: repeatedly start the ready instance that can begin
-    // earliest on its GPU.
+    // earliest on its GPU. A device dropout rejects launches that would start
+    // at or after the dropout time; when only such launches remain, the
+    // execution is stuck and stops with a DeviceLost event.
     let total_instances = fragments * k_count;
-    for _ in 0..total_instances {
+    let mut scheduled = 0usize;
+    let mut lost_device: Option<usize> = None;
+    'schedule: while dead_link.is_none() && scheduled < total_instances {
         let mut best: Option<(usize, f64)> = None;
+        let mut blocked_by_dropout = false;
         for i in 0..total_instances {
             if done[i] || remaining_deps[i] > 0 {
                 continue;
             }
             let k = i % k_count;
-            let start = ready_time[i].max(gpu_free[plan.kernels[k].gpu]);
+            let gpu = plan.kernels[k].gpu;
+            let start = ready_time[i].max(gpu_free[gpu]);
+            if let Some(at) = faults.dropout_at(gpu) {
+                if start >= at {
+                    blocked_by_dropout = true;
+                    continue;
+                }
+            }
             match best {
                 None => best = Some((i, start)),
                 Some((_, s)) if start < s - 1e-12 => best = Some((i, start)),
                 _ => {}
             }
         }
-        let (i, start) = best.expect("a ready kernel instance always exists for a DAG plan");
+        let Some((i, start)) = best else {
+            // Nothing healthy can run. For a DAG plan this only happens when
+            // a dropout blocks every remaining chain.
+            assert!(
+                blocked_by_dropout,
+                "a ready kernel instance always exists for a DAG plan"
+            );
+            let d = faults
+                .device_dropouts
+                .iter()
+                .min_by(|a, b| a.at_us.total_cmp(&b.at_us))
+                .expect("a dropout blocked the schedule");
+            events.push(FaultEvent::DeviceLost {
+                gpu: d.gpu,
+                at_us: d.at_us,
+            });
+            sgmap_trace::add(trace, "gpusim.fault_device_lost", 1);
+            lost_device = Some(d.gpu);
+            break 'schedule;
+        };
         let frag = i / k_count;
         let k = i % k_count;
         let kernel = &plan.kernels[k];
@@ -277,17 +408,24 @@ pub fn simulate_plan_traced(
         per_gpu_busy[kernel.gpu] += kernel.time_per_fragment_us;
         kernel_total += kernel.time_per_fragment_us;
         makespan = makespan.max(end);
+        scheduled += 1;
 
         // Dispatch the outgoing transfers of this instance.
         for t in plan.transfers.iter().filter(|t| t.after_kernel == Some(k)) {
-            let arrival = dispatch(
+            let arrival = match dispatch(
                 t,
                 end,
                 &mut link_free,
                 &mut per_link_busy,
                 &mut per_link_bytes,
                 &mut transfer_total,
-            );
+            ) {
+                Ok(arrival) => arrival,
+                Err(link) => {
+                    dead_link = Some((link, cut_device(t)));
+                    break 'schedule;
+                }
+            };
             match t.before_kernel {
                 Some(consumer) => {
                     let ci = idx(frag, consumer);
@@ -299,14 +437,33 @@ pub fn simulate_plan_traced(
         }
     }
 
-    ExecStats {
-        makespan_us: makespan,
-        per_gpu_busy_us: per_gpu_busy,
-        per_link_busy_us: per_link_busy,
-        per_link_bytes,
-        kernel_total_us: kernel_total,
-        transfer_total_us: transfer_total,
-        n_fragments: plan.n_fragments,
+    if let Some((link, cut)) = dead_link {
+        events.push(FaultEvent::LinkFailed { link });
+        sgmap_trace::add(trace, "gpusim.fault_link_failed", 1);
+        lost_device = lost_device.or(cut);
+    }
+
+    let completed_fragments = if k_count == 0 {
+        plan.n_fragments
+    } else {
+        (0..fragments)
+            .filter(|&frag| (0..k_count).all(|k| done[idx(frag, k)]))
+            .count() as u32
+    };
+
+    FaultedExec {
+        stats: ExecStats {
+            makespan_us: makespan,
+            per_gpu_busy_us: per_gpu_busy,
+            per_link_busy_us: per_link_busy,
+            per_link_bytes,
+            kernel_total_us: kernel_total,
+            transfer_total_us: transfer_total,
+            n_fragments: plan.n_fragments,
+        },
+        events,
+        completed_fragments,
+        lost_device,
     }
 }
 
@@ -448,5 +605,126 @@ mod tests {
             transfer_mode: TransferMode::PeerToPeer,
         };
         let _ = simulate_plan(&plan, &Platform::single_m2090());
+    }
+
+    /// Two kernels on two GPUs joined by one transfer — the shared fixture
+    /// for the fault tests.
+    fn two_stage_plan(n: u32) -> (ExecutionPlan, Platform) {
+        let platform = Platform::quad_m2090().with_gpu_count(2);
+        let plan = ExecutionPlan {
+            kernels: vec![kernel("p1", 0, 100.0), kernel("p2", 1, 100.0)],
+            transfers: vec![PlannedTransfer {
+                from: Endpoint::Gpu(0),
+                to: Endpoint::Gpu(1),
+                bytes_per_fragment: 1 << 20,
+                after_kernel: Some(0),
+                before_kernel: Some(1),
+            }],
+            n_fragments: n,
+            transfer_mode: TransferMode::PeerToPeer,
+        };
+        (plan, platform)
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_healthy_simulation_exactly() {
+        let (plan, platform) = two_stage_plan(16);
+        let healthy = simulate_plan(&plan, &platform);
+        let faulted = simulate_plan_with_faults(&plan, &platform, &FaultPlan::none());
+        assert_eq!(faulted.stats, healthy);
+        assert!(faulted.completed());
+        assert!(faulted.events.is_empty());
+        assert_eq!(faulted.lost_device, None);
+        assert_eq!(faulted.completed_fragments, 16);
+    }
+
+    #[test]
+    fn device_dropout_stops_the_run_with_a_device_lost_event() {
+        let (plan, platform) = two_stage_plan(16);
+        let healthy = simulate_plan(&plan, &platform);
+        let faults = FaultPlan::none().with_device_dropout(1, healthy.makespan_us * 0.4);
+        let faulted = simulate_plan_with_faults(&plan, &platform, &faults);
+        assert!(!faulted.completed());
+        assert_eq!(faulted.lost_device, Some(1));
+        assert!(faulted.completed_fragments < 16);
+        assert!(matches!(
+            faulted.events.as_slice(),
+            [FaultEvent::DeviceLost { gpu: 1, .. }]
+        ));
+        // Whatever did run finished before the healthy makespan... plus the
+        // producer side, which keeps running until its own chain stalls.
+        assert!(faulted.stats.per_gpu_busy_us[1] < healthy.per_gpu_busy_us[1]);
+    }
+
+    #[test]
+    fn dropout_after_the_makespan_changes_nothing() {
+        let (plan, platform) = two_stage_plan(8);
+        let healthy = simulate_plan(&plan, &platform);
+        let faults = FaultPlan::none().with_device_dropout(1, healthy.makespan_us + 1.0);
+        let faulted = simulate_plan_with_faults(&plan, &platform, &faults);
+        assert!(faulted.completed());
+        assert_eq!(faulted.stats, healthy);
+    }
+
+    #[test]
+    fn link_degradation_slows_the_run_but_completes_it() {
+        let (plan, platform) = two_stage_plan(16);
+        let healthy = simulate_plan(&plan, &platform);
+        // Degrade every link so the transfer route is hit no matter which
+        // direction it uses.
+        let mut faults = FaultPlan::none();
+        for l in platform.topology.link_ids() {
+            faults = faults.with_link_degradation(l.index(), 0.25);
+        }
+        let faulted = simulate_plan_with_faults(&plan, &platform, &faults);
+        assert!(faulted.completed());
+        assert_eq!(faulted.lost_device, None);
+        assert!(
+            faulted.stats.transfer_total_us > healthy.transfer_total_us * 2.0,
+            "quartered bandwidth should much more than double transfer time"
+        );
+        assert!(faulted.stats.makespan_us > healthy.makespan_us);
+        assert!(faulted
+            .events
+            .iter()
+            .all(|e| matches!(e, FaultEvent::LinkDegraded { .. })));
+        assert_eq!(faulted.events.len(), platform.topology.link_count());
+    }
+
+    #[test]
+    fn link_failure_on_the_route_stops_the_run() {
+        let (plan, platform) = two_stage_plan(8);
+        let route = platform.topology.route(Endpoint::Gpu(0), Endpoint::Gpu(1));
+        let dead = route[0].index();
+        let faults = FaultPlan::none().with_link_failure(dead);
+        let faulted = simulate_plan_with_faults(&plan, &platform, &faults);
+        assert!(!faulted.completed());
+        assert!(faulted
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::LinkFailed { link } if *link == dead)));
+        assert!(faulted.lost_device.is_some());
+    }
+
+    #[test]
+    fn failure_off_the_route_is_harmless() {
+        let (plan, platform) = two_stage_plan(8);
+        let healthy = simulate_plan(&plan, &platform);
+        let used: Vec<usize> = platform
+            .topology
+            .route(Endpoint::Gpu(0), Endpoint::Gpu(1))
+            .iter()
+            .map(|l| l.index())
+            .collect();
+        let unused = platform
+            .topology
+            .link_ids()
+            .map(|l| l.index())
+            .find(|i| !used.contains(i))
+            .expect("the quad tree has links off this route");
+        let faults = FaultPlan::none().with_link_failure(unused);
+        let faulted = simulate_plan_with_faults(&plan, &platform, &faults);
+        assert!(faulted.completed());
+        assert_eq!(faulted.stats, healthy);
     }
 }

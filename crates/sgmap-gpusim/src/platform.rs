@@ -148,6 +148,15 @@ pub struct PlatformSpec {
     pub gpus: Vec<GpuSpec>,
     /// The interconnect shape.
     pub interconnect: InterconnectSpec,
+    /// Multiplier applied to every link's bandwidth when the platform is
+    /// built (`1.0` = the calibrated model, bit-identical). Robustness sweeps
+    /// perturb this to measure mapping stability under calibration drift.
+    /// The JSON codec (`sgmap-sweep`) omits the field at `1.0` and defaults
+    /// it to `1.0` when absent, so historical spec files stay valid.
+    pub bandwidth_scale: f64,
+    /// Multiplier applied to every link's latency when the platform is built
+    /// (`1.0` = the calibrated model, bit-identical; same codec default).
+    pub latency_scale: f64,
 }
 
 impl PlatformSpec {
@@ -160,6 +169,8 @@ impl PlatformSpec {
             name: format!("{}x{}", gpu.name, gpu_count),
             gpus: vec![gpu; gpu_count],
             interconnect: InterconnectSpec::ReferenceTree,
+            bandwidth_scale: 1.0,
+            latency_scale: 1.0,
         }
     }
 
@@ -176,6 +187,8 @@ impl PlatformSpec {
             name: "nvlink8".to_string(),
             gpus: vec![GpuSpec::m2090(); 8],
             interconnect: InterconnectSpec::NvlinkIslands { gpus_per_island: 4 },
+            bandwidth_scale: 1.0,
+            latency_scale: 1.0,
         }
     }
 
@@ -186,6 +199,8 @@ impl PlatformSpec {
             name: "cluster2x4".to_string(),
             gpus: vec![GpuSpec::m2090(); 8],
             interconnect: InterconnectSpec::Cluster { gpus_per_node: 4 },
+            bandwidth_scale: 1.0,
+            latency_scale: 1.0,
         }
     }
 
@@ -202,12 +217,24 @@ impl PlatformSpec {
                 GpuSpec::c2070(),
             ],
             interconnect: InterconnectSpec::Flat,
+            bandwidth_scale: 1.0,
+            latency_scale: 1.0,
         }
     }
 
     /// Renames the spec (labels double as compile-dedup keys in sweeps).
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Sets the link bandwidth/latency perturbation factors applied when the
+    /// platform is built. `1.0` is the calibrated model; the factors must be
+    /// positive (enforced by [`PlatformSpec::build`]).
+    #[must_use]
+    pub fn with_link_scales(mut self, bandwidth_scale: f64, latency_scale: f64) -> Self {
+        self.bandwidth_scale = bandwidth_scale;
+        self.latency_scale = latency_scale;
         self
     }
 
@@ -232,11 +259,20 @@ impl PlatformSpec {
     /// # Errors
     ///
     /// Returns [`TopologyError`] if the GPU list is empty, the count does
-    /// not fit the interconnect shape, or the shape itself is invalid.
+    /// not fit the interconnect shape, the shape itself is invalid, or a link
+    /// scale factor is not positive.
     pub fn build(&self) -> Result<Platform, TopologyError> {
         let n = self.gpus.len();
         if n == 0 {
             return Err(TopologyError::NoGpus);
+        }
+        let positive = |scale: f64| scale > 0.0; // NaN is rejected too
+        if !positive(self.bandwidth_scale) || !positive(self.latency_scale) {
+            return Err(TopologyError::UnsupportedShape(format!(
+                "platform '{}': link scale factors must be positive \
+                 (bandwidth {}, latency {})",
+                self.name, self.bandwidth_scale, self.latency_scale
+            )));
         }
         let topology = match &self.interconnect {
             InterconnectSpec::ReferenceTree => Topology::switch_tree(n)?,
@@ -262,6 +298,9 @@ impl PlatformSpec {
                 Topology::cluster(n / per, per)?
             }
         };
+        // Factors of exactly 1.0 are skipped inside `with_scaled_links`, so
+        // the unperturbed path stays bit-identical to the calibrated model.
+        let topology = topology.with_scaled_links(self.bandwidth_scale, self.latency_scale);
         Ok(Platform {
             gpus: self.gpus.clone(),
             topology,
@@ -331,6 +370,54 @@ mod tests {
         let mut bad = PlatformSpec::nvlink8_m2090();
         bad.gpus.pop();
         assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn link_scales_perturb_the_built_topology() {
+        let base = PlatformSpec::paper().build().unwrap();
+        let scaled = PlatformSpec::paper()
+            .with_link_scales(1.1, 0.8)
+            .build()
+            .unwrap();
+        for link in base.topology.link_ids() {
+            assert!(
+                (scaled.topology.link_bandwidth_gbs(link)
+                    - base.topology.link_bandwidth_gbs(link) * 1.1)
+                    .abs()
+                    < 1e-12
+            );
+            assert!(
+                (scaled.topology.link_latency_us(link) - base.topology.link_latency_us(link) * 0.8)
+                    .abs()
+                    < 1e-12
+            );
+        }
+        // Unit factors are bit-identical to the unperturbed build.
+        let unit = PlatformSpec::paper()
+            .with_link_scales(1.0, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(unit, base);
+        // Non-positive factors are rejected.
+        assert!(PlatformSpec::paper()
+            .with_link_scales(0.0, 1.0)
+            .build()
+            .is_err());
+        assert!(PlatformSpec::paper()
+            .with_link_scales(1.0, -0.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn throughput_factor_scales_the_device_proxy() {
+        let base = GpuSpec::m2090();
+        let fast = base.with_throughput_factor(1.1, "tp+10%");
+        assert_eq!(fast.name, "Tesla M2090 tp+10%");
+        assert!(
+            (fast.compute_throughput_proxy() - base.compute_throughput_proxy() * 1.1).abs() < 1e-9
+        );
+        assert_eq!(fast.sm_count, base.sm_count);
     }
 
     #[test]

@@ -340,6 +340,33 @@ impl Topology {
         self.links[link.0].latency_us
     }
 
+    /// A copy of this topology with every link's bandwidth and latency
+    /// multiplied by the given factors — the knob robustness sweeps turn to
+    /// perturb the calibrated interconnect model. A factor of exactly `1.0`
+    /// leaves that parameter bit-identical (no multiplication is applied),
+    /// and routing is untouched either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is not positive.
+    #[must_use]
+    pub fn with_scaled_links(mut self, bandwidth_factor: f64, latency_factor: f64) -> Self {
+        assert!(
+            bandwidth_factor > 0.0 && latency_factor > 0.0,
+            "link scale factors must be positive: bandwidth {bandwidth_factor}, \
+             latency {latency_factor}"
+        );
+        for link in &mut self.links {
+            if bandwidth_factor != 1.0 {
+                link.bandwidth_gbs *= bandwidth_factor;
+            }
+            if latency_factor != 1.0 {
+                link.latency_us *= latency_factor;
+            }
+        }
+        self
+    }
+
     /// `true` if the link points towards the root.
     pub fn link_is_up(&self, link: LinkId) -> bool {
         self.links[link.0].up

@@ -13,21 +13,30 @@ use crate::{Mapping, MappingMethod};
 /// The result is used both as a stand-alone mapper and as the warm start /
 /// fallback incumbent of the ILP mapper.
 pub fn map_greedy(pdg: &Pdg, platform: &Platform) -> Mapping {
-    let g = platform.gpu_count();
+    let allowed: Vec<usize> = (0..platform.gpu_count()).collect();
+    map_greedy_on(pdg, platform, &allowed)
+}
+
+/// [`map_greedy`] restricted to a subset of the platform's GPUs: LPT and the
+/// local search only ever place partitions on GPUs in `allowed`. With all
+/// GPUs allowed this is exactly `map_greedy`; the repair path uses it to map
+/// onto the survivors of a lost device.
+pub(crate) fn map_greedy_on(pdg: &Pdg, platform: &Platform, allowed: &[usize]) -> Mapping {
+    assert!(!allowed.is_empty(), "no GPUs to map onto");
     let p = pdg.len();
 
     // LPT: place partitions in decreasing workload order onto the least
     // loaded GPU, charging each GPU its device-scaled execution time.
     let mut order: Vec<usize> = (0..p).collect();
     order.sort_by(|&a, &b| pdg.times_us[b].total_cmp(&pdg.times_us[a]));
-    let mut assignment = vec![0usize; p];
-    let mut load = vec![0.0f64; g];
+    let mut assignment = vec![allowed[0]; p];
+    let mut load = vec![0.0f64; allowed.len()];
     for &i in &order {
-        let target = (0..g)
+        let pos = (0..allowed.len())
             .min_by(|&a, &b| load[a].total_cmp(&load[b]))
             .unwrap_or(0);
-        assignment[i] = target;
-        load[target] += pdg.times_us[i] * platform.time_factor(target);
+        assignment[i] = allowed[pos];
+        load[pos] += pdg.times_us[i] * platform.time_factor(allowed[pos]);
     }
 
     // Local search: move a single partition to another GPU while it improves
@@ -45,7 +54,7 @@ pub fn map_greedy(pdg: &Pdg, platform: &Platform) -> Mapping {
         rounds += 1;
         for i in 0..p {
             let mut current_gpu = assignment[i];
-            for target in 0..g {
+            for &target in allowed {
                 if target == current_gpu {
                     continue;
                 }

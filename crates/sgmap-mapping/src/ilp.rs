@@ -41,6 +41,9 @@ pub struct MappingOptions {
     /// only balances the per-GPU workload (an ablation of the paper's main
     /// contribution).
     pub comm_aware: bool,
+    /// Stop the search once the incumbent is proven within this relative gap
+    /// of the best bound (`0.0` searches to optimality).
+    pub relative_gap: f64,
 }
 
 impl Default for MappingOptions {
@@ -49,6 +52,7 @@ impl Default for MappingOptions {
             time_limit: Duration::from_secs(5),
             max_nodes: 600,
             comm_aware: true,
+            relative_gap: 0.0,
         }
     }
 }
@@ -89,8 +93,28 @@ pub fn map_ilp_traced(
     options: &MappingOptions,
     trace: sgmap_trace::TraceRef<'_>,
 ) -> Result<Mapping, IlpError> {
+    let allowed: Vec<usize> = (0..platform.gpu_count()).collect();
+    let incumbent = map_greedy(pdg, platform);
+    map_ilp_on(pdg, platform, options, &allowed, incumbent, trace)
+}
+
+/// The ILP mapper restricted to a subset of the platform's GPUs: only GPUs in
+/// `allowed` get assignment columns, so the solution never places a partition
+/// elsewhere. `incumbent` is the warm start and fallback — it must already
+/// respect the restriction. `map_ilp_traced` is the unrestricted special
+/// case; the repair path re-solves over the survivors of a lost device.
+pub(crate) fn map_ilp_on(
+    pdg: &Pdg,
+    platform: &Platform,
+    options: &MappingOptions,
+    allowed: &[usize],
+    incumbent: Mapping,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> Result<Mapping, IlpError> {
     let g = platform.gpu_count();
     let p = pdg.len();
+    assert!(!allowed.is_empty(), "no GPUs to map onto");
+    debug_assert!(incumbent.assignment.iter().all(|gpu| allowed.contains(gpu)));
     if p == 0 {
         return Ok(Mapping {
             assignment: Vec::new(),
@@ -102,26 +126,37 @@ pub fn map_ilp_traced(
             ilp_stats: sgmap_ilp::SolveStats::default(),
         });
     }
-    let greedy = map_greedy(pdg, platform);
-    if g == 1 {
+    if allowed.len() == 1 {
+        let assignment = vec![allowed[0]; p];
+        let cost = evaluate_assignment(pdg, platform, &assignment);
         return Ok(Mapping {
+            assignment,
+            predicted_tmax_us: cost.tmax_us,
+            per_gpu_time_us: cost.per_gpu_time_us,
+            per_link_time_us: cost.per_link_time_us,
             method: MappingMethod::Ilp,
             optimal: true,
-            ..greedy
+            ilp_stats: sgmap_ilp::SolveStats::default(),
         });
     }
 
     let topo = &platform.topology;
+    // Position of a global GPU index among the allowed columns.
+    let mut pos_of: Vec<Option<usize>> = vec![None; g];
+    for (pos, &j) in allowed.iter().enumerate() {
+        pos_of[j] = Some(pos);
+    }
 
     let mut model = Model::new(ObjectiveSense::Minimize);
     let tmax = model.add_continuous("tmax", 1.0);
 
-    // n_ij.
+    // n_ij, one column per allowed GPU.
     let mut n: Vec<Vec<VarId>> = Vec::with_capacity(p);
     for i in 0..p {
         n.push(
-            (0..g)
-                .map(|j| model.add_binary(format!("n_{i}_{j}"), 0.0))
+            allowed
+                .iter()
+                .map(|&j| model.add_binary(format!("n_{i}_{j}"), 0.0))
                 .collect(),
         );
     }
@@ -131,12 +166,12 @@ pub fn map_ilp_traced(
     }
     // GPU time constraints (III.1, III.4), with each device charging its
     // own (throughput-scaled) execution time.
-    for j in 0..g {
+    for (pos, &j) in allowed.iter().enumerate() {
         let factor = platform.time_factor(j);
         let mut terms: Vec<(VarId, f64)> = n
             .iter()
             .zip(&pdg.times_us)
-            .map(|(ni, &t)| (ni[j], t * factor))
+            .map(|(ni, &t)| (ni[pos], t * factor))
             .collect();
         terms.push((tmax, -1.0));
         model.add_constraint_le(terms, 0.0);
@@ -148,11 +183,12 @@ pub fn map_ilp_traced(
     let total_work: f64 = pdg.times_us.iter().sum();
     let max_partition = pdg.times_us.iter().cloned().fold(0.0f64, f64::max);
     // With heterogeneous devices the aggregate capacity is the sum of the
-    // inverse time factors (exactly `g` on homogeneous platforms), and the
-    // largest partition at best runs on the fastest device.
-    let capacity: f64 = (0..g).map(|j| 1.0 / platform.time_factor(j)).sum();
-    let fastest = (0..g)
-        .map(|j| platform.time_factor(j))
+    // inverse time factors (exactly the GPU count on homogeneous platforms),
+    // and the largest partition at best runs on the fastest allowed device.
+    let capacity: f64 = allowed.iter().map(|&j| 1.0 / platform.time_factor(j)).sum();
+    let fastest = allowed
+        .iter()
+        .map(|&j| platform.time_factor(j))
         .fold(f64::INFINITY, f64::min);
     model.set_bounds(
         tmax,
@@ -164,8 +200,18 @@ pub fn map_ilp_traced(
     if options.comm_aware {
         for link in topo.link_ids() {
             let dtlist = topo.dtlist(link);
-            let mut srcs: Vec<usize> = dtlist.iter().map(|&(k, _)| k).collect();
-            let mut dsts: Vec<usize> = dtlist.iter().map(|&(_, h)| h).collect();
+            // Source/destination sides of the link, restricted to GPUs that
+            // actually have assignment columns.
+            let mut srcs: Vec<usize> = dtlist
+                .iter()
+                .filter(|&&(k, _)| pos_of[k].is_some())
+                .map(|&(k, _)| k)
+                .collect();
+            let mut dsts: Vec<usize> = dtlist
+                .iter()
+                .filter(|&&(_, h)| pos_of[h].is_some())
+                .map(|&(_, h)| h)
+                .collect();
             srcs.sort_unstable();
             srcs.dedup();
             dsts.sort_unstable();
@@ -188,9 +234,14 @@ pub fn map_ilp_traced(
                     // bound, not a row).
                     model.set_bounds(x, 0.0, 1.0);
                     // x >= A + B - 1  <=>  A + B - x <= 1.
-                    let mut cross: Vec<(VarId, f64)> =
-                        srcs.iter().map(|&k| (n[e.from][k], 1.0)).collect();
-                    cross.extend(dsts.iter().map(|&h| (n[e.to][h], 1.0)));
+                    let mut cross: Vec<(VarId, f64)> = srcs
+                        .iter()
+                        .map(|&k| (n[e.from][pos_of[k].expect("filtered")], 1.0))
+                        .collect();
+                    cross.extend(
+                        dsts.iter()
+                            .map(|&h| (n[e.to][pos_of[h].expect("filtered")], 1.0)),
+                    );
                     cross.push((x, -1.0));
                     model.add_constraint_le(cross, 1.0);
                     load_terms.push((x, e.bytes_per_iteration as f64));
@@ -199,7 +250,8 @@ pub fn map_ilp_traced(
             }
             // Primary input / output over host routes.
             for (i, ni) in n.iter().enumerate() {
-                for (j, &nij) in ni.iter().enumerate() {
+                for (pos, &j) in allowed.iter().enumerate() {
+                    let nij = ni[pos];
                     if pdg.primary_input_bytes[i] > 0
                         && topo.route(Endpoint::Host, Endpoint::Gpu(j)).contains(&link)
                     {
@@ -232,14 +284,14 @@ pub fn map_ilp_traced(
         }
     }
 
-    // Warm start from the greedy assignment: fill in every variable so the
-    // point is feasible for the full model.
+    // Warm start from the incumbent assignment: fill in every variable so
+    // the point is feasible for the full model.
     let warm = {
         let mut values = vec![0.0; model.num_vars()];
-        for (i, &gpu) in greedy.assignment.iter().enumerate() {
-            values[n[i][gpu].index()] = 1.0;
+        for (i, &gpu) in incumbent.assignment.iter().enumerate() {
+            values[n[i][pos_of[gpu].expect("incumbent uses allowed GPUs")].index()] = 1.0;
         }
-        let cost = evaluate_assignment(pdg, platform, &greedy.assignment);
+        let cost = evaluate_assignment(pdg, platform, &incumbent.assignment);
         let mut t = cost.per_gpu_time_us.iter().cloned().fold(0.0f64, f64::max);
         for lv in &link_vars {
             let bytes = cost.per_link_bytes[lv.link.index()];
@@ -247,7 +299,7 @@ pub fn map_ilp_traced(
             t = t.max(bytes as f64 / topo.link_bytes_per_us(lv.link));
             for &(e_idx, x) in &lv.x {
                 let e = &pdg.edges[e_idx];
-                let (src, dst) = (greedy.assignment[e.from], greedy.assignment[e.to]);
+                let (src, dst) = (incumbent.assignment[e.from], incumbent.assignment[e.to]);
                 let crossing = src != dst
                     && topo
                         .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))
@@ -262,6 +314,7 @@ pub fn map_ilp_traced(
     let solver_options = SolverOptions {
         max_nodes: options.max_nodes,
         time_limit: options.time_limit,
+        relative_gap: options.relative_gap,
         ..SolverOptions::default()
     };
     let solution = match Solver::with_options(solver_options)
@@ -269,14 +322,51 @@ pub fn map_ilp_traced(
         .with_trace(trace.cloned())
         .solve(&model)
     {
-        Ok(s) => s,
-        // Budget exhaustion or numerical trouble: the greedy mapping is a
-        // valid (warm-start) solution of the same model, so keep it.
-        Err(IlpError::NoIntegerSolution) | Err(IlpError::Numerical(_)) => {
+        Ok(s) => {
+            // A Feasible (not Optimal) status means the node or time budget
+            // ran out mid-search — surface it instead of leaving it buried
+            // in SolveStats.
+            if s.status == SolutionStatus::Feasible && options.relative_gap == 0.0 {
+                sgmap_trace::add(trace, "ilp.budget_exhausted", 1);
+                sgmap_trace::warn(
+                    trace,
+                    "ilp.budget_exhausted",
+                    format!(
+                        "mapping ILP stopped at its node/time budget after {} nodes \
+                         (proven gap {:.4}); using the best incumbent",
+                        s.nodes_explored, s.stats.optimality_gap
+                    ),
+                );
+            }
+            s
+        }
+        // Budget exhaustion or numerical trouble: the incumbent is a valid
+        // (warm-start) solution of the same model, so keep it.
+        Err(IlpError::NoIntegerSolution) => {
+            sgmap_trace::add(trace, "ilp.budget_exhausted", 1);
+            sgmap_trace::warn(
+                trace,
+                "ilp.budget_exhausted",
+                "mapping ILP found no integer solution within budget; keeping the greedy mapping"
+                    .to_string(),
+            );
             return Ok(Mapping {
                 method: MappingMethod::Ilp,
                 optimal: false,
-                ..greedy
+                ..incumbent
+            });
+        }
+        Err(IlpError::Numerical(msg)) => {
+            sgmap_trace::add(trace, "ilp.numerical_fallbacks", 1);
+            sgmap_trace::warn(
+                trace,
+                "ilp.numerical_fallback",
+                format!("mapping ILP hit numerical trouble ({msg}); keeping the greedy mapping"),
+            );
+            return Ok(Mapping {
+                method: MappingMethod::Ilp,
+                optimal: false,
+                ..incumbent
             });
         }
         Err(e) => return Err(e),
@@ -285,17 +375,18 @@ pub fn map_ilp_traced(
 
     let mut assignment = vec![0usize; p];
     for (i, ni) in n.iter().enumerate() {
-        assignment[i] = ni
+        let pos = ni
             .iter()
             .position(|&v| solution.binary_value(v))
             .unwrap_or(0);
+        assignment[i] = allowed[pos];
     }
     // Re-evaluate with the shared cost model (authoritative numbers); keep
-    // the greedy mapping if the budget-limited search somehow did worse.
+    // the incumbent mapping if the budget-limited search somehow did worse.
     // The workload-only ablation skips that guard on purpose: its whole point
     // is to show what ignoring communication costs.
     let cost = evaluate_assignment(pdg, platform, &assignment);
-    if !options.comm_aware || cost.tmax_us <= greedy.predicted_tmax_us + 1e-6 {
+    if !options.comm_aware || cost.tmax_us <= incumbent.predicted_tmax_us + 1e-6 {
         Ok(Mapping {
             assignment,
             predicted_tmax_us: cost.tmax_us,
@@ -310,7 +401,7 @@ pub fn map_ilp_traced(
             method: MappingMethod::Ilp,
             optimal: false,
             ilp_stats,
-            ..greedy
+            ..incumbent
         })
     }
 }

@@ -35,10 +35,14 @@
 mod evaluate;
 mod greedy;
 mod ilp;
+mod repair;
 
 pub use evaluate::{evaluate_assignment, MappingCost};
 pub use greedy::{map_greedy, map_round_robin};
 pub use ilp::{map_ilp, map_ilp_traced, MappingOptions};
+pub use repair::{
+    map_on_survivors, repair_mapping, repair_mapping_greedy, RepairOptions, RepairStats,
+};
 pub use sgmap_ilp::SolveStats;
 
 use sgmap_gpusim::Platform;

@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! sweep [--preset NAME | --spec FILE] [--threads N] [--out FILE]
-//!       [--cache-file FILE] [--canonical] [--trace FILE] [--metrics FILE]
-//!       [--list]
+//!       [--cache-file FILE] [--strict-cache] [--canonical]
+//!       [--trace FILE] [--metrics FILE] [--allow-failed-points]
+//!       [--inject-panic IDX] [--inject-transient IDX] [--list]
 //! sweep --check REPORT.json
 //! sweep --check-trace TRACE.json
+//! sweep --compare-nonfaulted A.json B.json
 //! ```
 //!
 //! * `--preset NAME` — which grid to run (default `quick`); see `--list`.
@@ -19,7 +21,11 @@
 //! * `--out FILE` — write the JSON report to `FILE` instead of stdout.
 //! * `--cache-file FILE` — persist the shared estimate cache across runs:
 //!   load `FILE` (if it exists) before the sweep and save the merged cache
-//!   back afterwards. A repeated sweep then reports zero cache misses.
+//!   back afterwards. A repeated sweep then reports zero cache misses. A
+//!   corrupt or version-mismatched file is ignored with a structured
+//!   `cache.load_failed` warning (cold start) by default.
+//! * `--strict-cache` — make a corrupt or version-mismatched cache file a
+//!   hard error instead of a warn-and-cold-start.
 //! * `--canonical` — emit only the deterministic report body (no wall-clock
 //!   metadata), for byte-for-byte comparisons between runs.
 //! * `--trace FILE` — record a trace of the whole sweep (compile groups,
@@ -28,12 +34,24 @@
 //!   [Perfetto](https://ui.perfetto.dev). Tracing never changes the report.
 //! * `--metrics FILE` — write the trace's aggregate counters / histograms /
 //!   span totals as canonical metrics JSON.
+//! * `--allow-failed-points` — exit 0 even when some points carry per-point
+//!   error entries (the default exit is 1 so CI notices failures). The
+//!   report itself always includes every point either way.
+//! * `--inject-panic IDX` / `--inject-transient IDX` — deterministic fault
+//!   hooks for testing the sweep's failure isolation: panic at the expanded
+//!   point index `IDX` (caught, recorded as a per-point error), or fail its
+//!   first attempt with a transient error (retried, succeeds). May be
+//!   repeated.
 //! * `--list` — print the available presets and exit.
 //! * `--check FILE` — validate a previously written report (non-empty, no
 //!   failed points, nonzero cache hits, nonzero compile-dedup groups) and
 //!   exit 0/1. This is exactly the validator CI runs.
 //! * `--check-trace FILE` — validate a previously written `--trace` or
 //!   `--metrics` file (auto-detected) and exit 0/1; also used by CI.
+//! * `--compare-nonfaulted A B` — compare the point records of two reports
+//!   byte-for-byte, skipping indices at which either report recorded a
+//!   per-point error, and exit 0/1. CI's robustness gate uses this to assert
+//!   that an injected fault leaves every other point untouched.
 //!
 //! A human-readable summary always goes to stderr, so stdout stays valid
 //! JSON for piping.
@@ -42,10 +60,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use sgmap_sweep::{
-    check_report, check_trace, default_threads, run_sweep_traced, sweep_spec_from_json, SweepSpec,
+    check_report, check_trace, compare_nonfaulted, default_threads, run_sweep_traced,
+    sweep_spec_from_json, SweepSpec,
 };
 
-const USAGE: &str = "usage: sweep [--preset NAME | --spec FILE] [--threads N] [--out FILE] [--cache-file FILE] [--canonical] [--trace FILE] [--metrics FILE] [--list]\n       sweep --check REPORT.json\n       sweep --check-trace TRACE.json";
+const USAGE: &str = "usage: sweep [--preset NAME | --spec FILE] [--threads N] [--out FILE] [--cache-file FILE] [--strict-cache] [--canonical] [--trace FILE] [--metrics FILE] [--allow-failed-points] [--inject-panic IDX] [--inject-transient IDX] [--list]\n       sweep --check REPORT.json\n       sweep --check-trace TRACE.json\n       sweep --compare-nonfaulted A.json B.json";
 
 struct Args {
     preset: Option<String>,
@@ -53,12 +72,17 @@ struct Args {
     threads: usize,
     out: Option<String>,
     cache_file: Option<String>,
+    strict_cache: bool,
     canonical: bool,
     trace: Option<String>,
     metrics: Option<String>,
+    allow_failed_points: bool,
+    inject_panic: Vec<usize>,
+    inject_transient: Vec<usize>,
     list: bool,
     check: Option<String>,
     check_trace: Option<String>,
+    compare_nonfaulted: Option<(String, String)>,
     help: bool,
 }
 
@@ -69,12 +93,17 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         out: None,
         cache_file: None,
+        strict_cache: false,
         canonical: false,
         trace: None,
         metrics: None,
+        allow_failed_points: false,
+        inject_panic: Vec::new(),
+        inject_transient: Vec::new(),
         list: false,
         check: None,
         check_trace: None,
+        compare_nonfaulted: None,
         help: false,
     };
     let mut it = std::env::args().skip(1);
@@ -98,6 +127,22 @@ fn parse_args() -> Result<Args, String> {
             "--cache-file" => {
                 args.cache_file = Some(it.next().ok_or("--cache-file needs a value")?);
             }
+            "--strict-cache" => args.strict_cache = true,
+            "--allow-failed-points" => args.allow_failed_points = true,
+            "--inject-panic" => {
+                let v = it.next().ok_or("--inject-panic needs a point index")?;
+                args.inject_panic.push(
+                    v.parse()
+                        .map_err(|_| format!("--inject-panic: not a point index: {v}"))?,
+                );
+            }
+            "--inject-transient" => {
+                let v = it.next().ok_or("--inject-transient needs a point index")?;
+                args.inject_transient.push(
+                    v.parse()
+                        .map_err(|_| format!("--inject-transient: not a point index: {v}"))?,
+                );
+            }
             "--canonical" => args.canonical = true,
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs a value")?);
@@ -111,6 +156,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--check-trace" => {
                 args.check_trace = Some(it.next().ok_or("--check-trace needs a trace file")?);
+            }
+            "--compare-nonfaulted" => {
+                let a = it.next().ok_or("--compare-nonfaulted needs two files")?;
+                let b = it.next().ok_or("--compare-nonfaulted needs two files")?;
+                args.compare_nonfaulted = Some((a, b));
             }
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
@@ -181,6 +231,28 @@ fn main() -> ExitCode {
     if let Some(path) = &args.check_trace {
         return run_check(path, check_trace);
     }
+    if let Some((a, b)) = &args.compare_nonfaulted {
+        let read = |path: &str| match std::fs::read_to_string(path) {
+            Ok(src) => Some(src),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                None
+            }
+        };
+        let (Some(src_a), Some(src_b)) = (read(a), read(b)) else {
+            return ExitCode::FAILURE;
+        };
+        return match compare_nonfaulted(&src_a, &src_b) {
+            Ok(summary) => {
+                eprintln!("{a} vs {b}: OK — {summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{a} vs {b}: FAILED — {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.list {
         for name in SweepSpec::PRESETS {
             let points = SweepSpec::preset(name)
@@ -223,10 +295,17 @@ fn main() -> ExitCode {
             }
         }
     };
-    let spec = match &args.cache_file {
+    let mut spec = match &args.cache_file {
         Some(path) => spec.with_cache_file(path),
         None => spec,
     };
+    spec = spec.with_strict_cache(args.strict_cache);
+    for &idx in &args.inject_panic {
+        spec = spec.with_injected_panic(idx);
+    }
+    for &idx in &args.inject_transient {
+        spec = spec.with_injected_transient(idx);
+    }
     let threads = if args.threads == 0 {
         default_threads()
     } else {
@@ -302,7 +381,7 @@ fn main() -> ExitCode {
         }
         None => println!("{json}"),
     }
-    if failed > 0 {
+    if failed > 0 && !args.allow_failed_points {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

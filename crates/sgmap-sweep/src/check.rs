@@ -164,6 +164,76 @@ pub fn check_report(src: &str) -> Result<CheckSummary, CheckError> {
     })
 }
 
+/// What a passing failed-point-tolerant comparison looked like, for the
+/// one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompareSummary {
+    /// Points compared byte-for-byte (both sides ok).
+    pub compared: usize,
+    /// Points skipped because at least one side recorded an error.
+    pub skipped: usize,
+}
+
+impl fmt::Display for CompareSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} points byte-identical ({} failed points skipped)",
+            self.compared, self.skipped
+        )
+    }
+}
+
+/// Compares the point records of two sweep reports byte-for-byte, skipping
+/// every index at which either report recorded a per-point error. This is
+/// the validator behind `sweep --compare-nonfaulted`: CI uses it to assert
+/// that a sweep with an injected fault leaves every *other* point
+/// byte-identical to the fault-free run (`--check` would reject the faulted
+/// report outright because it contains an error entry).
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] when either input fails to parse, the point
+/// lists differ in length, or a non-faulted point differs between the two
+/// reports.
+pub fn compare_nonfaulted(a_src: &str, b_src: &str) -> Result<CompareSummary, CheckError> {
+    let points_of = |src: &str| -> Result<Vec<Value>, CheckError> {
+        let report = Value::parse(src).map_err(CheckError::Parse)?;
+        report
+            .get("points")
+            .and_then(Value::as_array)
+            .map(<[Value]>::to_vec)
+            .ok_or_else(|| CheckError::Shape("missing points array".to_string()))
+    };
+    let a = points_of(a_src)?;
+    let b = points_of(b_src)?;
+    if a.len() != b.len() {
+        return Err(CheckError::Shape(format!(
+            "point count mismatch: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    for (i, (pa, pb)) in a.iter().zip(&b).enumerate() {
+        let failed = |p: &Value| p.get("error").is_none_or(|e| !e.is_null());
+        if failed(pa) || failed(pb) {
+            skipped += 1;
+            continue;
+        }
+        if pa.render() != pb.render() {
+            return Err(CheckError::Shape(format!(
+                "point {i} differs between the two reports:\n  a: {}\n  b: {}",
+                pa.render(),
+                pb.render()
+            )));
+        }
+        compared += 1;
+    }
+    Ok(CompareSummary { compared, skipped })
+}
+
 /// What a passing `BENCH.json` looked like, for the one-line summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchCheckSummary {
@@ -179,16 +249,22 @@ pub struct BenchCheckSummary {
     pub sweep_points: u64,
     /// Wall-clock of the timed sweep, milliseconds.
     pub sweep_wall_ms: f64,
+    /// Repair-vs-recompile speedup recorded in the `repair` section.
+    pub repair_speedup: f64,
+    /// Mapping-stability fraction recorded in the `stability` section.
+    pub mapping_stability: f64,
 }
 
 impl fmt::Display for BenchCheckSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} compiles in {:.1} ms; scaling curve to {} filters; sweep of {} points in {:.1} ms",
+            "{} compiles in {:.1} ms; scaling curve to {} filters; repair {:.1}x faster than recompile; mapping stability {:.0}%; sweep of {} points in {:.1} ms",
             self.compiles,
             self.compile_total_ms,
             self.synthetic_max_filters,
+            self.repair_speedup,
+            self.mapping_stability * 100.0,
             self.sweep_points,
             self.sweep_wall_ms
         )
@@ -253,7 +329,7 @@ fn check_bench_sweep(
 }
 
 /// Validates the JSON text of a `perfbench` report (`BENCH.json`): format
-/// version 3, a non-empty list of timed compiles with positive wall-clocks,
+/// version 4, a non-empty list of timed compiles with positive wall-clocks,
 /// non-zero estimate counts and live ILP solver counters (`ilp_nodes`,
 /// `lp_iterations`, `lp_refactorizations` and a finite non-negative
 /// `ilp_gap` per compile, at least one `lp_warm_starts` across the suite —
@@ -262,7 +338,11 @@ fn check_bench_sweep(
 /// least 10 000 filters through the multilevel pipeline (non-zero coarsen
 /// levels, non-negative phase timings), a `budget_bounded` point whose
 /// node-capped branch-and-bound still produced a feasible mapping with a
-/// finite optimality gap, and a healthy sweep section. A report whose sweep
+/// finite optimality gap, a `repair` section whose degradation-aware
+/// remapping is at least 5× faster than the full recompile while staying
+/// within 10 % of its objective, a `stability` section with a well-formed
+/// mapping-stability fraction and no failed points, and a healthy sweep
+/// section. A report whose sweep
 /// was warm-started from a persistent cache file
 /// (`cache_preloaded_entries > 0`) must additionally report zero
 /// shared-cache misses — the contract of cache persistence.
@@ -273,7 +353,7 @@ fn check_bench_sweep(
 pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
     let report = Value::parse(src).map_err(CheckError::Parse)?;
     match report.get("version").and_then(Value::as_u64) {
-        Some(3) => {}
+        Some(4) => {}
         other => {
             return Err(CheckError::Shape(format!(
                 "unsupported BENCH.json version {other:?}"
@@ -430,6 +510,79 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
             return Err(CheckError::Shape(format!("{at}: non-positive map_ms")));
         }
     }
+    // The repair section proves the degradation-aware remapping path holds
+    // its acceptance bar: much cheaper than a recompile, nearly as good.
+    let repair = report
+        .get("repair")
+        .ok_or_else(|| CheckError::Shape("missing repair section".to_string()))?;
+    let repair_speedup;
+    {
+        let at = "repair";
+        if bench_u64(repair, "moved_partitions", at)? == 0 {
+            return Err(CheckError::Shape(format!(
+                "{at}: no partitions moved off the lost device"
+            )));
+        }
+        let repair_ms = bench_f64(repair, "repair_ms", at)?;
+        let recompile_ms = bench_f64(repair, "recompile_ms", at)?;
+        if !repair_ms.is_finite() || repair_ms <= 0.0 {
+            return Err(CheckError::Shape(format!("{at}: non-positive repair_ms")));
+        }
+        if !recompile_ms.is_finite() || recompile_ms <= 0.0 {
+            return Err(CheckError::Shape(format!(
+                "{at}: non-positive recompile_ms"
+            )));
+        }
+        repair_speedup = bench_f64(repair, "speedup", at)?;
+        if !repair_speedup.is_finite() || repair_speedup < 5.0 {
+            return Err(CheckError::Shape(format!(
+                "{at}: repair is only {repair_speedup:.2}x faster than a full recompile (need >= 5x)"
+            )));
+        }
+        let ratio = bench_f64(repair, "objective_ratio", at)?;
+        if !ratio.is_finite() || ratio <= 0.0 || ratio > 1.1 {
+            return Err(CheckError::Shape(format!(
+                "{at}: repaired objective is {ratio:.4}x the recompile objective (need <= 1.1x)"
+            )));
+        }
+    }
+    // The stability section proves the robustness preset ran clean and its
+    // summary fields are well-formed.
+    let stability = report
+        .get("stability")
+        .ok_or_else(|| CheckError::Shape("missing stability section".to_string()))?;
+    let mapping_stability;
+    {
+        let at = "stability";
+        if bench_u64(stability, "points", at)? == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero points")));
+        }
+        if bench_u64(stability, "failed_points", at)? != 0 {
+            return Err(CheckError::Shape(format!("{at}: failed points recorded")));
+        }
+        let compared = bench_u64(stability, "compared_points", at)?;
+        if compared == 0 {
+            return Err(CheckError::Shape(format!("{at}: zero compared points")));
+        }
+        let unchanged = bench_u64(stability, "unchanged_mappings", at)?;
+        if unchanged > compared {
+            return Err(CheckError::Shape(format!(
+                "{at}: {unchanged} unchanged mappings exceed {compared} compared points"
+            )));
+        }
+        mapping_stability = bench_f64(stability, "mapping_stability", at)?;
+        if !(0.0..=1.0).contains(&mapping_stability) {
+            return Err(CheckError::Shape(format!(
+                "{at}: mapping_stability {mapping_stability} outside [0, 1]"
+            )));
+        }
+        let spread = bench_f64(stability, "max_objective_spread", at)?;
+        if !spread.is_finite() || spread < 0.0 {
+            return Err(CheckError::Shape(format!(
+                "{at}: max_objective_spread must be finite and non-negative, got {spread}"
+            )));
+        }
+    }
     let sweep = report
         .get("sweep")
         .ok_or_else(|| CheckError::Shape("missing sweep section".to_string()))?;
@@ -447,6 +600,8 @@ pub fn check_bench_report(src: &str) -> Result<BenchCheckSummary, CheckError> {
         synthetic_max_filters,
         sweep_points,
         sweep_wall_ms,
+        repair_speedup,
+        mapping_stability,
     })
 }
 
@@ -706,6 +861,7 @@ mod tests {
                 expanded_points: points,
                 compile_groups: groups,
             },
+            stability: None,
             threads: 1,
             wall_clock: Duration::from_millis(1),
         }
@@ -799,6 +955,34 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn nonfaulted_comparison_skips_failed_points_and_flags_real_drift() {
+        let a = report(vec![ok_record(0), ok_record(1)], 5, 2).canonical_json();
+        let mut faulted = vec![ok_record(0), SweepRecord::from_error(&point(1), "boom")];
+        faulted[1].index = 1;
+        let b = report(faulted, 5, 2).canonical_json();
+        // Identical reports compare clean.
+        let summary = compare_nonfaulted(&a, &a).unwrap();
+        assert_eq!(summary.compared, 2);
+        assert_eq!(summary.skipped, 0);
+        // A failed point on one side is skipped, not a mismatch.
+        let summary = compare_nonfaulted(&a, &b).unwrap();
+        assert_eq!(summary.compared, 1);
+        assert_eq!(summary.skipped, 1);
+        assert!(summary.to_string().contains("1 points byte-identical"));
+        // A drifted non-faulted point is an error.
+        let drifted = a.replace("\"partitions\":0", "\"partitions\":5");
+        let err = compare_nonfaulted(&a, &drifted).unwrap_err();
+        assert!(err.to_string().contains("point 0 differs"), "{err}");
+        // Length mismatches and parse failures are errors.
+        let short = report(vec![ok_record(0)], 5, 1).canonical_json();
+        assert!(compare_nonfaulted(&a, &short).is_err());
+        assert!(matches!(
+            compare_nonfaulted(&a, "nope"),
+            Err(CheckError::Parse(_))
+        ));
+    }
+
     /// A structurally healthy BENCH.json, as `perfbench` emits it.
     fn bench_json(misses: u64, preloaded: Option<u64>) -> String {
         let preloaded_field = match preloaded {
@@ -807,7 +991,7 @@ mod tests {
         };
         format!(
             concat!(
-                "{{\"version\":3,\"preset\":\"quick\",\"compiles\":[",
+                "{{\"version\":4,\"preset\":\"quick\",\"compiles\":[",
                 "{{\"app\":\"DES\",\"n\":8,\"platform\":\"Tesla M2090x2\",",
                 "\"filters\":34,\"partitions\":8,",
                 "\"ilp_nodes\":57,\"lp_iterations\":412,\"lp_warm_starts\":56,",
@@ -828,6 +1012,16 @@ mod tests {
                 "\"budget_bounded\":{{\"app\":\"SynthFan\",\"n\":5000,",
                 "\"max_nodes\":40,\"partitions\":61,\"ilp_nodes\":41,",
                 "\"ilp_gap\":0.0312,\"lp_iterations\":2210,\"map_ms\":120.5}},",
+                "\"repair\":{{\"app\":\"FMRadio\",\"n\":16,\"gpus\":4,",
+                "\"lost_gpu\":0,\"moved_partitions\":5,",
+                "\"repair_ms\":2.4,\"recompile_ms\":84.0,\"speedup\":35.0,",
+                "\"repair_tmax_us\":0.081,\"recompile_tmax_us\":0.079,",
+                "\"objective_ratio\":1.0253}},",
+                "\"stability\":{{\"preset\":\"robustness\",\"points\":38,",
+                "\"failed_points\":0,\"wall_ms\":2200.0,",
+                "\"baseline_platform\":\"M2090\",\"compared_points\":36,",
+                "\"unchanged_mappings\":30,\"mapping_stability\":0.8333,",
+                "\"max_objective_spread\":0.4167}},",
                 "\"sweep\":{{\"preset\":\"quick\",\"points\":48,\"failed_points\":0,",
                 "\"wall_ms\":26000.0,\"cache\":{{\"hits\":1102,\"misses\":{misses},",
                 "\"entries\":624,\"hit_rate\":0.64}},",
@@ -913,8 +1107,11 @@ mod tests {
         assert_eq!(summary.synthetic_points, 1);
         assert_eq!(summary.synthetic_max_filters, 11498);
         assert_eq!(summary.sweep_points, 48);
+        assert_eq!(summary.repair_speedup, 35.0);
+        assert_eq!(summary.mapping_stability, 0.8333);
         assert!(summary.to_string().contains("48 points"));
         assert!(summary.to_string().contains("11498 filters"));
+        assert!(summary.to_string().contains("35.0x faster"));
         // A warm-started report with zero misses passes too.
         check_bench_report(&bench_json(0, Some(624))).unwrap();
     }
@@ -984,6 +1181,28 @@ mod tests {
             bench_json(624, None).replace("\"coarsen_levels\":8", "\"coarsen_levels\":0"),
             bench_json(624, None).replace("\"coarsen_ms\":2200.0", "\"coarsen_ms\":-1.0"),
             bench_json(624, None).replace("\"refine_ms\":900.0,", ""),
+            // The repair section is mandatory and must hold its acceptance
+            // bar: >= 5x faster than the recompile, within 10% of its
+            // objective, and actually moving work off the lost device.
+            bench_json(624, None).replace("\"repair\":", "\"repair_x\":"),
+            bench_json(624, None).replace("\"speedup\":35.0", "\"speedup\":3.0"),
+            bench_json(624, None).replace("\"objective_ratio\":1.0253", "\"objective_ratio\":1.2"),
+            bench_json(624, None).replace("\"moved_partitions\":5", "\"moved_partitions\":0"),
+            bench_json(624, None).replace("\"repair_ms\":2.4", "\"repair_ms\":0.0"),
+            // The stability section is mandatory and must be well-formed:
+            // ran clean, compared something, fraction inside [0, 1].
+            bench_json(624, None).replace("\"stability\":", "\"stability_x\":"),
+            bench_json(624, None).replace(
+                "\"failed_points\":0,\"wall_ms\":2200.0",
+                "\"failed_points\":1,\"wall_ms\":2200.0",
+            ),
+            bench_json(624, None).replace("\"compared_points\":36", "\"compared_points\":0"),
+            bench_json(624, None)
+                .replace("\"mapping_stability\":0.8333", "\"mapping_stability\":1.5"),
+            bench_json(624, None).replace(
+                "\"max_objective_spread\":0.4167",
+                "\"max_objective_spread\":-1.0",
+            ),
         ] {
             let err = check_bench_report(&broken).unwrap_err();
             assert!(matches!(err, CheckError::Shape(_)), "{err}");

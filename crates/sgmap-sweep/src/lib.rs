@@ -66,21 +66,21 @@ pub use cache_io::{
     CACHE_FORMAT_VERSION,
 };
 pub use check::{
-    check_bench_report, check_report, check_trace, BenchCheckSummary, CheckError, CheckSummary,
-    TraceCheckSummary,
+    check_bench_report, check_report, check_trace, compare_nonfaulted, BenchCheckSummary,
+    CheckError, CheckSummary, CompareSummary, TraceCheckSummary,
 };
 pub use json::Value as JsonValue;
 pub use platform_json::{
     platform_spec_from_json, platform_spec_from_value, platform_spec_to_json,
     platform_spec_to_value,
 };
-pub use report::{Bottleneck, DedupStats, SweepRecord, SweepReport};
+pub use report::{Bottleneck, DedupStats, StabilityReport, SweepRecord, SweepReport};
 pub use runner::{
     default_threads, run_sweep, run_sweep_traced, run_sweep_with_cache, run_sweep_with_cache_traced,
 };
 pub use spec::{
-    mapper_name, partitioner_name, transfer_name, AppSweep, GpuModel, PointFilter, StackConfig,
-    SweepError, SweepPoint, SweepSpec,
+    mapper_name, partitioner_name, transfer_name, AppSweep, FaultInjectionSpec, GpuModel,
+    PointFilter, StackConfig, SweepError, SweepPoint, SweepSpec,
 };
 pub use spec_json::{
     sweep_spec_from_json, sweep_spec_from_value, sweep_spec_to_json, sweep_spec_to_value,

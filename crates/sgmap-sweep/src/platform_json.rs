@@ -26,14 +26,23 @@ pub fn platform_spec_to_value(spec: &PlatformSpec) -> Value {
             ("gpus_per_node", Value::Uint(*gpus_per_node as u64)),
         ]),
     };
-    Value::object(vec![
+    let mut fields = vec![
         ("name", Value::str(&*spec.name)),
         ("interconnect", interconnect),
         (
             "gpus",
             Value::Array(spec.gpus.iter().map(gpu_to_value).collect()),
         ),
-    ])
+    ];
+    // Perturbation factors are emitted only when set, so unperturbed spec
+    // files keep their historical byte shape.
+    if spec.bandwidth_scale != 1.0 {
+        fields.push(("bandwidth_scale", Value::Float(spec.bandwidth_scale)));
+    }
+    if spec.latency_scale != 1.0 {
+        fields.push(("latency_scale", Value::Float(spec.latency_scale)));
+    }
+    Value::object(fields)
 }
 
 /// Renders a platform spec as compact JSON text.
@@ -77,10 +86,20 @@ pub fn platform_spec_from_value(value: &Value) -> Result<PlatformSpec, String> {
         .iter()
         .map(gpu_from_value)
         .collect::<Result<Vec<GpuSpec>, String>>()?;
+    let scale = |field: &str| -> Result<f64, String> {
+        match value.get(field) {
+            None => Ok(1.0),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| format!("platform: ill-typed number '{field}'")),
+        }
+    };
     Ok(PlatformSpec {
         name,
         gpus,
         interconnect,
+        bandwidth_scale: scale("bandwidth_scale")?,
+        latency_scale: scale("latency_scale")?,
     })
 }
 
@@ -174,6 +193,7 @@ mod tests {
             PlatformSpec::nvlink8_m2090(),
             PlatformSpec::cluster2x4_m2090(),
             PlatformSpec::mixed_m2090_c2070(),
+            PlatformSpec::paper().with_link_scales(1.05, 0.95),
         ] {
             let json = platform_spec_to_json(&spec);
             let back = platform_spec_from_json(&json).unwrap();

@@ -32,7 +32,7 @@ impl Bottleneck {
 
 /// The serializable outcome of one sweep point — a [`RunReport`] flattened
 /// into the stable record shape the JSON report emits.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepRecord {
     /// Position in the deterministic work list.
     pub index: usize,
@@ -74,6 +74,15 @@ pub struct SweepRecord {
     /// Speedup over the matching 1-GPU point of the same (app, N, model,
     /// stack, enhancement) group, when that point exists in the sweep.
     pub speedup_vs_1gpu: Option<f64>,
+    /// Canonical rendering of the mapping's partition→GPU assignment
+    /// (indices joined by `","`), recorded only on sweeps that request a
+    /// stability analysis ([`SweepSpec::stability_baseline`]). `None`
+    /// elsewhere, and omitted from the JSON when `None`, so reports from
+    /// other presets keep their historical byte shape.
+    ///
+    /// [`SweepSpec::stability_baseline`]: crate::SweepSpec::stability_baseline
+    #[serde(default)]
+    pub mapping_signature: Option<String>,
 }
 
 impl SweepRecord {
@@ -134,6 +143,7 @@ impl SweepRecord {
             predicted_tmax_us: 0.0,
             bottleneck: None,
             speedup_vs_1gpu: None,
+            mapping_signature: None,
         }
     }
 
@@ -143,7 +153,7 @@ impl SweepRecord {
     }
 
     fn to_value(&self) -> Value {
-        Value::object(vec![
+        let mut fields = vec![
             ("index", Value::Uint(self.index as u64)),
             ("app", Value::str(self.app.name())),
             ("n", Value::Uint(u64::from(self.n))),
@@ -183,7 +193,11 @@ impl SweepRecord {
                     None => Value::Null,
                 },
             ),
-        ])
+        ];
+        if let Some(sig) = &self.mapping_signature {
+            fields.push(("mapping_signature", Value::str(&**sig)));
+        }
+        Value::object(fields)
     }
 }
 
@@ -206,6 +220,95 @@ impl DedupStats {
     }
 }
 
+/// How stable the compiled mappings are under small model perturbations:
+/// every perturbed-platform point is compared against the unperturbed
+/// baseline point of the same (app, N, stack, enhancement, GPU-count)
+/// coordinate. Produced by sweeps with a
+/// [`stability_baseline`](crate::SweepSpec::stability_baseline), e.g. the
+/// `robustness` preset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// Name of the unperturbed baseline platform.
+    pub baseline_platform: String,
+    /// Number of perturbed points compared against a baseline.
+    pub compared_points: u64,
+    /// How many of those kept the baseline's partition→GPU assignment.
+    pub unchanged_mappings: u64,
+    /// `unchanged_mappings / compared_points` (`1.0` when nothing was
+    /// compared).
+    pub mapping_stability: f64,
+    /// Largest relative spread of the predicted bottleneck time inside any
+    /// coordinate group: `(max − min) / baseline`.
+    pub max_objective_spread: f64,
+}
+
+impl StabilityReport {
+    /// Compares every perturbed point against the baseline point of its
+    /// coordinate. Failed points and coordinates without a baseline are
+    /// skipped; records without a mapping signature count as changed only
+    /// if the baseline has one.
+    pub fn compute(records: &[SweepRecord], baseline_platform: &str) -> StabilityReport {
+        let mut compared = 0u64;
+        let mut unchanged = 0u64;
+        let mut max_spread = 0.0f64;
+        let baselines: Vec<&SweepRecord> = records
+            .iter()
+            .filter(|r| r.is_ok() && r.gpu_model == baseline_platform)
+            .collect();
+        for base in &baselines {
+            let mut lo = base.predicted_tmax_us;
+            let mut hi = base.predicted_tmax_us;
+            for rec in records {
+                let same_coord = rec.is_ok()
+                    && rec.gpu_model != baseline_platform
+                    && rec.app == base.app
+                    && rec.n == base.n
+                    && rec.stack == base.stack
+                    && rec.enhanced == base.enhanced
+                    && rec.gpus == base.gpus;
+                if !same_coord {
+                    continue;
+                }
+                compared += 1;
+                if rec.mapping_signature.is_some()
+                    && rec.mapping_signature == base.mapping_signature
+                {
+                    unchanged += 1;
+                }
+                lo = lo.min(rec.predicted_tmax_us);
+                hi = hi.max(rec.predicted_tmax_us);
+            }
+            if base.predicted_tmax_us > 0.0 {
+                max_spread = max_spread.max((hi - lo) / base.predicted_tmax_us);
+            }
+        }
+        StabilityReport {
+            baseline_platform: baseline_platform.to_string(),
+            compared_points: compared,
+            unchanged_mappings: unchanged,
+            mapping_stability: if compared == 0 {
+                1.0
+            } else {
+                unchanged as f64 / compared as f64
+            },
+            max_objective_spread: max_spread,
+        }
+    }
+
+    pub(crate) fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("baseline_platform", Value::str(&*self.baseline_platform)),
+            ("compared_points", Value::Uint(self.compared_points)),
+            ("unchanged_mappings", Value::Uint(self.unchanged_mappings)),
+            ("mapping_stability", Value::Float(self.mapping_stability)),
+            (
+                "max_objective_spread",
+                Value::Float(self.max_objective_spread),
+            ),
+        ])
+    }
+}
+
 /// The result of running a sweep: the per-point records in work-list order
 /// plus shared-cache statistics and (non-deterministic) execution metadata.
 #[derive(Debug, Clone)]
@@ -221,6 +324,11 @@ pub struct SweepReport {
     /// Compile-group deduplication counters (deterministic: a function of
     /// the expansion alone).
     pub dedup: DedupStats,
+    /// Mapping-stability analysis, present only on sweeps that set a
+    /// [`stability_baseline`](crate::SweepSpec::stability_baseline).
+    /// Omitted from the JSON when `None`, so other presets' reports keep
+    /// their historical byte shape.
+    pub stability: Option<StabilityReport>,
     /// Number of worker threads used (metadata; excluded from canonical
     /// JSON).
     pub threads: usize,
@@ -258,7 +366,7 @@ impl SweepReport {
     }
 
     fn body_value(&self) -> Value {
-        Value::object(vec![
+        let mut fields = vec![
             ("sweep", Value::str(&*self.spec_name)),
             (
                 "points",
@@ -280,7 +388,11 @@ impl SweepReport {
                     ("compiles_saved", Value::Uint(self.dedup.compiles_saved())),
                 ]),
             ),
-        ])
+        ];
+        if let Some(stability) = &self.stability {
+            fields.push(("stability", stability.to_value()));
+        }
+        Value::object(fields)
     }
 
     /// Looks up the record for an exact (app, N, GPU count, stack label)
@@ -341,6 +453,7 @@ mod tests {
                 expanded_points: 1,
                 compile_groups: 1,
             },
+            stability: None,
             threads: 1,
             wall_clock: Duration::from_millis(1),
         };

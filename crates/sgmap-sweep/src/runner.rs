@@ -10,6 +10,7 @@
 //! to a third of the point count.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -18,10 +19,53 @@ use sgmap_apps::App;
 use sgmap_core::{
     compile_from_stage, execute, partition_graph, FlowConfig, PartitionSearchOptions,
 };
+use sgmap_mapping::Mapping;
 use sgmap_pee::{EstimateCache, Estimator};
 
-use crate::report::{DedupStats, SweepRecord, SweepReport};
+use crate::report::{DedupStats, StabilityReport, SweepRecord, SweepReport};
 use crate::spec::{SweepError, SweepPoint, SweepSpec};
+
+/// How many times a point is attempted before its transient failure is
+/// recorded: the first attempt plus two retries. Only errors classified as
+/// transient by [`is_transient`] are retried; everything else (including
+/// panics) fails on first occurrence.
+const MAX_ATTEMPTS: usize = 3;
+
+/// Classifies a per-point failure as transient (worth retrying) or
+/// permanent. The flow marks retryable conditions by prefixing the message
+/// with `transient:`; everything else — model errors, invalid points,
+/// panics — is deterministic and retrying it would only repeat the failure.
+fn is_transient(message: &str) -> bool {
+    message.starts_with("transient:") || message.contains(" transient:")
+}
+
+/// Renders a caught panic payload as a message (panics carry `&str` or
+/// `String` payloads in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Deterministic backoff between retry attempts: a bounded number of
+/// scheduler yields instead of a wall-clock sleep, so retried sweeps stay
+/// byte-identical and fast under test.
+fn backoff(attempt: usize) {
+    for _ in 0..(attempt + 1) * 16 {
+        std::thread::yield_now();
+    }
+}
+
+/// The canonical partition→GPU assignment rendering recorded on
+/// stability-aware sweeps.
+fn mapping_signature(mapping: &Mapping) -> String {
+    let parts: Vec<String> = mapping.assignment.iter().map(ToString::to_string).collect();
+    parts.join(",")
+}
 
 /// The number of worker threads `run_sweep` uses when the caller passes 0:
 /// the machine's available parallelism, capped at 8 (points are coarse
@@ -125,13 +169,23 @@ pub fn run_sweep_traced(
     match &spec.cache_file {
         None => run_sweep_with_cache_traced(spec, threads, cache, trace),
         Some(path) => {
-            crate::cache_io::load_cache_file_if_exists(path, &cache)
-                .map_err(SweepError::CacheIo)?;
-            sgmap_trace::instant(
-                trace,
-                "sweep.cache_loaded",
-                vec![("entries", (cache.len() as u64).into())],
-            );
+            // A corrupt or version-mismatched cache file degrades to a cold
+            // start by default — the cache is an optimisation, not an input.
+            // `strict_cache` turns that degradation into a hard error for
+            // pipelines that must notice a damaged cache.
+            match crate::cache_io::load_cache_file_if_exists(path, &cache) {
+                Ok(_) => sgmap_trace::instant(
+                    trace,
+                    "sweep.cache_loaded",
+                    vec![("entries", (cache.len() as u64).into())],
+                ),
+                Err(e) if spec.strict_cache => return Err(SweepError::CacheIo(e)),
+                Err(e) => sgmap_trace::warn(
+                    trace,
+                    "cache.load_failed",
+                    format!("estimate cache ignored (cold start): {e}"),
+                ),
+            }
             let report = run_sweep_with_cache_traced(spec, threads, cache.clone(), trace)?;
             // Saving is an optimisation for the *next* run; failing to write
             // it must not throw away the sweep that just completed.
@@ -219,15 +273,40 @@ pub fn run_sweep_with_cache_traced(
                 if g >= groups.len() {
                     break;
                 }
-                let group_records = run_group(
-                    spec,
-                    &points,
-                    &groups[g],
-                    &cache,
-                    &search,
-                    point_threads,
-                    trace,
-                );
+                // A panic anywhere in the group's compile phase (or one that
+                // escapes the per-point isolation) fails that group's points
+                // with structured error records instead of taking down the
+                // sweep; the payload is deterministic, so the records are
+                // too.
+                let group_records = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_group(
+                        spec,
+                        &points,
+                        &groups[g],
+                        &cache,
+                        &search,
+                        point_threads,
+                        trace,
+                    )
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = panic_message(payload.as_ref());
+                    sgmap_trace::add(trace, "sweep.panics_caught", 1);
+                    sgmap_trace::warn(
+                        trace,
+                        "sweep.group_panicked",
+                        format!("compile group panicked; its points failed: {msg}"),
+                    );
+                    groups[g]
+                        .iter()
+                        .map(|&i| {
+                            (
+                                i,
+                                SweepRecord::from_error(&points[i], format!("panic: {msg}")),
+                            )
+                        })
+                        .collect()
+                });
                 let mut results = results.lock().expect("sweep results lock poisoned");
                 for (i, record) in group_records {
                     results[i] = Some(record);
@@ -243,6 +322,10 @@ pub fn run_sweep_with_cache_traced(
         .map(|r| r.expect("every point produces a record"))
         .collect();
     attach_speedups(&mut records);
+    let stability = spec
+        .stability_baseline
+        .as_deref()
+        .map(|baseline| StabilityReport::compute(&records, baseline));
     sgmap_trace::add(trace, "sweep.points", points.len() as u64);
     sgmap_trace::add(trace, "sweep.compile_groups", groups.len() as u64);
 
@@ -254,6 +337,7 @@ pub fn run_sweep_with_cache_traced(
             expanded_points: points.len() as u64,
             compile_groups: groups.len() as u64,
         },
+        stability,
         threads,
         wall_clock: started.elapsed(),
     })
@@ -364,13 +448,86 @@ fn run_group(
         point_span.arg("app", point.app.name());
         point_span.arg("n", u64::from(point.n));
         point_span.arg("platform", point.platform.name.as_str());
-        let config = point_config(spec, point, search, trace);
-        let record = match compile_from_stage(&graph, &config, &estimator, &stage) {
-            Ok(compiled) => SweepRecord::from_run(point, &execute(&compiled, &config)),
-            Err(e) => SweepRecord::from_error(point, e),
-        };
-        (i, record)
+        (
+            i,
+            run_point(spec, point, &graph, &estimator, &stage, search, trace),
+        )
     })
+}
+
+/// Maps and executes one point in isolation: each attempt runs under
+/// `catch_unwind`, transient-classified failures are retried up to
+/// [`MAX_ATTEMPTS`] times with a deterministic backoff, and panics become
+/// structured error records rather than taking the worker (and the sweep)
+/// down.
+fn run_point(
+    spec: &SweepSpec,
+    point: &SweepPoint,
+    graph: &sgmap_graph::StreamGraph,
+    estimator: &Estimator<'_>,
+    stage: &sgmap_core::PartitionStage,
+    search: &PartitionSearchOptions,
+    trace: sgmap_trace::TraceRef<'_>,
+) -> SweepRecord {
+    let attempt_once = |attempt: usize| -> Result<SweepRecord, String> {
+        if spec.inject.panic_points.contains(&point.index) {
+            panic!("injected panic at point {}", point.index);
+        }
+        if attempt == 0 && spec.inject.transient_points.contains(&point.index) {
+            return Err(format!(
+                "transient: injected transient fault at point {}",
+                point.index
+            ));
+        }
+        let config = point_config(spec, point, search, trace);
+        match compile_from_stage(graph, &config, estimator, stage) {
+            Ok(compiled) => {
+                let run = execute(&compiled, &config);
+                let mut record = SweepRecord::from_run(point, &run);
+                if spec.stability_baseline.is_some() {
+                    record.mapping_signature = Some(mapping_signature(&run.mapping));
+                }
+                Ok(record)
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    let mut last_error = String::new();
+    for attempt in 0..MAX_ATTEMPTS {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| attempt_once(attempt))) {
+            Ok(Ok(record)) => return record,
+            Ok(Err(message)) => {
+                let retryable = is_transient(&message) && attempt + 1 < MAX_ATTEMPTS;
+                last_error = message;
+                if !retryable {
+                    break;
+                }
+                sgmap_trace::add(trace, "sweep.retries", 1);
+                sgmap_trace::warn(
+                    trace,
+                    "sweep.point_retried",
+                    format!(
+                        "point {} attempt {} failed transiently; retrying: {last_error}",
+                        point.index,
+                        attempt + 1
+                    ),
+                );
+                backoff(attempt);
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                sgmap_trace::add(trace, "sweep.panics_caught", 1);
+                sgmap_trace::warn(
+                    trace,
+                    "sweep.point_panicked",
+                    format!("point {} panicked: {msg}", point.index),
+                );
+                last_error = format!("panic: {msg}");
+                break;
+            }
+        }
+    }
+    SweepRecord::from_error(point, &last_error)
 }
 
 /// Fills `speedup_vs_1gpu` for every record whose (app, N, model, stack,

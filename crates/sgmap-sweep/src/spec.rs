@@ -233,6 +233,27 @@ pub fn transfer_name(mode: TransferMode) -> &'static str {
     }
 }
 
+/// Deliberate per-point fault injection, used by the robustness tests and
+/// CI gates to prove failure isolation: an injected fault must produce one
+/// structured error record (or a successful retry) and leave every other
+/// point byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInjectionSpec {
+    /// Work-list indices that panic on every execution attempt. The panic is
+    /// caught and recorded as a per-point error entry.
+    pub panic_points: Vec<usize>,
+    /// Work-list indices that fail with a transient-classified error on
+    /// their first attempt only; the bounded retry then succeeds.
+    pub transient_points: Vec<usize>,
+}
+
+impl FaultInjectionSpec {
+    /// `true` if nothing is injected.
+    pub fn is_empty(&self) -> bool {
+        self.panic_points.is_empty() && self.transient_points.is_empty()
+    }
+}
+
 /// Per-axis filters applied during expansion. All fields default to
 /// "accept everything"; set a field to narrow the grid without editing the
 /// axis lists themselves.
@@ -321,6 +342,17 @@ pub struct SweepSpec {
     /// sweeps warm-start. `None` (the default) keeps the cache in memory
     /// only.
     pub cache_file: Option<String>,
+    /// When `true`, a corrupt or version-mismatched cache file aborts the
+    /// sweep. The default (`false`) downgrades it to a structured
+    /// `cache.load_failed` warning and a cold start.
+    pub strict_cache: bool,
+    /// When set, records carry a mapping signature and the report gains a
+    /// mapping-stability section comparing every other platform against the
+    /// named baseline platform (see
+    /// [`StabilityReport`](crate::StabilityReport)).
+    pub stability_baseline: Option<String>,
+    /// Deliberate per-point fault injection (robustness tests and CI gates).
+    pub inject: FaultInjectionSpec,
 }
 
 /// One expanded grid point, ready to run.
@@ -342,7 +374,7 @@ pub struct SweepPoint {
 
 impl SweepSpec {
     /// Names accepted by [`SweepSpec::preset`], in display order.
-    pub const PRESETS: [&'static str; 7] = [
+    pub const PRESETS: [&'static str; 8] = [
         "quick",
         "scaling",
         "compare",
@@ -350,6 +382,7 @@ impl SweepSpec {
         "paper",
         "hier",
         "synthetic",
+        "robustness",
     ];
 
     /// A sweep with the given name and axes, deterministic ILP budget and
@@ -394,6 +427,9 @@ impl SweepSpec {
             mapping_options: Self::deterministic_mapping_options(),
             plan: PlanOptions::default(),
             cache_file: None,
+            strict_cache: false,
+            stability_baseline: None,
+            inject: FaultInjectionSpec::default(),
         }
     }
 
@@ -419,6 +455,7 @@ impl SweepSpec {
             time_limit: Duration::from_secs(86_400),
             max_nodes: 80,
             comm_aware: true,
+            relative_gap: 0.0,
         }
     }
 
@@ -447,6 +484,7 @@ impl SweepSpec {
             "paper" => Ok(Self::scaling(true).with_name("paper")),
             "hier" => Ok(Self::hier()),
             "synthetic" => Ok(Self::synthetic()),
+            "robustness" => Ok(Self::robustness()),
             other => Err(SweepError::UnknownPreset(other.to_string())),
         }
     }
@@ -573,9 +611,76 @@ impl SweepSpec {
         )
     }
 
+    /// The robustness grid: FM-Radio and DES at N=8 on the paper's reference
+    /// box plus ±5/±10/±20 % perturbations of one model axis at a time —
+    /// link bandwidth, link latency (via [`PlatformSpec::with_link_scales`])
+    /// and device throughput (via [`GpuSpec::with_throughput_factor`]).
+    /// Each point records its mapping signature and the report carries a
+    /// [`StabilityReport`](crate::StabilityReport) comparing every perturbed
+    /// mapping against the unperturbed `M2090` baseline.
+    pub fn robustness() -> Self {
+        let base_gpu = GpuSpec::m2090();
+        let mut platforms = vec![PlatformSpec::paper().named("M2090")];
+        for &pct in &[5i32, 10, 20] {
+            for &sign in &[1i32, -1] {
+                let scale = 1.0 + f64::from(sign * pct) / 100.0;
+                platforms.push(
+                    PlatformSpec::reference(base_gpu.clone(), 4)
+                        .named(format!("M2090:bw{:+}%", sign * pct))
+                        .with_link_scales(scale, 1.0),
+                );
+                platforms.push(
+                    PlatformSpec::reference(base_gpu.clone(), 4)
+                        .named(format!("M2090:lat{:+}%", sign * pct))
+                        .with_link_scales(1.0, scale),
+                );
+                let tp = base_gpu.with_throughput_factor(scale, &format!("tp{:+}%", sign * pct));
+                platforms.push(
+                    PlatformSpec::reference(tp, 4).named(format!("M2090:tp{:+}%", sign * pct)),
+                );
+            }
+        }
+        let mut spec = SweepSpec::on_platforms(
+            "robustness",
+            vec![
+                AppSweep::explicit(App::FmRadio, vec![8]),
+                AppSweep::explicit(App::Des, vec![8]),
+            ],
+            platforms,
+            vec![StackConfig::ours()],
+        );
+        spec.stability_baseline = Some("M2090".to_string());
+        spec
+    }
+
     /// Replaces the sweep's name.
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Makes a corrupt or version-mismatched estimate cache a hard error
+    /// instead of a warn-and-cold-start.
+    #[must_use]
+    pub fn with_strict_cache(mut self, strict: bool) -> Self {
+        self.strict_cache = strict;
+        self
+    }
+
+    /// Injects a deterministic panic into the named point (by expanded point
+    /// index) — a test/CI hook for exercising the sweep's failure isolation.
+    #[must_use]
+    pub fn with_injected_panic(mut self, point: usize) -> Self {
+        self.inject.panic_points.push(point);
+        self
+    }
+
+    /// Injects a transient (retryable) failure into the named point: the
+    /// first attempt fails with a transient-classified error, the retry
+    /// succeeds.
+    #[must_use]
+    pub fn with_injected_transient(mut self, point: usize) -> Self {
+        self.inject.transient_points.push(point);
         self
     }
 

@@ -84,7 +84,7 @@ fn spec_cache_file_plumbing_warm_starts_run_sweep() {
 }
 
 #[test]
-fn a_corrupt_cache_file_is_a_sweep_error_not_a_silent_cold_start() {
+fn a_corrupt_cache_file_degrades_to_a_cold_start_by_default() {
     let dir = std::env::temp_dir().join(format!("sgmap-cache-bad-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("estimates.json");
@@ -94,10 +94,40 @@ fn a_corrupt_cache_file_is_a_sweep_error_not_a_silent_cold_start() {
     )
     .unwrap();
     let spec = tiny_spec().with_cache_file(path.to_string_lossy());
+
+    // Default: the damaged cache is ignored (warn + cold start) and the
+    // sweep's records match a cache-less run byte-for-byte.
+    let degraded = run_sweep(&spec, 1).unwrap();
+    assert!(degraded.cache.misses > 0, "cold start must compute");
+    let baseline = run_sweep(&tiny_spec(), 1).unwrap();
+    assert_eq!(points_json(&degraded), points_json(&baseline));
+
+    // The completed sweep overwrites the damaged file with a valid one.
+    let reloaded = EstimateCache::shared();
+    cache_from_json(&std::fs::read_to_string(&path).unwrap(), &reloaded).unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn strict_cache_makes_a_corrupt_cache_file_a_hard_error() {
+    let dir = std::env::temp_dir().join(format!("sgmap-cache-strict-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("estimates.json");
+    std::fs::write(
+        &path,
+        "{\"version\":42,\"kind\":\"sgmap-estimate-cache\",\"entries\":[]}",
+    )
+    .unwrap();
+    let spec = tiny_spec()
+        .with_cache_file(path.to_string_lossy())
+        .with_strict_cache(true);
     let err = run_sweep(&spec, 1).unwrap_err();
     assert!(
         err.to_string().contains("unsupported cache format version"),
         "{err}"
     );
+    // Strict mode fails before running anything, leaving the file untouched.
+    assert!(std::fs::read_to_string(&path).unwrap().contains("42"));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -45,17 +45,34 @@ fn interconnect_strategy() -> BoxedStrategy<InterconnectSpec> {
     .boxed()
 }
 
+// Scale factors are drawn from a small set of exactly-representable values
+// (1.0 = unperturbed, omitted from the JSON) so the round-trip oracle stays
+// byte-exact.
+fn scale_strategy() -> BoxedStrategy<f64> {
+    prop_oneof![
+        3 => (0u32..1).prop_map(|_| 1.0).boxed(),
+        1 => (1u32..40).prop_map(|pct| 1.0 + f64::from(pct) / 100.0).boxed(),
+    ]
+    .boxed()
+}
+
 fn platform_strategy() -> BoxedStrategy<PlatformSpec> {
     (
         0u32..1000,
         prop::collection::vec(gpu_strategy(), 1..9),
         interconnect_strategy(),
+        scale_strategy(),
+        scale_strategy(),
     )
-        .prop_map(|(id, gpus, interconnect)| PlatformSpec {
-            name: format!("platform-{id}"),
-            gpus,
-            interconnect,
-        })
+        .prop_map(
+            |(id, gpus, interconnect, bandwidth_scale, latency_scale)| PlatformSpec {
+                name: format!("platform-{id}"),
+                gpus,
+                interconnect,
+                bandwidth_scale,
+                latency_scale,
+            },
+        )
         .boxed()
 }
 

@@ -28,10 +28,11 @@
 //!
 //! | kind | names |
 //! |------|-------|
-//! | span | `graph.build`, `graph.analysis`, `partition`, `partition.prewarm`, `partition.phase1`..`partition.phase4`, `partition.coarsen`, `partition.initial`, `partition.refine`, `pdg.build`, `map`, `ilp.solve`, `ilp.node`, `codegen`, `execute`, `sweep.group`, `sweep.point` |
-//! | counter | `graph.filters`, `graph.channels`, `partition.candidates_evaluated`, `partition.merges_accepted`, `partition.feasibility_hits`, `partition.feasibility_misses`, `partition.adjacency_rebuilds`, `partition.coarsen_levels`, `partition.refine_moves`, `pee.estimate_hits`, `pee.estimate_misses`, `pee.chars_merged`, `pee.chars_from_set`, `ilp.nodes`, `ilp.lp_iterations`, `ilp.lp_warm_starts`, `ilp.lp_cold_solves`, `ilp.refactorizations`, `ilp.bound_flips`, `ilp.presolve_removed_rows`, `codegen.kernels`, `codegen.transfers`, `gpusim.kernel_launches`, `gpusim.transfers`, `sweep.compile_groups`, `sweep.points` |
+//! | span | `graph.build`, `graph.analysis`, `partition`, `partition.prewarm`, `partition.phase1`..`partition.phase4`, `partition.coarsen`, `partition.initial`, `partition.refine`, `pdg.build`, `map`, `map.repair`, `ilp.solve`, `ilp.node`, `codegen`, `execute`, `sweep.group`, `sweep.point` |
+//! | counter | `graph.filters`, `graph.channels`, `partition.candidates_evaluated`, `partition.merges_accepted`, `partition.feasibility_hits`, `partition.feasibility_misses`, `partition.adjacency_rebuilds`, `partition.coarsen_levels`, `partition.refine_moves`, `pee.estimate_hits`, `pee.estimate_misses`, `pee.chars_merged`, `pee.chars_from_set`, `ilp.nodes`, `ilp.lp_iterations`, `ilp.lp_warm_starts`, `ilp.lp_cold_solves`, `ilp.refactorizations`, `ilp.bound_flips`, `ilp.presolve_removed_rows`, `ilp.budget_exhausted`, `ilp.numerical_fallbacks`, `map.repairs`, `map.repair_moved_partitions`, `codegen.kernels`, `codegen.transfers`, `gpusim.kernel_launches`, `gpusim.transfers`, `gpusim.fault_device_lost`, `gpusim.fault_link_degraded`, `gpusim.fault_link_failed`, `sweep.compile_groups`, `sweep.points`, `sweep.retries`, `sweep.panics_caught` |
 //! | histogram | `pee.chars_from_set_size`, `pee.chars_merged_size` |
 //! | instant | `sweep.cache_loaded`, `sweep.cache_saved`, `sweep.summary` |
+//! | warning | `cache.load_failed`, `cache.save_failed`, `ilp.budget_exhausted`, `ilp.numerical_fallback`, `sweep.group_panicked`, `sweep.point_panicked`, `sweep.point_retried` |
 //!
 //! The layers only ever *write* to the collector; no computation reads it
 //! back, which is what keeps traced and untraced runs byte-identical.
